@@ -1,0 +1,72 @@
+//! Bernstein–Vazirani algorithm.
+//!
+//! Recovers a hidden bitstring `s` from a single query to the oracle
+//! `f(x) = s·x mod 2`. A classic demonstration of the circuit model and a
+//! deterministic workload for integration tests: the measurement result
+//! must equal `s` with probability 1.
+
+use qclab_core::prelude::*;
+
+/// Builds the BV circuit for the hidden string `secret` over
+/// `secret.len() + 1` qubits (last qubit is the phase ancilla). Includes
+/// final measurements on the data qubits.
+pub fn bernstein_vazirani(secret: &str) -> QCircuit {
+    let n = secret.len();
+    assert!(n > 0, "secret must be non-empty");
+    let mut c = QCircuit::new(n + 1);
+    let ancilla = n;
+    // ancilla in |->
+    c.push_back(PauliX::new(ancilla));
+    c.push_back(Hadamard::new(ancilla));
+    for q in 0..n {
+        c.push_back(Hadamard::new(q));
+    }
+    // oracle: CNOT from every secret-1 qubit into the ancilla
+    let mut oracle = QCircuit::new(n + 1);
+    for (q, ch) in secret.chars().enumerate() {
+        match ch {
+            '1' => {
+                oracle.push_back(CNOT::new(q, ancilla));
+            }
+            '0' => {}
+            other => panic!("invalid secret bit '{other}'"),
+        }
+    }
+    oracle.as_block("Uf");
+    c.push_back(oracle);
+    for q in 0..n {
+        c.push_back(Hadamard::new(q));
+    }
+    for q in 0..n {
+        c.push_back(Measurement::z(q));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_secret_deterministically() {
+        for secret in ["1", "101", "0000", "1111", "110010"] {
+            let c = bernstein_vazirani(secret);
+            let zeros = "0".repeat(secret.len() + 1);
+            let sim = c.simulate_bitstring(&zeros).unwrap();
+            assert_eq!(sim.results(), &[secret], "failed for secret {secret}");
+            assert!((sim.probabilities()[0] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_query_structure() {
+        // the oracle appears exactly once (as one block item)
+        let c = bernstein_vazirani("101");
+        let blocks = c
+            .items()
+            .iter()
+            .filter(|i| matches!(i, qclab_core::CircuitItem::SubCircuit { .. }))
+            .count();
+        assert_eq!(blocks, 1);
+    }
+}

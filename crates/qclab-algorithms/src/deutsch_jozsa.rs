@@ -1,0 +1,100 @@
+//! Deutsch–Jozsa algorithm.
+//!
+//! Distinguishes constant from balanced boolean functions with one oracle
+//! query: measuring all-zeros means constant, anything else balanced.
+
+use qclab_core::prelude::*;
+
+/// The oracle flavours supported by [`deutsch_jozsa`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = 0` for all x.
+    ConstantZero,
+    /// `f(x) = 1` for all x.
+    ConstantOne,
+    /// `f(x) = s·x mod 2` for a non-zero mask — balanced.
+    BalancedMask(String),
+}
+
+/// Builds the DJ circuit on `n + 1` qubits for the given oracle, with
+/// measurements on the data qubits.
+pub fn deutsch_jozsa(n: usize, oracle: &DjOracle) -> QCircuit {
+    assert!(n > 0);
+    let mut c = QCircuit::new(n + 1);
+    let ancilla = n;
+    c.push_back(PauliX::new(ancilla));
+    c.push_back(Hadamard::new(ancilla));
+    for q in 0..n {
+        c.push_back(Hadamard::new(q));
+    }
+
+    let mut uf = QCircuit::new(n + 1);
+    match oracle {
+        DjOracle::ConstantZero => {}
+        DjOracle::ConstantOne => {
+            uf.push_back(PauliX::new(ancilla));
+        }
+        DjOracle::BalancedMask(mask) => {
+            assert_eq!(mask.len(), n, "mask length mismatch");
+            assert!(mask.contains('1'), "all-zero mask is constant, not balanced");
+            for (q, ch) in mask.chars().enumerate() {
+                if ch == '1' {
+                    uf.push_back(CNOT::new(q, ancilla));
+                }
+            }
+        }
+    }
+    uf.as_block("Uf");
+    c.push_back(uf);
+
+    for q in 0..n {
+        c.push_back(Hadamard::new(q));
+    }
+    for q in 0..n {
+        c.push_back(Measurement::z(q));
+    }
+    c
+}
+
+/// Interprets a DJ measurement result: `true` means the function is
+/// constant.
+pub fn is_constant(result: &str) -> bool {
+    result.chars().all(|c| c == '0')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_oracles_measure_all_zeros() {
+        for oracle in [DjOracle::ConstantZero, DjOracle::ConstantOne] {
+            let c = deutsch_jozsa(3, &oracle);
+            let sim = c.simulate_bitstring("0000").unwrap();
+            assert_eq!(sim.results().len(), 1);
+            assert!(is_constant(sim.results()[0]), "oracle {oracle:?}");
+            assert!((sim.probabilities()[0] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn balanced_oracles_never_measure_all_zeros() {
+        for mask in ["100", "011", "111"] {
+            let c = deutsch_jozsa(3, &DjOracle::BalancedMask(mask.into()));
+            let sim = c.simulate_bitstring("0000").unwrap();
+            for (r, p) in sim.results().iter().zip(sim.probabilities()) {
+                if p > 1e-12 {
+                    assert!(!is_constant(r), "balanced {mask} produced zeros");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_mask_result_equals_mask() {
+        // for linear oracles DJ degenerates to Bernstein–Vazirani
+        let c = deutsch_jozsa(4, &DjOracle::BalancedMask("1010".into()));
+        let sim = c.simulate_bitstring("00000").unwrap();
+        assert_eq!(sim.results(), &["1010"]);
+    }
+}

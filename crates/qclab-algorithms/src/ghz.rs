@@ -1,0 +1,71 @@
+//! GHZ / Bell state preparation circuits.
+//!
+//! The Bell circuit is the paper's running example (circuit (1)); the GHZ
+//! ladder generalizes it to `n` qubits and is the standard workload for
+//! the backend-scaling benchmarks (one Hadamard plus a CNOT chain).
+
+use qclab_core::prelude::*;
+
+/// The paper's circuit (1): `H(0)`, `CNOT(0,1)`, measurements on both
+/// qubits.
+pub fn bell_circuit() -> QCircuit {
+    let mut c = QCircuit::new(2);
+    c.push_back(Hadamard::new(0));
+    c.push_back(CNOT::new(0, 1));
+    c.push_back(Measurement::z(0));
+    c.push_back(Measurement::z(1));
+    c
+}
+
+/// The `n`-qubit GHZ preparation: `H(0)` followed by a CNOT ladder.
+/// No measurements — callers add them or inspect the state directly.
+pub fn ghz_circuit(nb_qubits: usize) -> QCircuit {
+    let mut c = QCircuit::new(nb_qubits);
+    c.push_back(Hadamard::new(0));
+    for q in 1..nb_qubits {
+        c.push_back(CNOT::new(q - 1, q));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn bell_circuit_reproduces_paper_results() {
+        let sim = bell_circuit().simulate_bitstring("00").unwrap();
+        assert_eq!(sim.results(), &["00", "11"]);
+        for p in sim.probabilities() {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ghz_state_has_two_equal_amplitudes() {
+        for n in 2..=10 {
+            let sim = ghz_circuit(n)
+                .simulate_bitstring(&"0".repeat(n))
+                .unwrap();
+            let s = sim.states()[0];
+            let dim = 1usize << n;
+            assert!((s[0].re - INV_SQRT2).abs() < 1e-12);
+            assert!((s[dim - 1].re - INV_SQRT2).abs() < 1e-12);
+            for i in 1..dim - 1 {
+                assert!(s[i].norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_ghz_is_perfectly_correlated() {
+        let mut c = ghz_circuit(4);
+        for q in 0..4 {
+            c.push_back(Measurement::z(q));
+        }
+        let sim = c.simulate_bitstring("0000").unwrap();
+        assert_eq!(sim.results(), &["0000", "1111"]);
+    }
+}

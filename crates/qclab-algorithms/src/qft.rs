@@ -1,0 +1,99 @@
+//! Quantum Fourier transform circuits.
+//!
+//! The QFT is the canonical structured workload for the benchmark harness
+//! (dense in controlled-phase gates, the class QCLAB's derived compilers
+//! care about) and the substrate for phase estimation.
+
+use qclab_core::prelude::*;
+use qclab_math::scalar::{cis, C64};
+use qclab_math::CMat;
+
+/// Builds the `n`-qubit QFT: Hadamards with cascading controlled phases,
+/// followed by the bit-reversal SWAP network.
+pub fn qft(nb_qubits: usize) -> QCircuit {
+    let mut c = QCircuit::new(nb_qubits);
+    for q in 0..nb_qubits {
+        c.push_back(Hadamard::new(q));
+        for k in q + 1..nb_qubits {
+            let theta = std::f64::consts::PI / (1u64 << (k - q)) as f64;
+            c.push_back(CPhase::new(k, q, theta));
+        }
+    }
+    for q in 0..nb_qubits / 2 {
+        c.push_back(SwapGate::new(q, nb_qubits - 1 - q));
+    }
+    c
+}
+
+/// The inverse QFT (adjoint of [`qft`]).
+pub fn iqft(nb_qubits: usize) -> QCircuit {
+    qft(nb_qubits).adjoint().expect("QFT is unitary")
+}
+
+/// The exact DFT matrix `F[j][k] = ω^{jk} / √N` with `ω = e^{2πi/N}`,
+/// for validating the circuit.
+pub fn dft_matrix(nb_qubits: usize) -> CMat {
+    let n = 1usize << nb_qubits;
+    let scale = 1.0 / (n as f64).sqrt();
+    CMat::from_fn(n, n, |j, k| {
+        let w: C64 = cis(2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+        C64::new(w.re * scale, w.im * scale)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        for n in 1..=5 {
+            let m = qft(n).to_matrix().unwrap();
+            let f = dft_matrix(n);
+            assert!(m.approx_eq(&f, 1e-10), "QFT({n}) != DFT matrix");
+        }
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        for n in 1..=4 {
+            let mut c = qft(n);
+            for item in iqft(n).items() {
+                c.push_back(item.clone());
+            }
+            assert!(c.to_matrix().unwrap().is_identity(1e-10));
+        }
+    }
+
+    #[test]
+    fn qft_of_basis_state_is_uniform_in_magnitude() {
+        let n = 4;
+        let c = qft(n);
+        let sim = c.simulate_bitstring("0101").unwrap();
+        let state = sim.states()[0];
+        let expect = 1.0 / (1u64 << n) as f64;
+        for amp in state.iter() {
+            assert!((amp.norm_sqr() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        // n Hadamards + n(n-1)/2 controlled phases + floor(n/2) swaps
+        let n = 5;
+        let c = qft(n);
+        assert_eq!(c.nb_gates(), n + n * (n - 1) / 2 + n / 2);
+    }
+
+    #[test]
+    fn qft_on_zero_gives_uniform_superposition() {
+        let c = qft(3);
+        let sim = c.simulate_bitstring("000").unwrap();
+        let state = sim.states()[0];
+        let amp = 1.0 / (8f64).sqrt();
+        for z in state.iter() {
+            assert!((z.re - amp).abs() < 1e-12);
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+}

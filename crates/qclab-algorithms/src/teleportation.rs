@@ -1,0 +1,120 @@
+//! Quantum teleportation (paper Sec. 5.1).
+//!
+//! Builds the three-qubit teleportation circuit `qtc` of the paper —
+//! including its mid-circuit measurements — and provides an end-to-end
+//! [`teleport`] helper that prepares the `|v> ⊗ bell` initial state,
+//! simulates, and verifies the received state on qubit 2.
+
+use qclab_core::prelude::*;
+use qclab_core::Simulation;
+use qclab_math::scalar::cr;
+use qclab_math::CVec;
+
+const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// The teleportation circuit of the paper: Bell measurement on the sender
+/// pair (q0, q1) followed by classically controlled corrections on the
+/// receiver q2 (implemented as controlled gates, as the paper does).
+pub fn teleportation_circuit() -> QCircuit {
+    let mut qtc = QCircuit::new(3);
+    qtc.push_back(CNOT::new(0, 1));
+    qtc.push_back(Hadamard::new(0));
+    qtc.push_back(Measurement::z(0));
+    qtc.push_back(Measurement::z(1));
+    qtc.push_back(CNOT::new(1, 2));
+    qtc.push_back(CZ::new(0, 2));
+    qtc
+}
+
+/// The Bell state `(|00> + |11>)/√2` shared between sender and receiver.
+pub fn bell_pair() -> CVec {
+    CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)])
+}
+
+/// The outcome of one teleportation run.
+pub struct TeleportOutcome {
+    /// The full simulation (4 branches, one per Bell-measurement result).
+    pub simulation: Simulation,
+    /// The state received on qubit 2 for each branch, extracted with
+    /// `reducedStatevector` as in the paper.
+    pub received: Vec<CVec>,
+}
+
+/// Teleports `v` (a single-qubit state) and returns the simulation along
+/// with the received state per measurement branch.
+pub fn teleport(v: &CVec) -> Result<TeleportOutcome, QclabError> {
+    assert_eq!(v.len(), 2, "teleport expects a single-qubit state");
+    let initial = v.kron(&bell_pair());
+    let simulation = teleportation_circuit().simulate(&initial)?;
+    let mut received = Vec::with_capacity(simulation.branches().len());
+    for b in simulation.branches() {
+        let red = reduced_statevector(b.state(), &[0, 1], b.result())?;
+        received.push(red);
+    }
+    Ok(TeleportOutcome {
+        simulation,
+        received,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_math::scalar::c;
+
+    fn paper_v() -> CVec {
+        CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)])
+    }
+
+    #[test]
+    fn paper_run_has_four_equal_branches() {
+        let out = teleport(&paper_v()).unwrap();
+        assert_eq!(out.simulation.results(), &["00", "01", "10", "11"]);
+        for p in out.simulation.probabilities() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_first_branch_state_vector() {
+        // paper: the '00' branch state is (1/√2, i/√2, 0, 0, 0, 0, 0, 0)
+        let out = teleport(&paper_v()).unwrap();
+        let s = out.simulation.states()[0];
+        assert!((s[0].re - INV_SQRT2).abs() < 1e-12);
+        assert!((s[1].im - INV_SQRT2).abs() < 1e-12);
+        for i in 2..8 {
+            assert!(s[i].norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_branch_receives_v() {
+        let out = teleport(&paper_v()).unwrap();
+        for red in &out.received {
+            assert!(
+                red.approx_eq_up_to_phase(&paper_v(), 1e-10),
+                "teleported state differs: {red:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn teleports_arbitrary_states() {
+        for (a, b) in [(0.3, 0.2), (0.9, -0.1), (0.0, 1.0)] {
+            let mut v = CVec(vec![c(a, b), c(0.4, -0.6)]);
+            v.normalize();
+            let out = teleport(&v).unwrap();
+            for red in &out.received {
+                assert!(red.approx_eq_up_to_phase(&v, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_structure_matches_paper() {
+        let c = teleportation_circuit();
+        assert_eq!(c.nb_qubits(), 3);
+        assert_eq!(c.nb_gates(), 4);
+        assert_eq!(c.nb_measurements(), 2);
+    }
+}

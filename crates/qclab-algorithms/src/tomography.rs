@@ -1,0 +1,173 @@
+//! Single-qubit state tomography (paper Sec. 5.2).
+//!
+//! Reconstructs the density matrix of an unknown single-qubit state from
+//! repeated measurements in the X, Y and Z bases:
+//!
+//! ```text
+//! ρ_est = (S0·I + S1·X + S2·Y + S3·Z) / 2
+//! ```
+//!
+//! with the `S_i` estimated from `counts`. Mirrors the paper's workflow
+//! exactly: one single-measurement circuit per basis, `shots` samples,
+//! coefficients from the count differences.
+
+use qclab_core::prelude::*;
+use qclab_math::dense::CMat;
+use qclab_math::scalar::{c, cr};
+use qclab_math::{CVec, DensityMatrix};
+
+/// Counts and derived statistics of one tomography run.
+#[derive(Clone, Debug)]
+pub struct Tomography {
+    /// `(count of 0, count of 1)` in the X basis.
+    pub counts_x: (u64, u64),
+    /// `(count of 0, count of 1)` in the Y basis.
+    pub counts_y: (u64, u64),
+    /// `(count of 0, count of 1)` in the Z basis.
+    pub counts_z: (u64, u64),
+    /// Coefficients `S0..S3` of the Pauli expansion.
+    pub s: [f64; 4],
+    /// The reconstructed density matrix.
+    pub rho_est: DensityMatrix,
+}
+
+/// Builds the single-measurement circuit for one basis, e.g.
+/// `meas_x = qclab.QCircuit(1); meas_x.push_back(Measurement(0,'x'))`.
+pub fn measurement_circuit(basis: char) -> QCircuit {
+    let mut circuit = QCircuit::new(1);
+    let m = match basis {
+        'x' => Measurement::x(0),
+        'y' => Measurement::y(0),
+        'z' => Measurement::z(0),
+        other => panic!("unknown basis '{other}'"),
+    };
+    circuit.push_back(m);
+    circuit
+}
+
+fn basis_counts(
+    state: &CVec,
+    basis: char,
+    shots: u64,
+    seed: u64,
+) -> Result<(u64, u64), QclabError> {
+    let sim = measurement_circuit(basis).simulate(state)?;
+    let counts = sim.counts(shots, seed);
+    let mut n0 = 0;
+    let mut n1 = 0;
+    for (result, n) in counts {
+        match result.as_str() {
+            "0" => n0 = n,
+            "1" => n1 = n,
+            other => panic!("unexpected outcome '{other}'"),
+        }
+    }
+    Ok((n0, n1))
+}
+
+/// Runs the full tomography experiment on `state` with `shots`
+/// repetitions per basis (MATLAB `rng(seed)` analog: each basis uses a
+/// deterministic sub-seed derived from `seed`).
+pub fn tomography(state: &CVec, shots: u64, seed: u64) -> Result<Tomography, QclabError> {
+    assert_eq!(state.len(), 2, "tomography expects a single-qubit state");
+    let counts_x = basis_counts(state, 'x', shots, seed)?;
+    let counts_y = basis_counts(state, 'y', shots, seed.wrapping_add(1))?;
+    let counts_z = basis_counts(state, 'z', shots, seed.wrapping_add(2))?;
+
+    let prob = |(n0, n1): (u64, u64)| {
+        let total = (n0 + n1) as f64;
+        (n0 as f64 / total, n1 as f64 / total)
+    };
+    let (px0, px1) = prob(counts_x);
+    let (py0, py1) = prob(counts_y);
+    let (pz0, pz1) = prob(counts_z);
+
+    let s = [pz0 + pz1, px0 - px1, py0 - py1, pz0 - pz1];
+
+    // ρ_est = (S0 I + S1 X + S2 Y + S3 Z) / 2
+    let rho = CMat::mat2(
+        cr((s[0] + s[3]) / 2.0),
+        c(s[1] / 2.0, -s[2] / 2.0),
+        c(s[1] / 2.0, s[2] / 2.0),
+        cr((s[0] - s[3]) / 2.0),
+    );
+
+    Ok(Tomography {
+        counts_x,
+        counts_y,
+        counts_z,
+        s,
+        rho_est: DensityMatrix::from_matrix(rho),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_math::scalar::cr;
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn paper_v() -> CVec {
+        CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)])
+    }
+
+    #[test]
+    fn paper_experiment_shape() {
+        // |v> lies on the +Y axis: S2 ≈ 1, S1 ≈ 0, S3 ≈ 0, S0 = 1 exactly
+        let t = tomography(&paper_v(), 1000, 1).unwrap();
+        assert_eq!(t.counts_x.0 + t.counts_x.1, 1000);
+        assert!((t.s[0] - 1.0).abs() < 1e-12);
+        assert!(t.s[1].abs() < 0.1, "S1 = {}", t.s[1]);
+        assert!((t.s[2] - 1.0).abs() < 0.1, "S2 = {}", t.s[2]);
+        assert!(t.s[3].abs() < 0.1, "S3 = {}", t.s[3]);
+    }
+
+    #[test]
+    fn trace_distance_to_true_state_is_small() {
+        // the paper reports 0.006 for its RNG; ours differs but must land
+        // in the same statistical ballpark for 1000 shots
+        let t = tomography(&paper_v(), 1000, 1).unwrap();
+        let rho_true = DensityMatrix::from_pure(&paper_v());
+        let d = rho_true.trace_distance(&t.rho_est);
+        assert!(d < 0.06, "trace distance {d} unexpectedly large");
+    }
+
+    #[test]
+    fn accuracy_improves_with_shots() {
+        let rho_true = DensityMatrix::from_pure(&paper_v());
+        let d_small = rho_true.trace_distance(&tomography(&paper_v(), 100, 7).unwrap().rho_est);
+        let d_large =
+            rho_true.trace_distance(&tomography(&paper_v(), 100_000, 7).unwrap().rho_est);
+        assert!(
+            d_large < d_small.max(0.02),
+            "more shots did not help: {d_small} -> {d_large}"
+        );
+        assert!(d_large < 0.02);
+    }
+
+    #[test]
+    fn basis_states_reconstruct_exactly_on_z() {
+        // |0> measured in Z is deterministic, so S3 = 1 exactly
+        let t = tomography(&CVec::basis_state(2, 0), 500, 3).unwrap();
+        assert_eq!(t.counts_z, (500, 0));
+        assert!((t.s[3] - 1.0).abs() < 1e-12);
+        assert!((t.rho_est.matrix()[(0, 0)].re - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn estimate_has_unit_trace() {
+        let t = tomography(&paper_v(), 1000, 42).unwrap();
+        assert!((t.rho_est.trace().re - 1.0).abs() < 1e-12);
+        assert!(t.rho_est.matrix().is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn counts_are_reproducible() {
+        let a = tomography(&paper_v(), 1000, 1).unwrap();
+        let b = tomography(&paper_v(), 1000, 1).unwrap();
+        assert_eq!(a.counts_x, b.counts_x);
+        assert_eq!(a.counts_y, b.counts_y);
+        assert_eq!(a.counts_z, b.counts_z);
+    }
+}

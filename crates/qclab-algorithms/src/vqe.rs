@@ -1,0 +1,172 @@
+//! Variational quantum eigensolver (VQE) on qclab primitives.
+//!
+//! Demonstrates the prototyping workflow the paper positions QCLAB for:
+//! a hardware-efficient ansatz built from `RY` rotations and a CNOT
+//! ladder, energies evaluated through the [`Observable`] machinery, and
+//! the deterministic **Rotosolve** coordinate optimizer, which exploits
+//! the fact that the energy is sinusoidal in each rotation angle:
+//! `E(θ_d) = A + R·cos(θ_d − φ)`, so each coordinate is minimized
+//! exactly from three evaluations.
+
+use qclab_core::observable::Observable;
+use qclab_core::prelude::*;
+use qclab_math::CVec;
+
+/// Builds the hardware-efficient ansatz: `layers + 1` rounds of per-qubit
+/// `RY(θ)` rotations with a CNOT ladder between rounds.
+/// `params.len()` must equal `nb_qubits * (layers + 1)`.
+pub fn ansatz(nb_qubits: usize, layers: usize, params: &[f64]) -> QCircuit {
+    assert_eq!(
+        params.len(),
+        nb_qubits * (layers + 1),
+        "ansatz expects {} parameters",
+        nb_qubits * (layers + 1)
+    );
+    let mut c = QCircuit::new(nb_qubits);
+    let mut p = params.iter();
+    for layer in 0..=layers {
+        for q in 0..nb_qubits {
+            c.push_back(RotationY::new(q, *p.next().unwrap()));
+        }
+        if layer < layers {
+            for q in 0..nb_qubits.saturating_sub(1) {
+                c.push_back(CNOT::new(q, q + 1));
+            }
+        }
+    }
+    c
+}
+
+/// Energy `⟨0…0| U(θ)† O U(θ) |0…0⟩` of the ansatz state.
+pub fn energy(
+    nb_qubits: usize,
+    layers: usize,
+    params: &[f64],
+    observable: &Observable,
+) -> Result<f64, QclabError> {
+    let circuit = ansatz(nb_qubits, layers, params);
+    let init = CVec::basis_state(1 << nb_qubits, 0);
+    let sim = circuit.simulate(&init)?;
+    Ok(observable.expectation(sim.states()[0]))
+}
+
+/// Result of a [`vqe_minimize`] run.
+#[derive(Clone, Debug)]
+pub struct VqeResult {
+    /// Optimized parameters.
+    pub params: Vec<f64>,
+    /// Final energy.
+    pub energy: f64,
+    /// Energy after each full Rotosolve sweep.
+    pub history: Vec<f64>,
+}
+
+/// Minimizes the observable's energy over the ansatz parameters with
+/// Rotosolve coordinate descent (`sweeps` full passes, deterministic,
+/// gradient-free). Starts from all-zero parameters.
+pub fn vqe_minimize(
+    nb_qubits: usize,
+    layers: usize,
+    observable: &Observable,
+    sweeps: usize,
+) -> Result<VqeResult, QclabError> {
+    let nb_params = nb_qubits * (layers + 1);
+    let mut params = vec![0.0f64; nb_params];
+    let mut history = Vec::with_capacity(sweeps);
+
+    for _ in 0..sweeps {
+        for d in 0..nb_params {
+            // E(θ_d) = A + B cos θ_d + C sin θ_d; sample at 0, π/2, π
+            let orig = params[d];
+            params[d] = 0.0;
+            let e0 = energy(nb_qubits, layers, &params, observable)?;
+            params[d] = std::f64::consts::FRAC_PI_2;
+            let e90 = energy(nb_qubits, layers, &params, observable)?;
+            params[d] = std::f64::consts::PI;
+            let e180 = energy(nb_qubits, layers, &params, observable)?;
+
+            let a = (e0 + e180) / 2.0;
+            let b = (e0 - e180) / 2.0;
+            let cc = e90 - a;
+            // E = A + R cos(θ − φ) with φ = atan2(C, B); minimum at φ + π
+            let theta_min = cc.atan2(b) + std::f64::consts::PI;
+            params[d] = theta_min;
+            let _ = orig;
+        }
+        history.push(energy(nb_qubits, layers, &params, observable)?);
+    }
+
+    let final_energy = energy(nb_qubits, layers, &params, observable)?;
+    Ok(VqeResult {
+        params,
+        energy: final_energy,
+        history,
+    })
+}
+
+/// Exact ground-state energy of the observable by dense diagonalization
+/// (small registers only), for validating VQE results.
+pub fn exact_ground_energy(observable: &Observable) -> f64 {
+    let m = observable.matrix();
+    qclab_math::eig::hermitian_eigenvalues(&m)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ansatz_parameter_count_and_structure() {
+        let params = vec![0.1; 6];
+        let c = ansatz(2, 2, &params);
+        // 3 rounds of 2 RYs + 2 ladders of 1 CNOT
+        assert_eq!(c.nb_gates(), 6 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 6 parameters")]
+    fn ansatz_rejects_wrong_parameter_count() {
+        ansatz(2, 2, &[0.0; 5]);
+    }
+
+    #[test]
+    fn zero_parameters_give_all_zero_state_energy() {
+        // θ = 0 everywhere: the state stays |0..0>
+        let obs = Observable::ising_chain(3, 1.0, 0.0);
+        let e = energy(3, 1, &[0.0; 6], &obs).unwrap();
+        assert!((e + 2.0).abs() < 1e-12); // -J(n-1) = -2
+    }
+
+    #[test]
+    fn rotosolve_finds_tfim_ground_state() {
+        // transverse-field Ising on 3 qubits: ground state is real, so
+        // the RY ansatz can represent it
+        let obs = Observable::ising_chain(3, 1.0, 0.5);
+        let exact = exact_ground_energy(&obs);
+        let result = vqe_minimize(3, 2, &obs, 8).unwrap();
+        assert!(
+            result.energy <= exact + 1e-4,
+            "VQE energy {} vs exact {exact}",
+            result.energy
+        );
+        // variational principle: never below the true ground energy
+        assert!(result.energy >= exact - 1e-9);
+    }
+
+    #[test]
+    fn sweeps_monotonically_improve() {
+        let obs = Observable::ising_chain(2, 1.0, 0.3);
+        let result = vqe_minimize(2, 1, &obs, 5).unwrap();
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-10, "energy went up: {:?}", result.history);
+        }
+    }
+
+    #[test]
+    fn pure_field_hamiltonian() {
+        // H = -Σ X_i: ground state |+..+>, energy -n, reachable with RY(π/2)
+        let obs = Observable::ising_chain(2, 0.0, 1.0);
+        let result = vqe_minimize(2, 1, &obs, 4).unwrap();
+        assert!((result.energy + 2.0).abs() < 1e-8);
+    }
+}

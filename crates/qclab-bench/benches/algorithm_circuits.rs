@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end simulation of the paper's algorithm
+//! workloads (GHZ preparation, QFT, Grover, teleportation with its
+//! branching measurements, and a random circuit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qclab_algorithms::{ghz_circuit, grover_circuit, qft, teleportation_circuit};
+use qclab_bench::random_circuit;
+use qclab_math::scalar::{c, cr};
+use qclab_math::CVec;
+
+fn bench_algorithms(cr_: &mut Criterion) {
+    let mut group = cr_.benchmark_group("algorithm_circuits");
+
+    group.bench_function("ghz_16q", |b| {
+        let circuit = ghz_circuit(16);
+        let init = CVec::basis_state(1 << 16, 0);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.bench_function("qft_12q", |b| {
+        let circuit = qft(12);
+        let init = CVec::basis_state(1 << 12, 0);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.bench_function("grover_8q_optimal", |b| {
+        let k = qclab_algorithms::optimal_iterations(8);
+        let circuit = grover_circuit(8, &"1".repeat(8), k);
+        let init = CVec::basis_state(1 << 8, 0);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.bench_function("teleportation_branching", |b| {
+        const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        let circuit = teleportation_circuit();
+        let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        let init = v.kron(&bell);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.bench_function("random_14q_5layers", |b| {
+        let circuit = random_circuit(14, 5, 7);
+        let init = CVec::basis_state(1 << 14, 0);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment F1: the sparse-Kronecker backend
+//! (MATLAB QCLAB's gate application) against the in-place kernel backend
+//! (QCLAB++'s), on a GHZ layer at several register sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qclab_core::prelude::*;
+use qclab_core::sim::{kernel, kron};
+use qclab_math::CVec;
+
+fn ghz_layer(n: usize) -> Vec<Gate> {
+    let mut gates = vec![Hadamard::new(0)];
+    for q in 1..n {
+        gates.push(CNOT::new(q - 1, q));
+    }
+    gates
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_compare");
+    for n in [6usize, 10, 14] {
+        let gates = ghz_layer(n);
+        group.bench_with_input(BenchmarkId::new("kron", n), &n, |b, &n| {
+            let mut state = CVec::basis_state(1 << n, 0);
+            b.iter(|| {
+                for g in &gates {
+                    kron::apply_gate(g, &mut state, n);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, &n| {
+            let mut state = CVec::basis_state(1 << n, 0);
+            b.iter(|| {
+                for g in &gates {
+                    kernel::apply_gate(g, &mut state, n);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for experiment F4: per-gate-class kernel cost on a
+//! fixed 16-qubit register — the kernel taxonomy of QCLAB++ (diagonal vs
+//! dense single-qubit vs controlled vs SWAP vs multi-controlled vs
+//! general two-qubit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qclab_core::prelude::*;
+use qclab_core::sim::kernel;
+use qclab_math::CVec;
+
+const N: usize = 16;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_kernels_n16");
+    let cases: Vec<(&str, Gate)> = vec![
+        ("h_dense_1q", Hadamard::new(7)),
+        ("z_diagonal", PauliZ::new(7)),
+        ("rz_diagonal", RotationZ::new(7, 0.3)),
+        ("cx_controlled", CNOT::new(3, 11)),
+        ("cz_ctrl_diag", CZ::new(3, 11)),
+        ("swap_permutation", SwapGate::new(2, 13)),
+        ("iswap_general_2q", ISwapGate::new(2, 13)),
+        ("rxx_general_2q", RotationXX::new(2, 13, 0.5)),
+        ("mcx_3_controls", MCX::new(&[1, 5, 9], 12, &[1, 0, 1])),
+    ];
+    for (name, gate) in cases {
+        group.bench_function(name, |b| {
+            let mut state = CVec::basis_state(1 << N, 0);
+            // spread amplitude so the kernels do full work
+            kernel::apply_gate(&Hadamard::new(0), &mut state, N);
+            b.iter(|| kernel::apply_gate(&gate, &mut state, N));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench over the extension subsystems: density-matrix gate
+//! application and noise channels, the stabilizer tableau, circuit
+//! synthesis (state preparation, uniformly controlled rotations), the
+//! peephole optimizer, and Trotter-step simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qclab_algorithms::state_preparation::prepare_state;
+use qclab_algorithms::trotter::{evolve, TrotterOrder};
+use qclab_core::observable::Observable;
+use qclab_core::optimize::optimize;
+use qclab_core::prelude::*;
+use qclab_core::sim::density::{DensityState, NoiseChannel};
+use qclab_core::synthesis::{ucr, UcrAxis};
+use qclab_core::StabilizerState;
+use qclab_math::scalar::c;
+use qclab_math::CVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_features(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("simulation_features");
+
+    group.bench_function("density_gate_8q", |b| {
+        let mut ds = DensityState::from_pure(&CVec::basis_state(1 << 8, 0));
+        let g = Hadamard::new(3);
+        b.iter(|| ds.apply_gate(&g));
+    });
+
+    group.bench_function("density_depolarizing_8q", |b| {
+        let mut ds = DensityState::from_pure(&CVec::basis_state(1 << 8, 0));
+        let ch = NoiseChannel::Depolarizing(0.01);
+        b.iter(|| ds.apply_channel(3, &ch));
+    });
+
+    group.bench_function("tableau_ghz_1024q", |b| {
+        b.iter(|| {
+            let mut s = StabilizerState::new(1024);
+            s.h(0);
+            for q in 1..1024 {
+                s.cnot(q - 1, q);
+            }
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(s.measure(0, &mut rng));
+        });
+    });
+
+    group.bench_function("state_prep_synthesis_8q", |b| {
+        let dim = 1 << 8;
+        let psi = CVec((0..dim).map(|i| c(1.0 + (i % 7) as f64, 0.2)).collect()).normalized();
+        b.iter(|| prepare_state(&psi).unwrap());
+    });
+
+    group.bench_function("ucr_gray_synthesis_k10", |b| {
+        let controls: Vec<usize> = (0..10).collect();
+        let angles: Vec<f64> = (0..1024).map(|i| (i as f64).sin()).collect();
+        b.iter(|| ucr(&controls, 10, UcrAxis::Y, &angles, 11));
+    });
+
+    group.bench_function("optimizer_trotter_circuit", |b| {
+        let h = Observable::ising_chain(6, 1.0, 0.7);
+        let circuit = evolve(&h, 1.0, 4, TrotterOrder::Second);
+        b.iter(|| optimize(&circuit));
+    });
+
+    group.bench_function("trotter_sim_10q", |b| {
+        let h = Observable::heisenberg_xxz(10, 1.0, 0.5);
+        let circuit = evolve(&h, 0.5, 2, TrotterOrder::First);
+        let init = CVec::basis_state(1 << 10, 0b0101010101);
+        b.iter(|| circuit.simulate(&init).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_features
+}
+criterion_main!(benches);

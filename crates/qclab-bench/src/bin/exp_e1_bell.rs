@@ -1,0 +1,40 @@
+//! Experiment E1 — paper Secs. 2–3: construct circuit (1), draw it, and
+//! simulate from |00>, reproducing results {'00','11'} at 0.5 each.
+
+use qclab_algorithms::bell_circuit;
+use qclab_bench::Table;
+use qclab_math::scalar::format_matlab;
+
+fn main() {
+    let circuit = bell_circuit();
+    println!("Circuit (1) of the paper:\n");
+    println!("{}", qclab_draw::draw_circuit(&circuit));
+
+    let simulation = circuit.simulate_bitstring("00").unwrap();
+
+    let mut t = Table::new(
+        "E1: simulate('00') on circuit (1)",
+        &["result", "probability", "state (nonzero amplitudes)"],
+    );
+    for b in simulation.branches() {
+        let amps: Vec<String> = b
+            .state()
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| z.norm() > 1e-12)
+            .map(|(i, z)| format!("|{}⟩: {}", qclab_math::bits::index_to_bitstring(i, 2), format_matlab(*z, 4)))
+            .collect();
+        t.row(&[
+            format!("'{}'", b.result()),
+            format!("{:.4}", b.probability()),
+            amps.join(", "),
+        ]);
+    }
+    t.emit("e1_bell");
+
+    // paper check
+    assert_eq!(simulation.results(), &["00", "11"]);
+    assert!((simulation.probabilities()[0] - 0.5).abs() < 1e-12);
+    assert!((simulation.probabilities()[1] - 0.5).abs() < 1e-12);
+    println!("paper check: results {{'00','11'}} with probabilities 0.5/0.5 ✓");
+}

@@ -1,0 +1,51 @@
+//! Experiment E3 — paper Sec. 5.1: quantum teleportation of
+//! |v> = (1/√2, i/√2) with mid-circuit measurements; four branches at
+//! probability 0.25 each, and qubit 2 receives |v> in every branch.
+
+use qclab_algorithms::teleportation::{teleport, teleportation_circuit};
+use qclab_bench::Table;
+use qclab_math::scalar::{c, cr, format_matlab};
+use qclab_math::CVec;
+
+fn main() {
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+
+    println!("Teleportation circuit (paper Sec. 5.1):\n");
+    println!("{}", qclab_draw::draw_circuit(&teleportation_circuit()));
+
+    let out = teleport(&v).unwrap();
+
+    let mut t = Table::new(
+        "E3: teleportation of |v> = (1/sqrt2, i/sqrt2)",
+        &["result", "probability", "received on q2", "matches |v>"],
+    );
+    for (b, received) in out.simulation.branches().iter().zip(&out.received) {
+        let recv = format!(
+            "({}, {})",
+            format_matlab(received[0], 4),
+            format_matlab(received[1], 4)
+        );
+        let ok = received.approx_eq_up_to_phase(&v, 1e-10);
+        t.row(&[
+            format!("'{}'", b.result()),
+            format!("{:.4}", b.probability()),
+            recv,
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.emit("e3_teleport");
+
+    assert_eq!(out.simulation.results(), &["00", "01", "10", "11"]);
+    for p in out.simulation.probabilities() {
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+    // the paper's printed '00'-branch state: (0.5+0.5i scaled) amplitudes
+    let s00 = out.simulation.states()[0];
+    assert!((s00[0].re - INV_SQRT2).abs() < 1e-12);
+    assert!((s00[1].im - INV_SQRT2).abs() < 1e-12);
+    for r in &out.received {
+        assert!(r.approx_eq_up_to_phase(&v, 1e-10));
+    }
+    println!("paper check: 4 branches @ 0.25, reduced q2 state = (0.7071, 0.7071i) ✓");
+}

@@ -1,0 +1,101 @@
+//! Experiment T1 — paper Sec. 6: the feature comparison against MATLAB's
+//! built-in quantum package. Each row is demonstrated live by running
+//! the corresponding code path, not just claimed.
+
+use qclab_bench::Table;
+use qclab_core::prelude::*;
+use qclab_math::scalar::cr;
+use qclab_math::CMat;
+
+fn main() {
+    let mut t = Table::new(
+        "T1: QCLAB feature matrix (paper Sec. 6), each row exercised live",
+        &["feature", "status", "demonstration"],
+    );
+
+    // open-source object-oriented architecture with custom gates
+    let hadamard_like = CMat::mat2(cr(0.6), cr(0.8), cr(0.8), cr(-0.6));
+    let custom = CustomGate::new("G", &[0], hadamard_like).unwrap();
+    let mut c = QCircuit::new(1);
+    c.push_back(custom);
+    t.row(&[
+        "custom user-defined gates".into(),
+        "yes".into(),
+        format!("CustomGate 'G' applied; unitary check enforced ({} gate)", c.nb_gates()),
+    ]);
+
+    // mid-circuit measurement
+    let mut c = QCircuit::new(2);
+    c.push_back(Hadamard::new(0));
+    c.push_back(Measurement::z(0));
+    c.push_back(CNOT::new(0, 1));
+    c.push_back(Measurement::z(1));
+    let sim = c.simulate_bitstring("00").unwrap();
+    t.row(&[
+        "mid-circuit measurements".into(),
+        "yes".into(),
+        format!("{} branches after measure-then-entangle", sim.branches().len()),
+    ]);
+
+    // partial measurement with reduced states
+    let mut c = QCircuit::new(2);
+    c.push_back(Hadamard::new(0));
+    c.push_back(CNOT::new(0, 1));
+    c.push_back(Measurement::z(0));
+    let sim = c.simulate_bitstring("00").unwrap();
+    let reduced = sim.reduced_states().unwrap();
+    t.row(&[
+        "partial measurement + reduced states".into(),
+        "yes".into(),
+        format!("{} reduced single-qubit states extracted", reduced.len()),
+    ]);
+
+    // measurements in arbitrary bases
+    let basis = qclab_core::Basis::X.change_matrix();
+    let m = Measurement::in_basis(0, "custom-x", basis).unwrap();
+    let mut c = QCircuit::new(1);
+    c.push_back(Hadamard::new(0));
+    c.push_back(m);
+    let sim = c.simulate_bitstring("0").unwrap();
+    t.row(&[
+        "X/Y/custom-basis measurements".into(),
+        "yes".into(),
+        format!("custom basis deterministic outcome '{}'", sim.results()[0]),
+    ]);
+
+    // LaTeX export
+    let mut c = QCircuit::new(2);
+    c.push_back(Hadamard::new(0));
+    c.push_back(CNOT::new(0, 1));
+    let tex = qclab_draw::to_tex(&c);
+    t.row(&[
+        "LaTeX (quantikz) circuit export".into(),
+        "yes".into(),
+        format!("{} bytes of compilable LaTeX", tex.len()),
+    ]);
+
+    // OpenQASM export
+    let qasm = qclab_qasm::to_qasm(&c).unwrap();
+    t.row(&[
+        "OpenQASM 2.0 export".into(),
+        "yes".into(),
+        format!("{} lines of QASM", qasm.lines().count()),
+    ]);
+
+    // QCLAB++-style high-performance backend
+    let opts = SimOptions {
+        backend: Backend::Kernel,
+        ..Default::default()
+    };
+    let ghz = qclab_algorithms::ghz_circuit(16);
+    let init = qclab_math::CVec::basis_state(1 << 16, 0);
+    let sim = ghz.simulate_with(&init, &opts).unwrap();
+    t.row(&[
+        "optimized kernel backend (QCLAB++ analog)".into(),
+        "yes".into(),
+        format!("16-qubit GHZ in-place simulation, norm {:.3}", sim.states()[0].norm()),
+    ]);
+
+    t.emit("t1_features");
+    println!("paper check: every Sec. 6 differentiator demonstrated ✓");
+}

@@ -1,0 +1,68 @@
+//! Figure F2 — parallel scaling of the kernel backend (the CPU stand-in
+//! for QCLAB++'s GPU acceleration): wall time of a full state-vector
+//! workload versus Rayon thread count.
+//!
+//! Shape to reproduce: runtime decreases with threads until memory
+//! bandwidth saturates — the qualitative curve of the QCLAB++ paper's
+//! device-scaling figures.
+
+use qclab_bench::{fmt_seconds, median_time, Table};
+use qclab_core::prelude::*;
+use qclab_core::sim::kernel;
+use qclab_math::CVec;
+
+fn workload(n: usize) -> Vec<Gate> {
+    // several dense layers so the run is long enough to measure cleanly
+    let mut gates = Vec::new();
+    for _ in 0..4 {
+        for q in 0..n {
+            gates.push(Hadamard::new(q));
+        }
+        for q in 1..n {
+            gates.push(CNOT::new(q - 1, q));
+        }
+    }
+    gates
+}
+
+fn main() {
+    let n = 22usize;
+    let gates = workload(n);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+
+    let mut t = Table::new(
+        &format!("F2: kernel backend thread scaling (n = {n}, {} gates)", gates.len()),
+        &["threads", "wall time", "speedup vs 1 thread"],
+    );
+
+    let mut base = None;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let mut state = CVec::basis_state(1 << n, 0);
+        let tm = pool.install(|| {
+            median_time(3, || {
+                for g in &gates {
+                    kernel::apply_gate(g, &mut state, n);
+                }
+            })
+        });
+        let baseline = *base.get_or_insert(tm);
+        t.row(&[
+            threads.to_string(),
+            fmt_seconds(tm),
+            format!("{:.2}x", baseline / tm),
+        ]);
+        threads *= 2;
+    }
+    t.emit("f2_thread_scaling");
+    println!(
+        "shape check: monotone speedup until memory bandwidth saturates\n\
+         (substitution for QCLAB++ GPU scaling — see DESIGN.md)"
+    );
+}

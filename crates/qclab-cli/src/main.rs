@@ -1,0 +1,238 @@
+//! `qclab` — command-line front end for the toolbox.
+//!
+//! ```text
+//! qclab draw     circuit.qasm              terminal rendering
+//! qclab tex      circuit.qasm              quantikz LaTeX to stdout
+//! qclab simulate circuit.qasm [BITSTRING]  branch results/probabilities
+//! qclab counts   circuit.qasm SHOTS [SEED] sampled outcome frequencies
+//! qclab stats    circuit.qasm              gate/depth/measurement counts
+//! ```
+//!
+//! Mirrors the workflow of the paper: construct (or import) a circuit,
+//! inspect it, simulate it, and sample repeated experiments.
+
+use qclab_core::{QCircuit, QclabError};
+use std::process::ExitCode;
+
+/// A parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Draw { path: String },
+    Tex { path: String },
+    Simulate { path: String, init: Option<String> },
+    Counts { path: String, shots: u64, seed: u64 },
+    Stats { path: String },
+}
+
+fn usage() -> String {
+    "usage:\n  qclab draw     <file.qasm>\n  qclab tex      <file.qasm>\n  \
+     qclab simulate <file.qasm> [initial-bitstring]\n  \
+     qclab counts   <file.qasm> <shots> [seed]\n  qclab stats    <file.qasm>"
+        .to_string()
+}
+
+/// Parses the argument vector (without the program name).
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    let path = args
+        .get(1)
+        .ok_or_else(|| format!("missing .qasm file\n{}", usage()))?
+        .clone();
+    match cmd.as_str() {
+        "draw" => Ok(Command::Draw { path }),
+        "tex" => Ok(Command::Tex { path }),
+        "simulate" => Ok(Command::Simulate {
+            path,
+            init: args.get(2).cloned(),
+        }),
+        "counts" => {
+            let shots = args
+                .get(2)
+                .ok_or_else(|| format!("missing shot count\n{}", usage()))?
+                .parse::<u64>()
+                .map_err(|_| "shots must be a non-negative integer".to_string())?;
+            let seed = match args.get(3) {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| "seed must be a non-negative integer".to_string())?,
+                None => 1,
+            };
+            Ok(Command::Counts { path, shots, seed })
+        }
+        "stats" => Ok(Command::Stats { path }),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn load(path: &str) -> Result<QCircuit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qclab_qasm::from_qasm(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn simulate(circuit: &QCircuit, init: Option<&str>) -> Result<String, QclabError> {
+    let zeros = "0".repeat(circuit.nb_qubits());
+    let bits = init.unwrap_or(&zeros);
+    let sim = circuit.simulate_bitstring(bits)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "simulated {} qubits from |{}>: {} branch(es)\n",
+        circuit.nb_qubits(),
+        bits,
+        sim.branches().len()
+    ));
+    for b in sim.branches() {
+        if b.result().is_empty() {
+            out.push_str(&format!("  (no measurements)  p = {:.6}\n", b.probability()));
+        } else {
+            out.push_str(&format!("  '{}'  p = {:.6}\n", b.result(), b.probability()));
+        }
+    }
+    Ok(out)
+}
+
+fn counts(circuit: &QCircuit, shots: u64, seed: u64) -> Result<String, QclabError> {
+    let zeros = "0".repeat(circuit.nb_qubits());
+    let sim = circuit.simulate_bitstring(&zeros)?;
+    let mut out = format!("counts over {shots} shots (seed {seed}):\n");
+    for (result, n) in sim.counts(shots, seed) {
+        out.push_str(&format!("  '{result}': {n}\n"));
+    }
+    Ok(out)
+}
+
+fn stats(circuit: &QCircuit) -> String {
+    format!(
+        "qubits:       {}\ngates:        {}\nmeasurements: {}\ndepth:        {}\n",
+        circuit.nb_qubits(),
+        circuit.nb_gates(),
+        circuit.nb_measurements(),
+        circuit.depth()
+    )
+}
+
+fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Draw { path } => Ok(qclab_draw::draw_circuit(&load(&path)?)),
+        Command::Tex { path } => Ok(qclab_draw::to_tex(&load(&path)?)),
+        Command::Simulate { path, init } => {
+            simulate(&load(&path)?, init.as_deref()).map_err(|e| e.to_string())
+        }
+        Command::Counts { path, shots, seed } => {
+            counts(&load(&path)?, shots, seed).map_err(|e| e.to_string())
+        }
+        Command::Stats { path } => Ok(stats(&load(&path)?)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_bell() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bell.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+             h q[0];\ncx q[0], q[1];\nmeasure q -> c;\n",
+        )
+        .unwrap();
+        path
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_all_commands() {
+        assert_eq!(
+            parse_args(&args(&["draw", "f.qasm"])).unwrap(),
+            Command::Draw {
+                path: "f.qasm".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["counts", "f.qasm", "100", "7"])).unwrap(),
+            Command::Counts {
+                path: "f.qasm".into(),
+                shots: 100,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["simulate", "f.qasm", "01"])).unwrap(),
+            Command::Simulate {
+                path: "f.qasm".into(),
+                init: Some("01".into())
+            }
+        );
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["bogus", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["counts", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["counts", "f.qasm", "x"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_draw_and_stats() {
+        let path = write_bell();
+        let p = path.to_str().unwrap().to_string();
+        let art = run(Command::Draw { path: p.clone() }).unwrap();
+        assert!(art.contains("┤ H ├"));
+        let st = run(Command::Stats { path: p }).unwrap();
+        assert!(st.contains("qubits:       2"));
+        assert!(st.contains("gates:        2"));
+    }
+
+    #[test]
+    fn end_to_end_simulate_and_counts() {
+        let path = write_bell();
+        let p = path.to_str().unwrap().to_string();
+        let sim = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+        })
+        .unwrap();
+        assert!(sim.contains("'00'"));
+        assert!(sim.contains("'11'"));
+        let cts = run(Command::Counts {
+            path: p,
+            shots: 100,
+            seed: 1,
+        })
+        .unwrap();
+        assert!(cts.contains("counts over 100 shots"));
+    }
+
+    #[test]
+    fn missing_file_and_bad_qasm_error_cleanly() {
+        assert!(run(Command::Draw {
+            path: "/nonexistent/x.qasm".into()
+        })
+        .is_err());
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.qasm");
+        std::fs::write(&bad, "qreg q[1]; frobnicate q[0];").unwrap();
+        let e = run(Command::Stats {
+            path: bad.to_str().unwrap().into(),
+        })
+        .unwrap_err();
+        assert!(e.contains("frobnicate"));
+    }
+}

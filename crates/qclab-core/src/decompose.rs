@@ -1,0 +1,462 @@
+//! Single-qubit and controlled-gate decompositions.
+//!
+//! QCLAB is the foundation for quantum compilers (F3C, FABLE — paper
+//! Sec. 1), which rely on elementary decompositions like the ones here:
+//!
+//! * [`zyz`] — the ZYZ (Euler-angle) factorization of any 2x2 unitary,
+//!   `U = e^{iα} RZ(β) RY(γ) RZ(δ)`,
+//! * [`controlled_to_basic`] — the standard "ABC" construction expressing
+//!   a controlled single-qubit gate over `{RZ, RY, CX, P}`.
+//!
+//! These also power the OpenQASM 2 exporter: controlled gates without a
+//! native QASM mnemonic are lowered through [`controlled_to_basic`].
+
+use crate::gates::Gate;
+use qclab_math::scalar::cis;
+use qclab_math::CMat;
+
+/// Euler angles of a 2x2 unitary: `U = e^{iα} RZ(β) RY(γ) RZ(δ)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zyz {
+    /// Global phase α.
+    pub alpha: f64,
+    /// First (leftmost) Z rotation angle β.
+    pub beta: f64,
+    /// Middle Y rotation angle γ.
+    pub gamma: f64,
+    /// Last (rightmost) Z rotation angle δ.
+    pub delta: f64,
+}
+
+/// Computes the ZYZ decomposition of a 2x2 unitary.
+///
+/// Panics if `u` is not 2x2; accuracy degrades gracefully for
+/// nearly-unitary inputs (no unitarity check is enforced here — callers
+/// validating user input should check first).
+pub fn zyz(u: &CMat) -> Zyz {
+    assert!(u.rows() == 2 && u.cols() == 2, "zyz requires a 2x2 matrix");
+
+    // pull out the global phase: det U = e^{2iα}
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let alpha = det.im.atan2(det.re) / 2.0;
+    let phase = cis(-alpha);
+    let v00 = u[(0, 0)] * phase;
+    let v10 = u[(1, 0)] * phase;
+
+    // V = RZ(β) RY(γ) RZ(δ) has
+    //   V00 = e^{-i(β+δ)/2} cos(γ/2),  V10 = e^{ i(β-δ)/2} sin(γ/2)
+    let gamma = 2.0 * v10.norm().atan2(v00.norm());
+
+    const EPS: f64 = 1e-12;
+    let (beta, delta) = if v00.norm() < EPS {
+        // cos(γ/2) = 0: only β−δ is determined; pick δ = 0
+        (2.0 * v10.im.atan2(v10.re), 0.0)
+    } else if v10.norm() < EPS {
+        // sin(γ/2) = 0: only β+δ is determined; pick δ = 0
+        (-2.0 * v00.im.atan2(v00.re), 0.0)
+    } else {
+        let phi00 = v00.im.atan2(v00.re); // -(β+δ)/2
+        let phi10 = v10.im.atan2(v10.re); // (β-δ)/2
+        (phi10 - phi00, -phi00 - phi10)
+    };
+
+    Zyz {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Reconstructs the unitary from its ZYZ angles (inverse of [`zyz`]).
+pub fn zyz_matrix(angles: &Zyz) -> CMat {
+    use crate::gates::matrices::{rotation_y, rotation_z};
+    rotation_z(angles.beta)
+        .matmul(&rotation_y(angles.gamma))
+        .matmul(&rotation_z(angles.delta))
+        .scale(cis(angles.alpha))
+}
+
+/// Decomposes a singly-controlled single-qubit gate into
+/// `{RZ, RY, CX, P}` using the ABC construction (Nielsen & Chuang,
+/// Sec. 4.3): with `U = e^{iα} RZ(β) RY(γ) RZ(δ)`,
+///
+/// ```text
+/// C-U  =  (P(α) on control) · A · CX · B · CX · C
+/// A = RZ(β) RY(γ/2),  B = RY(-γ/2) RZ(-(δ+β)/2),  C = RZ((δ-β)/2)
+/// ```
+///
+/// The returned gates are in **circuit order** (apply left to right).
+/// `control_state = 0` is handled by conjugating the control with X.
+pub fn controlled_to_basic(
+    control: usize,
+    control_state: u8,
+    target: usize,
+    u: &CMat,
+) -> Vec<Gate> {
+    let a = zyz(u);
+    let mut seq: Vec<Gate> = Vec::with_capacity(10);
+
+    if control_state == 0 {
+        seq.push(Gate::PauliX(control));
+    }
+
+    // circuit order: C, CX, B, CX, A, phase — rightmost matrix factor first
+    seq.push(Gate::RotationZ {
+        qubit: target,
+        theta: (a.delta - a.beta) / 2.0,
+    });
+    seq.push(Gate::PauliX(target).controlled(control, 1));
+    seq.push(Gate::RotationZ {
+        qubit: target,
+        theta: -(a.delta + a.beta) / 2.0,
+    });
+    seq.push(Gate::RotationY {
+        qubit: target,
+        theta: -a.gamma / 2.0,
+    });
+    seq.push(Gate::PauliX(target).controlled(control, 1));
+    seq.push(Gate::RotationY {
+        qubit: target,
+        theta: a.gamma / 2.0,
+    });
+    seq.push(Gate::RotationZ {
+        qubit: target,
+        theta: a.beta,
+    });
+    seq.push(Gate::Phase {
+        qubit: control,
+        theta: a.alpha,
+    });
+
+    if control_state == 0 {
+        seq.push(Gate::PauliX(control));
+    }
+    seq
+}
+
+/// Principal square root of a 2x2 unitary.
+///
+/// Writes `U = e^{iα}(cos θ·I + i sin θ·n·σ)` and halves both angles:
+/// `√U = e^{iα/2}(cos(θ/2)·I + i sin(θ/2)·n·σ)`. Used by the Barenco
+/// recursion in [`multi_controlled_to_singly_controlled`].
+pub fn sqrt_unitary_2x2(u: &CMat) -> CMat {
+    assert!(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
+    use qclab_math::scalar::cr;
+
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let alpha = det.im.atan2(det.re) / 2.0;
+    let v = u.scale(cis(-alpha)); // now in SU(2)
+
+    // tr V = 2 cos θ (real for SU(2))
+    let cos_t = (v.trace().re / 2.0).clamp(-1.0, 1.0);
+    let theta = cos_t.acos();
+    let sin_t = theta.sin();
+
+    let w = if sin_t.abs() < 1e-12 {
+        if cos_t > 0.0 {
+            // V = I
+            CMat::identity(2)
+        } else {
+            // V = -I: pick n = z, so √V = i·σ_z
+            CMat::diag(&[qclab_math::scalar::c(0.0, 1.0), qclab_math::scalar::c(0.0, -1.0)])
+        }
+    } else {
+        // n·σ = (V - cos θ·I) / (i sin θ)
+        let i_sin = qclab_math::scalar::c(0.0, sin_t);
+        let nsigma = CMat::from_fn(2, 2, |r, c| {
+            let diag = if r == c { cr(cos_t) } else { cr(0.0) };
+            (v[(r, c)] - diag) / i_sin
+        });
+        let (half_c, half_s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        &CMat::identity(2).scale(cr(half_c))
+            + &nsigma.scale(qclab_math::scalar::c(0.0, half_s))
+    };
+    w.scale(cis(alpha / 2.0))
+}
+
+/// Decomposes a multi-controlled single-qubit gate into gates with **at
+/// most one control** (Barenco et al., Lemma 7.5), without ancillas:
+///
+/// ```text
+/// C^k(U) = C_{ck}(V) · C^{k-1}(X on ck) · C_{ck}(V†)
+///        · C^{k-1}(X on ck) · C^{k-1}(V on t),     V = √U
+/// ```
+///
+/// applied recursively. Open controls (state 0) are handled by X
+/// conjugation at the top level. Gate count grows as ~3^k, which is the
+/// price of avoiding ancilla qubits; fine for the small control counts
+/// circuits use in practice.
+pub fn multi_controlled_to_singly_controlled(
+    controls: &[usize],
+    control_states: &[u8],
+    target: usize,
+    u: &CMat,
+) -> Vec<Gate> {
+    assert_eq!(controls.len(), control_states.len());
+    let mut out = Vec::new();
+    let opens: Vec<usize> = controls
+        .iter()
+        .zip(control_states.iter())
+        .filter(|&(_, &s)| s == 0)
+        .map(|(&q, _)| q)
+        .collect();
+    for &q in &opens {
+        out.push(Gate::PauliX(q));
+    }
+    recurse_mcu(controls, target, u, &mut out);
+    for &q in &opens {
+        out.push(Gate::PauliX(q));
+    }
+    out
+}
+
+fn single_controlled(control: usize, target: usize, u: &CMat) -> Gate {
+    // keep CX recognizable for downstream consumers (QASM, drawing)
+    if u.approx_eq(&crate::gates::matrices::pauli_x(), 1e-12) {
+        Gate::PauliX(target).controlled(control, 1)
+    } else {
+        Gate::Custom {
+            name: "U".into(),
+            qubits: vec![target],
+            matrix: u.clone(),
+        }
+        .controlled(control, 1)
+    }
+}
+
+fn recurse_mcu(controls: &[usize], target: usize, u: &CMat, out: &mut Vec<Gate>) {
+    match controls {
+        [] => out.push(Gate::Custom {
+            name: "U".into(),
+            qubits: vec![target],
+            matrix: u.clone(),
+        }),
+        [c] => out.push(single_controlled(*c, target, u)),
+        [rest @ .., ck] => {
+            let v = sqrt_unitary_2x2(u);
+            let x = crate::gates::matrices::pauli_x();
+            out.push(single_controlled(*ck, target, &v));
+            recurse_mcu(rest, *ck, &x, out);
+            out.push(single_controlled(*ck, target, &v.dagger()));
+            recurse_mcu(rest, *ck, &x, out);
+            recurse_mcu(rest, target, &v, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::QCircuit;
+    use crate::gates::matrices;
+    use qclab_math::scalar::DEFAULT_TOL;
+
+    fn random_unitaries() -> Vec<CMat> {
+        let mut out = vec![
+            matrices::identity(),
+            matrices::hadamard(),
+            matrices::pauli_x(),
+            matrices::pauli_y(),
+            matrices::pauli_z(),
+            matrices::s_gate(),
+            matrices::t_gate(),
+            matrices::sx_gate(),
+        ];
+        // generic unitaries from rotation products with a phase
+        for (i, &(a, b, cc)) in [
+            (0.3, 1.2, -0.7),
+            (2.9, 0.1, 0.4),
+            (-1.4, 2.2, 3.0),
+            (0.0, 0.5, 0.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let m = matrices::rotation_z(a)
+                .matmul(&matrices::rotation_y(b))
+                .matmul(&matrices::rotation_x(cc))
+                .scale(cis(0.3 * i as f64));
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn zyz_reconstructs_every_test_unitary() {
+        for u in random_unitaries() {
+            let angles = zyz(&u);
+            let rec = zyz_matrix(&angles);
+            assert!(
+                rec.approx_eq(&u, 1e-10),
+                "ZYZ failed to reconstruct\n{u:?}\ngot\n{rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_of_diagonal_gate_has_zero_gamma() {
+        let angles = zyz(&matrices::s_gate());
+        assert!(angles.gamma.abs() < 1e-12);
+    }
+
+    #[test]
+    fn zyz_of_antidiagonal_gate_has_pi_gamma() {
+        let angles = zyz(&matrices::pauli_x());
+        assert!((angles.gamma - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_decomposition_matches_original() {
+        for u in random_unitaries() {
+            for (control, target) in [(0usize, 1usize), (1, 0)] {
+                let direct = {
+                    let mut c = QCircuit::new(2);
+                    c.push_back(Gate::Custom {
+                        name: "U".into(),
+                        qubits: vec![target],
+                        matrix: u.clone(),
+                    }
+                    .controlled(control, 1));
+                    c.to_matrix().unwrap()
+                };
+                let decomposed = {
+                    let mut c = QCircuit::new(2);
+                    for g in controlled_to_basic(control, 1, target, &u) {
+                        c.push_back(g);
+                    }
+                    c.to_matrix().unwrap()
+                };
+                assert!(
+                    decomposed.approx_eq(&direct, 1e-10),
+                    "ABC decomposition mismatch for control {control}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_decomposition_with_open_control() {
+        let u = matrices::hadamard();
+        let direct = {
+            let mut c = QCircuit::new(2);
+            c.push_back(Gate::Hadamard(1).controlled(0, 0));
+            c.to_matrix().unwrap()
+        };
+        let decomposed = {
+            let mut c = QCircuit::new(2);
+            for g in controlled_to_basic(0, 0, 1, &u) {
+                c.push_back(g);
+            }
+            c.to_matrix().unwrap()
+        };
+        assert!(decomposed.approx_eq(&direct, 1e-10));
+    }
+
+    #[test]
+    fn sqrt_unitary_squares_back() {
+        for u in random_unitaries() {
+            let s = sqrt_unitary_2x2(&u);
+            assert!(s.is_unitary(1e-10), "sqrt not unitary");
+            assert!(
+                s.matmul(&s).approx_eq(&u, 1e-10),
+                "sqrt² != U for\n{u:?}\nsqrt was\n{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_of_x_is_sx_up_to_phase() {
+        let s = sqrt_unitary_2x2(&matrices::pauli_x());
+        assert!(s.matmul(&s).approx_eq(&matrices::pauli_x(), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_of_minus_identity() {
+        let m = CMat::identity(2).scale(qclab_math::scalar::cr(-1.0));
+        let s = sqrt_unitary_2x2(&m);
+        assert!(s.matmul(&s).approx_eq(&m, 1e-12));
+    }
+
+    fn circuit_matrix(n: usize, gates: &[Gate]) -> CMat {
+        let mut c = QCircuit::new(n);
+        for g in gates {
+            c.push_back(g.clone());
+        }
+        c.to_matrix().unwrap()
+    }
+
+    #[test]
+    fn barenco_recursion_matches_direct_mcx() {
+        // 2, 3 and 4 controls, mixed control states
+        let cases: Vec<(Vec<usize>, Vec<u8>, usize)> = vec![
+            (vec![0, 1], vec![1, 1], 2),
+            (vec![0, 1], vec![0, 1], 2),
+            (vec![0, 1, 2], vec![1, 1, 1], 3),
+            (vec![0, 2, 3], vec![1, 0, 1], 1),
+            (vec![0, 1, 2, 3], vec![1, 1, 0, 1], 4),
+        ];
+        for (controls, states, target) in cases {
+            let n = controls.len() + 1 + target.saturating_sub(controls.len());
+            let n = n.max(controls.iter().copied().max().unwrap() + 1).max(target + 1);
+            let direct = circuit_matrix(
+                n,
+                &[Gate::Controlled {
+                    controls: controls.clone(),
+                    control_states: states.clone(),
+                    target: Box::new(Gate::PauliX(target)),
+                }],
+            );
+            let lowered = multi_controlled_to_singly_controlled(
+                &controls,
+                &states,
+                target,
+                &matrices::pauli_x(),
+            );
+            // every lowered gate has at most one control
+            for g in &lowered {
+                assert!(g.controls().len() <= 1, "not singly controlled: {g}");
+            }
+            let got = circuit_matrix(n, &lowered);
+            assert!(
+                got.approx_eq(&direct, 1e-9),
+                "Barenco mismatch for controls {controls:?} states {states:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn barenco_recursion_for_general_unitary() {
+        let u = matrices::u3(0.7, -0.4, 1.2);
+        let direct = circuit_matrix(
+            3,
+            &[Gate::Custom {
+                name: "U".into(),
+                qubits: vec![2],
+                matrix: u.clone(),
+            }
+            .controlled(0, 1)
+            .controlled(1, 1)],
+        );
+        let lowered = multi_controlled_to_singly_controlled(&[0, 1], &[1, 1], 2, &u);
+        let got = circuit_matrix(3, &lowered);
+        assert!(got.approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn decomposition_gates_are_all_basic() {
+        for g in controlled_to_basic(0, 1, 1, &matrices::sx_gate()) {
+            match &g {
+                Gate::RotationZ { .. }
+                | Gate::RotationY { .. }
+                | Gate::Phase { .. }
+                | Gate::PauliX(_) => {}
+                Gate::Controlled { target, .. } => {
+                    assert!(matches!(**target, Gate::PauliX(_)), "non-CX control");
+                }
+                other => panic!("unexpected gate {other}"),
+            }
+            assert!(g.target_matrix().is_unitary(DEFAULT_TOL));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared across the qclab workspace.
+
+use std::fmt;
+
+/// Errors reported by circuit construction, simulation, and I/O.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QclabError {
+    /// A gate or measurement references a qubit outside the register.
+    QubitOutOfRange { qubit: usize, nb_qubits: usize },
+    /// A gate references the same qubit more than once.
+    DuplicateQubits { qubits: Vec<usize> },
+    /// A matrix that must be unitary is not (names the offending gate).
+    NonUnitary(String),
+    /// A matrix or vector has the wrong dimension.
+    DimensionMismatch { expected: usize, actual: usize },
+    /// An initial-state bitstring contains invalid characters or has the
+    /// wrong length.
+    InvalidBitstring(String),
+    /// A controlled-gate specification is malformed.
+    InvalidControlSpec(String),
+    /// A gate specification (mnemonic, arity) is malformed.
+    InvalidGateSpec(String),
+    /// An operation requiring a purely unitary circuit encountered a
+    /// measurement or reset (e.g. `to_matrix`, `adjoint`).
+    NonUnitaryCircuit(String),
+    /// A sub-circuit does not fit in its parent register.
+    SubCircuitOutOfRange {
+        offset: usize,
+        sub_qubits: usize,
+        nb_qubits: usize,
+    },
+    /// The initial state is not normalized.
+    NotNormalized { norm: f64 },
+    /// OpenQASM parse error with a line number.
+    QasmParse { line: usize, message: String },
+    /// Requested data is unavailable (e.g. reduced states when every qubit
+    /// was measured).
+    Unavailable(String),
+}
+
+impl fmt::Display for QclabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QclabError::QubitOutOfRange { qubit, nb_qubits } => {
+                write!(f, "qubit {qubit} out of range for a {nb_qubits}-qubit register")
+            }
+            QclabError::DuplicateQubits { qubits } => {
+                write!(f, "gate references duplicate qubits: {qubits:?}")
+            }
+            QclabError::NonUnitary(name) => write!(f, "matrix of gate '{name}' is not unitary"),
+            QclabError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            QclabError::InvalidBitstring(s) => write!(f, "invalid bitstring '{s}'"),
+            QclabError::InvalidControlSpec(msg) => write!(f, "invalid control spec: {msg}"),
+            QclabError::InvalidGateSpec(msg) => write!(f, "invalid gate spec: {msg}"),
+            QclabError::NonUnitaryCircuit(op) => {
+                write!(f, "{op} requires a circuit without measurements or resets")
+            }
+            QclabError::SubCircuitOutOfRange {
+                offset,
+                sub_qubits,
+                nb_qubits,
+            } => write!(
+                f,
+                "sub-circuit of {sub_qubits} qubits at offset {offset} exceeds the \
+                 {nb_qubits}-qubit register"
+            ),
+            QclabError::NotNormalized { norm } => {
+                write!(f, "initial state is not normalized (norm = {norm})")
+            }
+            QclabError::QasmParse { line, message } => {
+                write!(f, "QASM parse error at line {line}: {message}")
+            }
+            QclabError::Unavailable(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QclabError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QclabError::QubitOutOfRange {
+            qubit: 5,
+            nb_qubits: 3,
+        };
+        assert!(e.to_string().contains("qubit 5"));
+        assert!(e.to_string().contains("3-qubit"));
+
+        let e = QclabError::QasmParse {
+            line: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&QclabError::NonUnitary("G".into()));
+    }
+}

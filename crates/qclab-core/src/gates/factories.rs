@@ -1,0 +1,577 @@
+//! MATLAB-style gate constructors.
+//!
+//! QCLAB code like `qclab.qgates.Hadamard(0)` or
+//! `qclab.qgates.MCX([3,4], 2, [0,1])` translates one-to-one to
+//! `Hadamard::new(0)` and `MCX::new(&[3, 4], 2, &[0, 1])`. Every factory
+//! returns a plain [`Gate`] value ready to be pushed onto a circuit.
+
+#![allow(clippy::new_ret_no_self)] // factories mirror MATLAB constructors
+
+use super::Gate;
+#[cfg(test)]
+use super::matrices;
+use crate::error::QclabError;
+use qclab_math::CMat;
+
+macro_rules! simple_1q_factory {
+    ($(#[$doc:meta])* $name:ident => $variant:ident) => {
+        $(#[$doc])*
+        pub struct $name;
+
+        impl $name {
+            /// Creates the gate acting on `qubit`.
+            pub fn new(qubit: usize) -> Gate {
+                Gate::$variant(qubit)
+            }
+        }
+    };
+}
+
+simple_1q_factory!(
+    /// Single-qubit identity gate factory.
+    IdentityGate => Identity
+);
+simple_1q_factory!(
+    /// Hadamard gate factory (`qclab.qgates.Hadamard`).
+    Hadamard => Hadamard
+);
+simple_1q_factory!(
+    /// Pauli-X gate factory (`qclab.qgates.PauliX`).
+    PauliX => PauliX
+);
+simple_1q_factory!(
+    /// Pauli-Y gate factory (`qclab.qgates.PauliY`).
+    PauliY => PauliY
+);
+simple_1q_factory!(
+    /// Pauli-Z gate factory (`qclab.qgates.PauliZ`).
+    PauliZ => PauliZ
+);
+simple_1q_factory!(
+    /// S (phase) gate factory.
+    SGate => S
+);
+simple_1q_factory!(
+    /// S† gate factory.
+    SdgGate => Sdg
+);
+simple_1q_factory!(
+    /// T gate factory.
+    TGate => T
+);
+simple_1q_factory!(
+    /// T† gate factory.
+    TdgGate => Tdg
+);
+simple_1q_factory!(
+    /// √X gate factory.
+    SXGate => SX
+);
+simple_1q_factory!(
+    /// (√X)† gate factory.
+    SXdgGate => SXdg
+);
+
+/// X-rotation gate factory (`qclab.qgates.RotationX`).
+pub struct RotationX;
+impl RotationX {
+    /// `RX(theta)` on `qubit`.
+    pub fn new(qubit: usize, theta: f64) -> Gate {
+        Gate::RotationX { qubit, theta }
+    }
+}
+
+/// Y-rotation gate factory (`qclab.qgates.RotationY`).
+pub struct RotationY;
+impl RotationY {
+    /// `RY(theta)` on `qubit`.
+    pub fn new(qubit: usize, theta: f64) -> Gate {
+        Gate::RotationY { qubit, theta }
+    }
+}
+
+/// Z-rotation gate factory (`qclab.qgates.RotationZ`).
+pub struct RotationZ;
+impl RotationZ {
+    /// `RZ(theta)` on `qubit`.
+    pub fn new(qubit: usize, theta: f64) -> Gate {
+        Gate::RotationZ { qubit, theta }
+    }
+}
+
+/// Phase gate factory: `P(theta) = diag(1, e^{i·theta})`.
+pub struct PhaseGate;
+impl PhaseGate {
+    /// `P(theta)` on `qubit`.
+    pub fn new(qubit: usize, theta: f64) -> Gate {
+        Gate::Phase { qubit, theta }
+    }
+}
+
+/// QASM `u2` gate factory.
+pub struct U2Gate;
+impl U2Gate {
+    /// `U2(phi, lambda)` on `qubit`.
+    pub fn new(qubit: usize, phi: f64, lambda: f64) -> Gate {
+        Gate::U2 { qubit, phi, lambda }
+    }
+}
+
+/// QASM `u3` gate factory — the general single-qubit unitary.
+pub struct U3Gate;
+impl U3Gate {
+    /// `U3(theta, phi, lambda)` on `qubit`.
+    pub fn new(qubit: usize, theta: f64, phi: f64, lambda: f64) -> Gate {
+        Gate::U3 {
+            qubit,
+            theta,
+            phi,
+            lambda,
+        }
+    }
+}
+
+/// SWAP gate factory.
+pub struct SwapGate;
+impl SwapGate {
+    /// SWAP of `a` and `b`.
+    pub fn new(a: usize, b: usize) -> Gate {
+        Gate::Swap(a, b)
+    }
+}
+
+/// iSWAP gate factory.
+pub struct ISwapGate;
+impl ISwapGate {
+    /// iSWAP of `a` and `b`.
+    pub fn new(a: usize, b: usize) -> Gate {
+        Gate::ISwap(a, b)
+    }
+}
+
+/// XX-rotation gate factory (`qclab.qgates.RotationXX`).
+pub struct RotationXX;
+impl RotationXX {
+    /// `RXX(theta)` on qubits `a`, `b`.
+    pub fn new(a: usize, b: usize, theta: f64) -> Gate {
+        Gate::RotationXX {
+            qubits: [a, b],
+            theta,
+        }
+    }
+}
+
+/// YY-rotation gate factory (`qclab.qgates.RotationYY`).
+pub struct RotationYY;
+impl RotationYY {
+    /// `RYY(theta)` on qubits `a`, `b`.
+    pub fn new(a: usize, b: usize, theta: f64) -> Gate {
+        Gate::RotationYY {
+            qubits: [a, b],
+            theta,
+        }
+    }
+}
+
+/// ZZ-rotation gate factory (`qclab.qgates.RotationZZ`).
+pub struct RotationZZ;
+impl RotationZZ {
+    /// `RZZ(theta)` on qubits `a`, `b`.
+    pub fn new(a: usize, b: usize, theta: f64) -> Gate {
+        Gate::RotationZZ {
+            qubits: [a, b],
+            theta,
+        }
+    }
+}
+
+/// Controlled-NOT factory (`qclab.qgates.CNOT`).
+pub struct CNOT;
+impl CNOT {
+    /// CNOT with `control` and `target` (control state 1).
+    pub fn new(control: usize, target: usize) -> Gate {
+        Gate::PauliX(target).controlled(control, 1)
+    }
+
+    /// CNOT with an explicit control state (0 = open dot).
+    pub fn with_control_state(control: usize, target: usize, state: u8) -> Gate {
+        Gate::PauliX(target).controlled(control, state)
+    }
+}
+
+/// Alias for [`CNOT`] following the QASM `cx` spelling.
+pub type CX = CNOT;
+
+/// Controlled-Y factory.
+pub struct CY;
+impl CY {
+    /// CY with `control` and `target`.
+    pub fn new(control: usize, target: usize) -> Gate {
+        Gate::PauliY(target).controlled(control, 1)
+    }
+}
+
+/// Controlled-Z factory (`qclab.qgates.CZ`).
+pub struct CZ;
+impl CZ {
+    /// CZ with `control` and `target`.
+    pub fn new(control: usize, target: usize) -> Gate {
+        Gate::PauliZ(target).controlled(control, 1)
+    }
+}
+
+/// Controlled-Hadamard factory.
+pub struct CH;
+impl CH {
+    /// CH with `control` and `target`.
+    pub fn new(control: usize, target: usize) -> Gate {
+        Gate::Hadamard(target).controlled(control, 1)
+    }
+}
+
+/// Controlled X-rotation factory (`qclab.qgates.CRotationX`).
+pub struct CRX;
+impl CRX {
+    /// `CRX(theta)` with `control` and `target`.
+    pub fn new(control: usize, target: usize, theta: f64) -> Gate {
+        RotationX::new(target, theta).controlled(control, 1)
+    }
+}
+
+/// Controlled Y-rotation factory (`qclab.qgates.CRotationY`).
+pub struct CRY;
+impl CRY {
+    /// `CRY(theta)` with `control` and `target`.
+    pub fn new(control: usize, target: usize, theta: f64) -> Gate {
+        RotationY::new(target, theta).controlled(control, 1)
+    }
+}
+
+/// Controlled Z-rotation factory (`qclab.qgates.CRotationZ`).
+pub struct CRZ;
+impl CRZ {
+    /// `CRZ(theta)` with `control` and `target`.
+    pub fn new(control: usize, target: usize, theta: f64) -> Gate {
+        RotationZ::new(target, theta).controlled(control, 1)
+    }
+}
+
+/// Controlled phase factory (`qclab.qgates.CPhase`).
+pub struct CPhase;
+impl CPhase {
+    /// `CP(theta)` with `control` and `target`.
+    pub fn new(control: usize, target: usize, theta: f64) -> Gate {
+        PhaseGate::new(target, theta).controlled(control, 1)
+    }
+}
+
+/// Controlled-U factory: controls an arbitrary single-qubit unitary.
+pub struct CU;
+impl CU {
+    /// Controls `gate` (which must be single-target) on `control`.
+    pub fn new(control: usize, gate: Gate) -> Gate {
+        gate.controlled(control, 1)
+    }
+}
+
+/// Toffoli (CCX) factory.
+pub struct Toffoli;
+impl Toffoli {
+    /// Toffoli with controls `c0`, `c1` and target `t`.
+    pub fn new(c0: usize, c1: usize, t: usize) -> Gate {
+        Gate::PauliX(t).controlled(c0, 1).controlled(c1, 1)
+    }
+}
+
+/// Multi-controlled X factory (`qclab.qgates.MCX`).
+///
+/// The argument order follows the paper: controls, target, control states
+/// — `MCX([3,4], 2, [0,1])` becomes `MCX::new(&[3, 4], 2, &[0, 1])`.
+pub struct MCX;
+impl MCX {
+    /// Multi-controlled X on `target` with the given `controls` and
+    /// per-control `states`.
+    pub fn new(controls: &[usize], target: usize, states: &[u8]) -> Gate {
+        assert_eq!(
+            controls.len(),
+            states.len(),
+            "MCX: controls and control states must have equal length"
+        );
+        Gate::Controlled {
+            controls: controls.to_vec(),
+            control_states: states.to_vec(),
+            target: Box::new(Gate::PauliX(target)),
+        }
+    }
+}
+
+/// Multi-controlled Z factory (`qclab.qgates.MCZ`).
+pub struct MCZ;
+impl MCZ {
+    /// Multi-controlled Z on `target` with the given `controls` and
+    /// per-control `states`.
+    pub fn new(controls: &[usize], target: usize, states: &[u8]) -> Gate {
+        assert_eq!(
+            controls.len(),
+            states.len(),
+            "MCZ: controls and control states must have equal length"
+        );
+        Gate::Controlled {
+            controls: controls.to_vec(),
+            control_states: states.to_vec(),
+            target: Box::new(Gate::PauliZ(target)),
+        }
+    }
+}
+
+/// Multi-controlled phase factory.
+pub struct MCPhase;
+impl MCPhase {
+    /// Multi-controlled `P(theta)` on `target`.
+    pub fn new(controls: &[usize], target: usize, states: &[u8], theta: f64) -> Gate {
+        assert_eq!(
+            controls.len(),
+            states.len(),
+            "MCPhase: controls and control states must have equal length"
+        );
+        Gate::Controlled {
+            controls: controls.to_vec(),
+            control_states: states.to_vec(),
+            target: Box::new(Gate::Phase {
+                qubit: target,
+                theta,
+            }),
+        }
+    }
+}
+
+/// User-defined gate factory: an explicit unitary on a set of qubits.
+///
+/// This is the hook the paper highlights for the object-oriented
+/// architecture — "enables users to implement custom quantum gates".
+pub struct CustomGate;
+impl CustomGate {
+    /// Creates a gate named `name` applying `matrix` to `qubits` (first
+    /// listed qubit = most significant sub-index bit). Fails if the matrix
+    /// is not unitary or its dimension does not match the qubit count.
+    pub fn new(name: &str, qubits: &[usize], matrix: CMat) -> Result<Gate, QclabError> {
+        let dim = 1usize << qubits.len();
+        if matrix.rows() != dim || matrix.cols() != dim {
+            return Err(QclabError::DimensionMismatch {
+                expected: dim,
+                actual: matrix.rows(),
+            });
+        }
+        if !matrix.is_unitary(1e-10) {
+            return Err(QclabError::NonUnitary(name.to_string()));
+        }
+        Ok(Gate::Custom {
+            name: name.to_string(),
+            qubits: qubits.to_vec(),
+            matrix,
+        })
+    }
+}
+
+/// Returns the `qelib1`-style gate table used by the QASM importer: maps a
+/// lowercase mnemonic plus parameter list onto a [`Gate`] constructor.
+pub fn gate_from_mnemonic(
+    mnemonic: &str,
+    params: &[f64],
+    qubits: &[usize],
+) -> Result<Gate, QclabError> {
+    let need =
+        |n_params: usize, n_qubits: usize| -> Result<(), QclabError> {
+            if params.len() != n_params || qubits.len() != n_qubits {
+                Err(QclabError::InvalidGateSpec(format!(
+                    "{mnemonic} expects {n_params} params / {n_qubits} qubits, got {} / {}",
+                    params.len(),
+                    qubits.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+    let g = match mnemonic {
+        "id" => {
+            need(0, 1)?;
+            Gate::Identity(qubits[0])
+        }
+        "h" => {
+            need(0, 1)?;
+            Gate::Hadamard(qubits[0])
+        }
+        "x" => {
+            need(0, 1)?;
+            Gate::PauliX(qubits[0])
+        }
+        "y" => {
+            need(0, 1)?;
+            Gate::PauliY(qubits[0])
+        }
+        "z" => {
+            need(0, 1)?;
+            Gate::PauliZ(qubits[0])
+        }
+        "s" => {
+            need(0, 1)?;
+            Gate::S(qubits[0])
+        }
+        "sdg" => {
+            need(0, 1)?;
+            Gate::Sdg(qubits[0])
+        }
+        "t" => {
+            need(0, 1)?;
+            Gate::T(qubits[0])
+        }
+        "tdg" => {
+            need(0, 1)?;
+            Gate::Tdg(qubits[0])
+        }
+        "sx" => {
+            need(0, 1)?;
+            Gate::SX(qubits[0])
+        }
+        "sxdg" => {
+            need(0, 1)?;
+            Gate::SXdg(qubits[0])
+        }
+        "rx" => {
+            need(1, 1)?;
+            RotationX::new(qubits[0], params[0])
+        }
+        "ry" => {
+            need(1, 1)?;
+            RotationY::new(qubits[0], params[0])
+        }
+        "rz" => {
+            need(1, 1)?;
+            RotationZ::new(qubits[0], params[0])
+        }
+        "p" | "u1" => {
+            need(1, 1)?;
+            PhaseGate::new(qubits[0], params[0])
+        }
+        "u2" => {
+            need(2, 1)?;
+            U2Gate::new(qubits[0], params[0], params[1])
+        }
+        "u3" | "u" => {
+            need(3, 1)?;
+            U3Gate::new(qubits[0], params[0], params[1], params[2])
+        }
+        "swap" => {
+            need(0, 2)?;
+            SwapGate::new(qubits[0], qubits[1])
+        }
+        "iswap" => {
+            need(0, 2)?;
+            ISwapGate::new(qubits[0], qubits[1])
+        }
+        "rxx" => {
+            need(1, 2)?;
+            RotationXX::new(qubits[0], qubits[1], params[0])
+        }
+        "ryy" => {
+            need(1, 2)?;
+            RotationYY::new(qubits[0], qubits[1], params[0])
+        }
+        "rzz" => {
+            need(1, 2)?;
+            RotationZZ::new(qubits[0], qubits[1], params[0])
+        }
+        "cx" | "cnot" => {
+            need(0, 2)?;
+            CNOT::new(qubits[0], qubits[1])
+        }
+        "cy" => {
+            need(0, 2)?;
+            CY::new(qubits[0], qubits[1])
+        }
+        "cz" => {
+            need(0, 2)?;
+            CZ::new(qubits[0], qubits[1])
+        }
+        "ch" => {
+            need(0, 2)?;
+            CH::new(qubits[0], qubits[1])
+        }
+        "crx" => {
+            need(1, 2)?;
+            CRX::new(qubits[0], qubits[1], params[0])
+        }
+        "cry" => {
+            need(1, 2)?;
+            CRY::new(qubits[0], qubits[1], params[0])
+        }
+        "crz" => {
+            need(1, 2)?;
+            CRZ::new(qubits[0], qubits[1], params[0])
+        }
+        "cp" | "cu1" => {
+            need(1, 2)?;
+            CPhase::new(qubits[0], qubits[1], params[0])
+        }
+        "ccx" | "toffoli" => {
+            need(0, 3)?;
+            Toffoli::new(qubits[0], qubits[1], qubits[2])
+        }
+        "cswap" => {
+            need(0, 3)?;
+            Gate::Swap(qubits[1], qubits[2]).controlled(qubits[0], 1)
+        }
+        other => {
+            return Err(QclabError::InvalidGateSpec(format!(
+                "unknown gate mnemonic '{other}'"
+            )))
+        }
+    };
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_table_round_trips_known_gates() {
+        let cases: Vec<(&str, Vec<f64>, Vec<usize>)> = vec![
+            ("h", vec![], vec![0]),
+            ("x", vec![], vec![1]),
+            ("rz", vec![0.5], vec![0]),
+            ("u3", vec![0.1, 0.2, 0.3], vec![0]),
+            ("cx", vec![], vec![0, 1]),
+            ("cp", vec![0.4], vec![1, 0]),
+            ("ccx", vec![], vec![0, 1, 2]),
+            ("swap", vec![], vec![0, 2]),
+        ];
+        for (m, p, q) in cases {
+            let g = gate_from_mnemonic(m, &p, &q).unwrap();
+            g.validate(3).unwrap();
+        }
+    }
+
+    #[test]
+    fn mnemonic_arity_errors() {
+        assert!(gate_from_mnemonic("h", &[], &[0, 1]).is_err());
+        assert!(gate_from_mnemonic("rz", &[], &[0]).is_err());
+        assert!(gate_from_mnemonic("frobnicate", &[], &[0]).is_err());
+    }
+
+    #[test]
+    fn open_control_cnot() {
+        let g = CNOT::with_control_state(0, 1, 0);
+        assert_eq!(g.controls(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn toffoli_is_double_controlled_x() {
+        let g = Toffoli::new(0, 1, 2);
+        assert_eq!(g.controls().len(), 2);
+        assert_eq!(g.targets(), vec![2]);
+        assert!(g
+            .target_matrix()
+            .approx_eq(&matrices::pauli_x(), 0.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! # qclab-core
+//!
+//! Quantum circuit construction and state-vector simulation — the Rust
+//! equivalent of the MATLAB QCLAB object model (paper Secs. 2–3).
+//!
+//! * [`gates`] — the gate zoo and MATLAB-style factories,
+//! * [`measurement`] — single-qubit measurements in Z/X/Y/custom bases,
+//! * [`circuit`] — [`QCircuit`](circuit::QCircuit) with `push_back`,
+//!   sub-circuits/blocks, adjoints and `to_matrix`,
+//! * [`sim`] — branching state-vector simulation with two backends
+//!   (sparse Kronecker à la QCLAB, in-place kernels à la QCLAB++),
+//! * [`reduced`] — reduced state vectors of partially measured registers.
+
+pub mod circuit;
+pub mod decompose;
+pub mod error;
+pub mod gates;
+pub mod measurement;
+pub mod observable;
+pub mod optimize;
+pub mod reduced;
+pub mod sim;
+pub mod synthesis;
+
+pub use circuit::{CircuitItem, QCircuit};
+pub use decompose::{controlled_to_basic, zyz, Zyz};
+pub use error::QclabError;
+pub use gates::Gate;
+pub use measurement::{Basis, Measurement};
+pub use observable::{Observable, Pauli, PauliString};
+pub use optimize::{optimize, OptimizeStats};
+pub use reduced::{contract_qubit, reduced_statevector};
+pub use sim::density::{DensityState, NoiseChannel, NoiseModel};
+pub use sim::stabilizer::{MeasureOutcome, StabilizerState};
+pub use sim::{Backend, Branch, SimOptions, Simulation};
+
+/// Everything needed to write paper-style circuit code.
+pub mod prelude {
+    pub use crate::circuit::{CircuitItem, QCircuit};
+    pub use crate::error::QclabError;
+    pub use crate::gates::factories::*;
+    pub use crate::gates::Gate;
+    pub use crate::measurement::{Basis, Measurement};
+    pub use crate::reduced::reduced_statevector;
+    pub use crate::sim::{Backend, SimOptions, Simulation};
+}

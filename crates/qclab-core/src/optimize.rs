@@ -1,0 +1,465 @@
+//! Circuit simplification passes.
+//!
+//! QCLAB is the foundation of quantum-compiler packages (F3C, FABLE —
+//! paper Sec. 1) whose bread and butter is peephole circuit
+//! simplification. This module provides the standard passes:
+//!
+//! * **identity removal** — `I`, zero-angle rotations and phases,
+//! * **inverse cancellation** — adjacent gate pairs whose product is the
+//!   identity (`H·H`, `CX·CX`, `RZ(θ)·RZ(−θ)`, …),
+//! * **rotation fusion** — adjacent same-axis rotations on the same
+//!   qubits merge into one (`RZ(a)·RZ(b) → RZ(a+b)`).
+//!
+//! "Adjacent" is causal adjacency: two gates may merge when no gate,
+//! measurement, reset or barrier in between touches any of their qubits.
+//! Barriers intentionally block optimization across them. Passes iterate
+//! to a fixpoint; the circuit unitary is preserved exactly (verified by
+//! property tests).
+//!
+//! ```
+//! use qclab_core::prelude::*;
+//! use qclab_core::optimize::optimize;
+//!
+//! let mut c = QCircuit::new(2);
+//! c.push_back(Hadamard::new(0));
+//! c.push_back(Hadamard::new(0));            // cancels with the first H
+//! c.push_back(RotationZ::new(1, 0.4));
+//! c.push_back(RotationZ::new(1, -0.4));     // fuses to RZ(0) and vanishes
+//! c.push_back(CNOT::new(0, 1));
+//!
+//! let (optimized, stats) = optimize(&c);
+//! assert_eq!(optimized.nb_gates(), 1);      // only the CNOT survives
+//! assert_eq!(stats.pairs_cancelled + stats.rotations_fused, 2);
+//! ```
+
+use crate::circuit::{CircuitItem, QCircuit};
+use crate::gates::Gate;
+
+/// Statistics of one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Gates removed as identities.
+    pub identities_removed: usize,
+    /// Gate pairs cancelled as mutual inverses.
+    pub pairs_cancelled: usize,
+    /// Rotation pairs fused into one gate.
+    pub rotations_fused: usize,
+    /// Fixpoint iterations performed.
+    pub passes: usize,
+}
+
+const ANGLE_TOL: f64 = 1e-12;
+
+/// `true` if the gate is an identity operation (up to `ANGLE_TOL`).
+fn is_identity_gate(g: &Gate) -> bool {
+    match g {
+        Gate::Identity(_) => true,
+        Gate::RotationX { theta, .. }
+        | Gate::RotationY { theta, .. }
+        | Gate::RotationZ { theta, .. }
+        | Gate::Phase { theta, .. }
+        | Gate::RotationXX { theta, .. }
+        | Gate::RotationYY { theta, .. }
+        | Gate::RotationZZ { theta, .. } => theta.abs() < ANGLE_TOL,
+        Gate::Controlled { target, .. } => is_identity_gate(target),
+        Gate::Custom { matrix, .. } => matrix.is_identity(ANGLE_TOL),
+        _ => false,
+    }
+}
+
+/// `true` if `a` followed by `b` is the identity: same control structure,
+/// same targets, and target-matrix product ≈ I.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    if a.controls() != b.controls() || a.targets() != b.targets() {
+        return false;
+    }
+    b.target_matrix()
+        .matmul(&a.target_matrix())
+        .is_identity(1e-12)
+}
+
+/// Attempts to fuse `a` followed by `b` into one gate.
+fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
+    use Gate::*;
+    match (a, b) {
+        (RotationX { qubit: q1, theta: t1 }, RotationX { qubit: q2, theta: t2 })
+            if q1 == q2 =>
+        {
+            Some(RotationX {
+                qubit: *q1,
+                theta: t1 + t2,
+            })
+        }
+        (RotationY { qubit: q1, theta: t1 }, RotationY { qubit: q2, theta: t2 })
+            if q1 == q2 =>
+        {
+            Some(RotationY {
+                qubit: *q1,
+                theta: t1 + t2,
+            })
+        }
+        (RotationZ { qubit: q1, theta: t1 }, RotationZ { qubit: q2, theta: t2 })
+            if q1 == q2 =>
+        {
+            Some(RotationZ {
+                qubit: *q1,
+                theta: t1 + t2,
+            })
+        }
+        (Phase { qubit: q1, theta: t1 }, Phase { qubit: q2, theta: t2 }) if q1 == q2 => {
+            Some(Phase {
+                qubit: *q1,
+                theta: t1 + t2,
+            })
+        }
+        (RotationXX { qubits: a1, theta: t1 }, RotationXX { qubits: a2, theta: t2 })
+            if a1 == a2 =>
+        {
+            Some(RotationXX {
+                qubits: *a1,
+                theta: t1 + t2,
+            })
+        }
+        (RotationYY { qubits: a1, theta: t1 }, RotationYY { qubits: a2, theta: t2 })
+            if a1 == a2 =>
+        {
+            Some(RotationYY {
+                qubits: *a1,
+                theta: t1 + t2,
+            })
+        }
+        (RotationZZ { qubits: a1, theta: t1 }, RotationZZ { qubits: a2, theta: t2 })
+            if a1 == a2 =>
+        {
+            Some(RotationZZ {
+                qubits: *a1,
+                theta: t1 + t2,
+            })
+        }
+        // controlled rotations/phases with identical control structure
+        (
+            Controlled {
+                controls: c1,
+                control_states: s1,
+                target: t1,
+            },
+            Controlled {
+                controls: c2,
+                control_states: s2,
+                target: t2,
+            },
+        ) if c1 == c2 && s1 == s2 => fuse(t1, t2).map(|fused| Controlled {
+            controls: c1.clone(),
+            control_states: s1.clone(),
+            target: Box::new(fused),
+        }),
+        _ => None,
+    }
+}
+
+/// One left-to-right pass: returns the optimized item list and pass
+/// statistics.
+#[allow(clippy::needless_range_loop)] // qubit-indexed bookkeeping
+fn pass(items: &[CircuitItem], nb_qubits: usize, stats: &mut OptimizeStats) -> Vec<CircuitItem> {
+    // kept gates, with a per-qubit pointer to the last kept item index
+    let mut kept: Vec<Option<CircuitItem>> = Vec::with_capacity(items.len());
+    let mut last_on: Vec<Option<usize>> = vec![None; nb_qubits];
+
+    for item in items {
+        match item {
+            CircuitItem::Gate(g) => {
+                if is_identity_gate(g) {
+                    stats.identities_removed += 1;
+                    continue;
+                }
+                let qubits = g.qubits();
+                // candidate predecessor: the same last-kept index on every
+                // qubit the gate touches (i.e. causally adjacent)
+                let first = last_on[qubits[0]];
+                let uniform = first.is_some() && qubits.iter().all(|&q| last_on[q] == first);
+                if uniform {
+                    if let Some(j) = first {
+                        if let Some(CircuitItem::Gate(prev)) = kept[j].clone() {
+                            // predecessor must touch exactly the same set
+                            let mut pq = prev.qubits();
+                            let mut gq = qubits.clone();
+                            pq.sort_unstable();
+                            gq.sort_unstable();
+                            if pq == gq {
+                                if cancels(&prev, g) {
+                                    stats.pairs_cancelled += 1;
+                                    kept[j] = None;
+                                    for &q in &qubits {
+                                        last_on[q] = None;
+                                    }
+                                    continue;
+                                }
+                                if let Some(fused) = fuse(&prev, g) {
+                                    stats.rotations_fused += 1;
+                                    if is_identity_gate(&fused) {
+                                        stats.identities_removed += 1;
+                                        kept[j] = None;
+                                        for &q in &qubits {
+                                            last_on[q] = None;
+                                        }
+                                    } else {
+                                        kept[j] = Some(CircuitItem::Gate(fused));
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+                let idx = kept.len();
+                kept.push(Some(item.clone()));
+                for &q in &qubits {
+                    last_on[q] = Some(idx);
+                }
+            }
+            CircuitItem::SubCircuit { offset, circuit } => {
+                // optimize the sub-circuit internally, keep it opaque here
+                let (sub_opt, sub_stats) = optimize(circuit);
+                stats.identities_removed += sub_stats.identities_removed;
+                stats.pairs_cancelled += sub_stats.pairs_cancelled;
+                stats.rotations_fused += sub_stats.rotations_fused;
+                let idx = kept.len();
+                kept.push(Some(CircuitItem::SubCircuit {
+                    offset: *offset,
+                    circuit: sub_opt,
+                }));
+                for q in *offset..offset + circuit.nb_qubits() {
+                    last_on[q] = Some(idx);
+                }
+            }
+            other => {
+                // measurements, resets and barriers are optimization walls
+                let idx = kept.len();
+                kept.push(Some(other.clone()));
+                for q in other.qubits() {
+                    last_on[q] = Some(idx);
+                }
+            }
+        }
+    }
+    kept.into_iter().flatten().collect()
+}
+
+/// Optimizes a circuit to a fixpoint of the simplification passes.
+/// Returns the simplified circuit (same register size, same unitary /
+/// measurement semantics) and the accumulated statistics.
+pub fn optimize(circuit: &QCircuit) -> (QCircuit, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut items: Vec<CircuitItem> = circuit.items().to_vec();
+    const MAX_PASSES: usize = 32;
+    for _ in 0..MAX_PASSES {
+        stats.passes += 1;
+        let next = pass(&items, circuit.nb_qubits(), &mut stats);
+        let changed = next.len() != items.len() || next != items;
+        items = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = QCircuit::new(circuit.nb_qubits());
+    if let Some(name) = circuit.name() {
+        out.set_name(name);
+    }
+    if circuit.draws_as_block() {
+        let name = circuit.name().unwrap_or("block").to_string();
+        out.as_block(&name);
+    }
+    for item in items {
+        out.push_back(item);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::factories::*;
+    use crate::measurement::Measurement;
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(0));
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 0);
+        assert_eq!(stats.pairs_cancelled, 1);
+    }
+
+    #[test]
+    fn double_cnot_cancels() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(CNOT::new(0, 1));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 0);
+    }
+
+    #[test]
+    fn cnot_with_different_controls_does_not_cancel() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(CNOT::new(1, 0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 2);
+    }
+
+    #[test]
+    fn rotation_fusion_and_zero_elimination() {
+        let mut c = QCircuit::new(1);
+        c.push_back(RotationZ::new(0, 0.4));
+        c.push_back(RotationZ::new(0, 0.3));
+        c.push_back(RotationZ::new(0, -0.7));
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 0, "RZ(0.4+0.3-0.7) should vanish");
+        // first pair fuses to RZ(0.7); the inverse pair then cancels
+        assert_eq!(stats.rotations_fused, 1);
+        assert_eq!(stats.pairs_cancelled, 1);
+    }
+
+    #[test]
+    fn fused_rotation_keeps_value() {
+        let mut c = QCircuit::new(1);
+        c.push_back(RotationX::new(0, 0.25));
+        c.push_back(RotationX::new(0, 0.5));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 1);
+        match &opt.items()[0] {
+            CircuitItem::Gate(Gate::RotationX { theta, .. }) => {
+                assert!((theta - 0.75).abs() < 1e-14);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(TGate::new(0));
+        c.push_back(Hadamard::new(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 3);
+    }
+
+    #[test]
+    fn gate_on_other_qubit_does_not_block() {
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(PauliX::new(1)); // disjoint qubit
+        c.push_back(Hadamard::new(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 1); // only the X remains
+    }
+
+    #[test]
+    fn measurement_is_an_optimization_wall() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Measurement::z(0));
+        c.push_back(Hadamard::new(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 2);
+        assert_eq!(opt.nb_measurements(), 1);
+    }
+
+    #[test]
+    fn barrier_is_an_optimization_wall() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CircuitItem::Barrier(vec![0]));
+        c.push_back(Hadamard::new(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 2);
+    }
+
+    #[test]
+    fn identities_are_removed() {
+        let mut c = QCircuit::new(2);
+        c.push_back(IdentityGate::new(0));
+        c.push_back(RotationZ::new(1, 0.0));
+        c.push_back(PhaseGate::new(0, 0.0));
+        c.push_back(Hadamard::new(1));
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 1);
+        assert_eq!(stats.identities_removed, 3);
+    }
+
+    #[test]
+    fn inverse_rotations_cancel() {
+        let mut c = QCircuit::new(1);
+        c.push_back(RotationY::new(0, 1.3));
+        c.push_back(RotationY::new(0, -1.3));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 0);
+    }
+
+    #[test]
+    fn s_sdg_and_t_tdg_cancel() {
+        let mut c = QCircuit::new(1);
+        c.push_back(SGate::new(0));
+        c.push_back(SdgGate::new(0));
+        c.push_back(TGate::new(0));
+        c.push_back(TdgGate::new(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 0);
+    }
+
+    #[test]
+    fn controlled_phase_fusion() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CPhase::new(0, 1, 0.3));
+        c.push_back(CPhase::new(0, 1, 0.4));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 1);
+    }
+
+    #[test]
+    fn unitary_is_preserved_on_mixed_circuit() {
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(0));
+        c.push_back(RotationZ::new(1, 0.7));
+        c.push_back(CNOT::new(0, 2));
+        c.push_back(RotationZ::new(1, -0.2));
+        c.push_back(CNOT::new(0, 2));
+        c.push_back(TGate::new(2));
+        let (opt, _) = optimize(&c);
+        assert!(opt.nb_gates() < c.nb_gates());
+        let m1 = c.to_matrix().unwrap();
+        let m2 = opt.to_matrix().unwrap();
+        assert!(m1.approx_eq(&m2, 1e-12));
+    }
+
+    #[test]
+    fn subcircuits_are_optimized_recursively() {
+        let mut sub = QCircuit::new(2);
+        sub.push_back(Hadamard::new(0));
+        sub.push_back(Hadamard::new(0));
+        sub.push_back(CNOT::new(0, 1));
+        let mut c = QCircuit::new(2);
+        c.push_back(sub);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 1);
+    }
+
+    #[test]
+    fn grover_diffuser_is_already_minimal() {
+        // no pass should fire on an already-irreducible circuit
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(1));
+        c.push_back(PauliZ::new(0));
+        c.push_back(PauliZ::new(1));
+        c.push_back(CZ::new(0, 1));
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(1));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.nb_gates(), 7);
+    }
+}

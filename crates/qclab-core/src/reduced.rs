@@ -1,0 +1,169 @@
+//! Reduced state vectors (paper Sec. 5.1: `reducedStatevector`).
+//!
+//! After measuring part of a register, the measured qubits sit in known
+//! single-qubit states and the interesting physics lives on the rest.
+//! [`reduced_statevector`] extracts the state of the unmeasured qubits
+//! given the known qubits and their (computational-basis) values — the
+//! exact function the teleportation example uses to verify that `|v>`
+//! arrived on qubit 2. [`contract_qubit`] is the general building block:
+//! it contracts one qubit against an arbitrary known single-qubit state,
+//! which also covers X-/Y-/custom-basis measurement outcomes.
+
+use crate::error::QclabError;
+use qclab_math::bits;
+use qclab_math::scalar::C64;
+use qclab_math::CVec;
+
+/// Contracts qubit `q` of an `n`-qubit state with the known single-qubit
+/// state `known` (length 2), returning the `(n-1)`-qubit state
+/// `⟨known|_q ψ⟩`. Qubits above `q` shift down by one position.
+///
+/// The result is **not** renormalized: its norm is the overlap amplitude,
+/// 1 exactly when qubit `q` is in state `known` and unentangled.
+pub fn contract_qubit(state: &CVec, n: usize, q: usize, known: &[C64]) -> CVec {
+    assert_eq!(known.len(), 2, "known qubit state must have length 2");
+    assert_eq!(state.len(), 1usize << n);
+    assert!(q < n);
+    let s = bits::qubit_shift(q, n);
+    let half = state.len() >> 1;
+    let mut out = CVec::zeros(half);
+    let (k0, k1) = (known[0].conj(), known[1].conj());
+    for k in 0..half {
+        let i0 = bits::insert_bit(k, s);
+        let i1 = i0 | (1 << s);
+        out[k] = k0 * state[i0] + k1 * state[i1];
+    }
+    out
+}
+
+/// Extracts the state of the unmeasured qubits, given that `known_qubits`
+/// are in the computational-basis states spelled by `known_bits` (one
+/// `'0'`/`'1'` per known qubit, in the same order).
+///
+/// Returns an error if the bits string is malformed or the known qubits
+/// are not actually in the stated product state (overlap below 1 − 1e-6),
+/// which catches calls on entangled or mismatched registers.
+pub fn reduced_statevector(
+    state: &CVec,
+    known_qubits: &[usize],
+    known_bits: &str,
+) -> Result<CVec, QclabError> {
+    let n = state.nb_qubits();
+    if known_bits.len() != known_qubits.len() {
+        return Err(QclabError::InvalidBitstring(known_bits.to_string()));
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(known_qubits.len());
+    for (&q, ch) in known_qubits.iter().zip(known_bits.chars()) {
+        if q >= n {
+            return Err(QclabError::QubitOutOfRange {
+                qubit: q,
+                nb_qubits: n,
+            });
+        }
+        let bit = match ch {
+            '0' => 0,
+            '1' => 1,
+            _ => return Err(QclabError::InvalidBitstring(known_bits.to_string())),
+        };
+        pairs.push((q, bit));
+    }
+    // contract from the highest qubit index down so remaining indices stay
+    // valid as the register shrinks
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
+    let mut cur = state.clone();
+    let mut cur_n = n;
+    for (q, bit) in pairs {
+        let mut basis = [C64::new(0.0, 0.0); 2];
+        basis[bit] = C64::new(1.0, 0.0);
+        cur = contract_qubit(&cur, cur_n, q, &basis);
+        cur_n -= 1;
+    }
+    let norm = cur.norm();
+    if (norm - 1.0).abs() > 1e-6 {
+        return Err(QclabError::Unavailable(format!(
+            "known qubits are not in state '{known_bits}' (overlap {norm:.6})"
+        )));
+    }
+    cur.normalize();
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_math::scalar::{c, cr};
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn paper_v() -> CVec {
+        CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)])
+    }
+
+    #[test]
+    fn paper_teleportation_reduction() {
+        // the '00' branch state of the teleportation circuit:
+        // (0.5, 0.5i, 0, 0, 0, 0, 0, 0) renormalized -> q0=q1=0, q2 = |v>
+        let mut state = CVec::zeros(8);
+        state[0] = cr(INV_SQRT2);
+        state[1] = c(0.0, INV_SQRT2);
+        let red = reduced_statevector(&state, &[0, 1], "00").unwrap();
+        assert!(red.approx_eq(&paper_v(), 1e-12));
+    }
+
+    #[test]
+    fn reduction_with_ones() {
+        // |1> ⊗ |v>: knowing q0 = 1 leaves |v>
+        let state = CVec::from_bitstring("1").unwrap().kron(&paper_v());
+        let red = reduced_statevector(&state, &[0], "1").unwrap();
+        assert!(red.approx_eq(&paper_v(), 1e-12));
+    }
+
+    #[test]
+    fn wrong_bits_are_rejected() {
+        let state = CVec::from_bitstring("0").unwrap().kron(&paper_v());
+        assert!(reduced_statevector(&state, &[0], "1").is_err());
+    }
+
+    #[test]
+    fn entangled_qubits_are_rejected() {
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        assert!(reduced_statevector(&bell, &[0], "0").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs() {
+        let state = CVec::zeros(4);
+        assert!(matches!(
+            reduced_statevector(&state, &[0], "01"),
+            Err(QclabError::InvalidBitstring(_))
+        ));
+        assert!(matches!(
+            reduced_statevector(&state, &[0], "x"),
+            Err(QclabError::InvalidBitstring(_))
+        ));
+        assert!(matches!(
+            reduced_statevector(&state, &[7], "0"),
+            Err(QclabError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn contract_qubit_with_x_basis_state() {
+        // |+> ⊗ |v>: contracting q0 against |+> leaves |v>
+        let plus = CVec(vec![cr(INV_SQRT2), cr(INV_SQRT2)]);
+        let state = plus.kron(&paper_v());
+        let red = contract_qubit(&state, 2, 0, &plus);
+        assert!((red.norm() - 1.0).abs() < 1e-12);
+        assert!(red.approx_eq(&paper_v(), 1e-12));
+    }
+
+    #[test]
+    fn contract_middle_qubit_shifts_indices() {
+        // |a> ⊗ |0> ⊗ |b>: contracting q1 against |0> leaves |a> ⊗ |b>
+        let a = CVec(vec![cr(0.6), cr(0.8)]);
+        let b = paper_v();
+        let state = a.kron(&CVec::basis_state(2, 0)).kron(&b);
+        let red = contract_qubit(&state, 3, 1, &[cr(1.0), cr(0.0)]);
+        assert!(red.approx_eq(&a.kron(&b), 1e-12));
+    }
+}

@@ -1,0 +1,109 @@
+//! Measurement probability computation and state collapse.
+//!
+//! Implements paper Sec. 3.3: outcome probabilities are sums of squared
+//! amplitude magnitudes over the matching half of the register, and the
+//! post-measurement state is the renormalized restriction to that half.
+//! As in QCLAB, bitwise operations enumerate the indices of the collapsed
+//! subspace directly.
+
+use qclab_math::bits;
+use qclab_math::CVec;
+
+/// Probabilities `(P(0), P(1))` of a Z-basis measurement of qubit `q`.
+pub fn measure_probabilities(state: &CVec, n: usize, q: usize) -> (f64, f64) {
+    let s = bits::qubit_shift(q, n);
+    let half = state.len() >> 1;
+    let mut p0 = 0.0;
+    for k in 0..half {
+        let i = bits::insert_bit(k, s);
+        p0 += state[i].norm_sqr();
+    }
+    // The total may drift from 1 by rounding; derive P(1) from the actual
+    // norm so both probabilities stay consistent with the state.
+    let total: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+    (p0, (total - p0).max(0.0))
+}
+
+/// Collapses `state` onto outcome `bit` of a Z measurement of qubit `q`,
+/// renormalizing by `1/sqrt(prob)`. The returned vector keeps the full
+/// register dimension with zeros in the eliminated subspace, matching the
+/// `2^n x 1` post-measurement states QCLAB reports.
+pub fn collapse(state: &CVec, n: usize, q: usize, bit: usize, prob: f64) -> CVec {
+    debug_assert!(bit <= 1);
+    debug_assert!(prob > 0.0, "collapse onto a zero-probability outcome");
+    let s = bits::qubit_shift(q, n);
+    let inv = 1.0 / prob.sqrt();
+    let mut out = CVec::zeros(state.len());
+    let half = state.len() >> 1;
+    for k in 0..half {
+        let i = bits::insert_bit(k, s) | (bit << s);
+        out[i] = state[i] * inv;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_math::scalar::{c, cr};
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn probabilities_of_bell_state() {
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        for q in 0..2 {
+            let (p0, p1) = measure_probabilities(&bell, 2, q);
+            assert!((p0 - 0.5).abs() < 1e-15);
+            assert!((p1 - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn probabilities_of_basis_state() {
+        let s = CVec::from_bitstring("10").unwrap();
+        let (p0, p1) = measure_probabilities(&s, 2, 0);
+        assert!(p0.abs() < 1e-15);
+        assert!((p1 - 1.0).abs() < 1e-15);
+        let (p0, p1) = measure_probabilities(&s, 2, 1);
+        assert!((p0 - 1.0).abs() < 1e-15);
+        assert!(p1.abs() < 1e-15);
+    }
+
+    #[test]
+    fn collapse_of_bell_state_yields_correlated_outcome() {
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        let c0 = collapse(&bell, 2, 0, 0, 0.5);
+        // outcome 0 on qubit 0 leaves |00> with unit amplitude
+        assert!((c0[0].re - 1.0).abs() < 1e-15);
+        assert!((c0.norm() - 1.0).abs() < 1e-15);
+        let c1 = collapse(&bell, 2, 0, 1, 0.5);
+        assert!((c1[3].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collapse_preserves_relative_phases() {
+        // (|00> + i|01> + |10> + i|11>)/2, measure qubit 1
+        let s = CVec(vec![cr(0.5), c(0.0, 0.5), cr(0.5), c(0.0, 0.5)]);
+        let (p0, p1) = measure_probabilities(&s, 2, 1);
+        assert!((p0 - 0.5).abs() < 1e-15);
+        assert!((p1 - 0.5).abs() < 1e-15);
+        let c1 = collapse(&s, 2, 1, 1, p1);
+        // remaining superposition (|01> + |11>)/√2 with phase i
+        assert!((c1[1].im - INV_SQRT2).abs() < 1e-15);
+        assert!((c1[3].im - INV_SQRT2).abs() < 1e-15);
+        assert!(c1[0].norm() < 1e-15);
+    }
+
+    #[test]
+    fn collapse_is_idempotent() {
+        let s = CVec(vec![cr(0.6), cr(0.0), cr(0.0), cr(0.8)]);
+        let (p0, _) = measure_probabilities(&s, 2, 0);
+        let c0 = collapse(&s, 2, 0, 0, p0);
+        let (q0, q1) = measure_probabilities(&c0, 2, 0);
+        assert!((q0 - 1.0).abs() < 1e-12);
+        assert!(q1.abs() < 1e-12);
+        let again = collapse(&c0, 2, 0, 0, q0);
+        assert!(again.approx_eq(&c0, 1e-12));
+    }
+}

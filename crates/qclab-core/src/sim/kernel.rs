@@ -1,0 +1,518 @@
+//! In-place gate-application kernels (the QCLAB++ backend).
+//!
+//! QCLAB's MATLAB implementation multiplies the state vector with a sparse
+//! extended unitary (see [`super::kron`]); QCLAB++ instead applies each
+//! gate **in place** with specialized kernels and GPU parallelism. This
+//! module reproduces that optimized code path on the CPU: bit-twiddling
+//! index enumeration, per-gate-class kernels (diagonal / single-qubit /
+//! controlled / SWAP / general k-qubit), and Rayon data-parallelism
+//! standing in for the GPU (see DESIGN.md, substitutions).
+//!
+//! All kernels follow the register convention of [`qclab_math::bits`]:
+//! qubit 0 is the most significant index bit.
+
+use crate::gates::Gate;
+use qclab_math::bits;
+use qclab_math::scalar::C64;
+use qclab_math::{CMat, CVec};
+use rayon::prelude::*;
+
+/// Number of register qubits from which kernels switch to Rayon
+/// parallelism. Below this the state fits comfortably in cache and thread
+/// fan-out costs more than it saves.
+pub const PARALLEL_THRESHOLD_QUBITS: usize = 18;
+
+/// `(bit position, required value)` pairs precomputed from a gate's
+/// control specification.
+type CtrlMasks = (usize, usize); // (mask, required-bits pattern)
+
+fn control_masks(controls: &[(usize, u8)], n: usize) -> CtrlMasks {
+    let mut mask = 0usize;
+    let mut want = 0usize;
+    for &(q, s) in controls {
+        let bit = 1usize << bits::qubit_shift(q, n);
+        mask |= bit;
+        if s == 1 {
+            want |= bit;
+        }
+    }
+    (mask, want)
+}
+
+#[inline(always)]
+fn ctrl_ok(i: usize, (mask, want): CtrlMasks) -> bool {
+    i & mask == want
+}
+
+/// Dispatch configuration for the kernel backend. The defaults enable
+/// every specialization; the ablation benchmarks switch them off
+/// individually to measure what each one buys.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Route diagonal gates through the streaming multiply kernel.
+    pub use_diagonal_kernel: bool,
+    /// Route uncontrolled SWAPs through the pure-permutation kernel.
+    pub use_swap_kernel: bool,
+    /// Allow Rayon parallelism above [`PARALLEL_THRESHOLD_QUBITS`].
+    pub allow_parallel: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            use_diagonal_kernel: true,
+            use_swap_kernel: true,
+            allow_parallel: true,
+        }
+    }
+}
+
+/// Applies `gate` to `state` in place. `n` is the register size; the
+/// state must have length `2^n`.
+pub fn apply_gate(gate: &Gate, state: &mut CVec, n: usize) {
+    apply_gate_with(gate, state, n, &KernelConfig::default());
+}
+
+/// [`apply_gate`] with an explicit [`KernelConfig`].
+pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConfig) {
+    debug_assert_eq!(state.len(), 1usize << n);
+    let controls = gate.controls();
+    let cm = control_masks(&controls, n);
+    let parallel = cfg.allow_parallel && n >= PARALLEL_THRESHOLD_QUBITS;
+
+    // dedicated permutation kernel for the uncontrolled SWAP
+    if let Gate::Swap(a, b) = gate {
+        if controls.is_empty() && cfg.use_swap_kernel {
+            apply_swap(state, n, *a, *b);
+            return;
+        }
+    }
+
+    let targets = gate.targets();
+    let matrix = gate.target_matrix();
+
+    if cfg.use_diagonal_kernel && matrix.is_diagonal(0.0) {
+        let diag: Vec<C64> = (0..matrix.rows()).map(|i| matrix[(i, i)]).collect();
+        apply_diagonal(state, n, &targets, &diag, cm, parallel);
+    } else if targets.len() == 1 {
+        apply_1q(state, n, targets[0], &matrix, cm, parallel);
+    } else {
+        apply_kq(state, n, &targets, &matrix, cm);
+    }
+}
+
+/// Single-qubit kernel: walks the register in `(i, i + 2^s)` pairs and
+/// applies the 2x2 matrix, skipping pairs whose control bits don't match.
+fn apply_1q(state: &mut [C64], n: usize, q: usize, m: &CMat, cm: CtrlMasks, parallel: bool) {
+    let s = bits::qubit_shift(q, n);
+    let half = 1usize << s;
+    let block = half << 1;
+    let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+
+    let pair = move |a: &mut C64, b: &mut C64| {
+        let (x, y) = (*a, *b);
+        *a = m00 * x + m01 * y;
+        *b = m10 * x + m11 * y;
+    };
+
+    let many_chunks = (state.len() / block) >= 8;
+
+    if parallel && many_chunks {
+        // outer parallelism over independent blocks
+        state
+            .par_chunks_mut(block)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * block;
+                let (lo, hi) = chunk.split_at_mut(half);
+                for j in 0..half {
+                    if ctrl_ok(base + j, cm) {
+                        pair(&mut lo[j], &mut hi[j]);
+                    }
+                }
+            });
+    } else if parallel {
+        // few, large blocks: parallelize inside each block instead
+        for (ci, chunk) in state.chunks_mut(block).enumerate() {
+            let base = ci * block;
+            let (lo, hi) = chunk.split_at_mut(half);
+            lo.par_iter_mut()
+                .zip(hi.par_iter_mut())
+                .enumerate()
+                .for_each(|(j, (a, b))| {
+                    if ctrl_ok(base + j, cm) {
+                        pair(a, b);
+                    }
+                });
+        }
+    } else {
+        for (ci, chunk) in state.chunks_mut(block).enumerate() {
+            let base = ci * block;
+            let (lo, hi) = chunk.split_at_mut(half);
+            for j in 0..half {
+                if ctrl_ok(base + j, cm) {
+                    pair(&mut lo[j], &mut hi[j]);
+                }
+            }
+        }
+    }
+}
+
+/// Diagonal kernel: every amplitude is scaled by the diagonal entry
+/// selected by its target-qubit bits. Covers Z, S, T, RZ, P, RZZ and all
+/// their controlled versions with a single streaming pass.
+fn apply_diagonal(
+    state: &mut [C64],
+    n: usize,
+    targets: &[usize],
+    diag: &[C64],
+    cm: CtrlMasks,
+    parallel: bool,
+) {
+    // uncontrolled single-target gates stream over contiguous halves of
+    // each block with no per-amplitude index arithmetic at all, and skip
+    // unit diagonal entries entirely (P/T/S touch only half the state)
+    if targets.len() == 1 && cm.0 == 0 {
+        apply_diag_1q(state, n, targets[0], diag[0], diag[1], parallel);
+        return;
+    }
+    if targets.len() == 1 {
+        apply_diag_1q_ctrl(state, n, targets[0], diag[0], diag[1], cm);
+        return;
+    }
+    let one = C64::new(1.0, 0.0);
+    let targets = targets.to_vec();
+    let apply = move |i: usize, z: &mut C64| {
+        if ctrl_ok(i, cm) {
+            let sub = bits::gather_bits(i, &targets, n);
+            let d = diag[sub];
+            if d != one {
+                *z *= d;
+            }
+        }
+    };
+    if parallel {
+        state
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, z)| apply(i, z));
+    } else {
+        for (i, z) in state.iter_mut().enumerate() {
+            apply(i, z);
+        }
+    }
+}
+
+/// Streaming kernel for an uncontrolled single-qubit diagonal gate.
+fn apply_diag_1q(state: &mut [C64], n: usize, q: usize, d0: C64, d1: C64, parallel: bool) {
+    let s = bits::qubit_shift(q, n);
+    let half = 1usize << s;
+    let block = half << 1;
+    let one = C64::new(1.0, 0.0);
+    let scale_block = move |chunk: &mut [C64]| {
+        let (lo, hi) = chunk.split_at_mut(half);
+        if d0 != one {
+            for z in lo {
+                *z *= d0;
+            }
+        }
+        if d1 != one {
+            for z in hi {
+                *z *= d1;
+            }
+        }
+    };
+    if parallel && (state.len() / block) >= 8 {
+        state.par_chunks_mut(block).for_each(scale_block);
+    } else {
+        for chunk in state.chunks_mut(block) {
+            scale_block(chunk);
+        }
+    }
+}
+
+/// Controlled single-qubit diagonal kernel: enumerates `(i0, i1)` pairs
+/// like the dense 1q kernel (half the index space) and skips unit
+/// diagonal entries, so a CZ touches only the amplitudes it changes.
+fn apply_diag_1q_ctrl(state: &mut [C64], n: usize, q: usize, d0: C64, d1: C64, cm: CtrlMasks) {
+    let s = bits::qubit_shift(q, n);
+    let one = C64::new(1.0, 0.0);
+    let half = state.len() >> 1;
+    let (scale0, scale1) = (d0 != one, d1 != one);
+    for k in 0..half {
+        let i0 = bits::insert_bit(k, s);
+        if ctrl_ok(i0, cm) {
+            if scale0 {
+                state[i0] *= d0;
+            }
+            if scale1 {
+                state[i0 | (1 << s)] *= d1;
+            }
+        }
+    }
+}
+
+/// Uncontrolled SWAP kernel: exchanges amplitudes whose `a`/`b` bits
+/// differ (a pure permutation — no arithmetic at all).
+fn apply_swap(state: &mut [C64], n: usize, a: usize, b: usize) {
+    let sa = bits::qubit_shift(a, n);
+    let sb = bits::qubit_shift(b, n);
+    let (hi, lo) = (sa.max(sb), sa.min(sb));
+    // enumerate indices with bit hi = 1 and bit lo = 0; partner has them
+    // exchanged. Two inserts build the index from a (n-2)-bit counter.
+    let count = state.len() >> 2;
+    for k in 0..count {
+        let base = bits::insert_bit(bits::insert_bit(k, lo), hi);
+        let i = base | (1 << hi);
+        let j = base | (1 << lo);
+        state.swap(i, j);
+    }
+}
+
+/// General k-target-qubit kernel: gathers the `2^k` amplitudes of each
+/// group, multiplies by the dense gate matrix, and scatters back.
+fn apply_kq(state: &mut [C64], n: usize, targets: &[usize], m: &CMat, cm: CtrlMasks) {
+    let k = targets.len();
+    let dim = 1usize << k;
+    debug_assert_eq!(m.rows(), dim);
+
+    // shifts of the target qubits, ascending, for base-index construction
+    let mut shifts: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
+    shifts.sort_unstable();
+
+    let mut gathered = vec![C64::new(0.0, 0.0); dim];
+    let mut out = vec![C64::new(0.0, 0.0); dim];
+
+    for mcount in 0..(state.len() >> k) {
+        let mut base = mcount;
+        for &s in &shifts {
+            base = bits::insert_bit(base, s);
+        }
+        if !ctrl_ok(base, cm) {
+            continue;
+        }
+        for (sub, g) in gathered.iter_mut().enumerate() {
+            *g = state[bits::scatter_bits(base, sub, targets, n)];
+        }
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = C64::new(0.0, 0.0);
+            let row = m.row(r);
+            for (c, &g) in gathered.iter().enumerate() {
+                acc += row[c] * g;
+            }
+            *o = acc;
+        }
+        for (sub, &o) in out.iter().enumerate() {
+            state[bits::scatter_bits(base, sub, targets, n)] = o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::factories::*;
+    use qclab_math::scalar::cr;
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn apply_to_zero(gates: &[Gate], n: usize) -> CVec {
+        let mut state = CVec::basis_state(1 << n, 0);
+        for g in gates {
+            apply_gate(g, &mut state, n);
+        }
+        state
+    }
+
+    #[test]
+    fn hadamard_on_zero_gives_plus() {
+        let s = apply_to_zero(&[Hadamard::new(0)], 1);
+        assert!((s[0].re - INV_SQRT2).abs() < 1e-15);
+        assert!((s[1].re - INV_SQRT2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bell_state_via_kernels() {
+        let s = apply_to_zero(&[Hadamard::new(0), CNOT::new(0, 1)], 2);
+        assert!((s[0].re - INV_SQRT2).abs() < 1e-15);
+        assert!((s[3].re - INV_SQRT2).abs() < 1e-15);
+        assert!(s[1].norm() < 1e-15);
+        assert!(s[2].norm() < 1e-15);
+    }
+
+    #[test]
+    fn cnot_control_on_msb_qubit() {
+        // |10> --CNOT(0,1)--> |11>
+        let mut s = CVec::from_bitstring("10").unwrap();
+        apply_gate(&CNOT::new(0, 1), &mut s, 2);
+        assert!((s[3].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn open_control_fires_on_zero() {
+        // control state 0: |00> -> |01>
+        let mut s = CVec::from_bitstring("00").unwrap();
+        apply_gate(&CNOT::with_control_state(0, 1, 0), &mut s, 2);
+        assert!((s[1].re - 1.0).abs() < 1e-15);
+        // and leaves |10> alone
+        let mut s = CVec::from_bitstring("10").unwrap();
+        apply_gate(&CNOT::with_control_state(0, 1, 0), &mut s, 2);
+        assert!((s[2].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_kernel_permutes() {
+        let mut s = CVec::from_bitstring("10").unwrap();
+        apply_gate(&SwapGate::new(0, 1), &mut s, 2);
+        assert!((s[1].re - 1.0).abs() < 1e-15);
+        // swap twice restores
+        apply_gate(&SwapGate::new(0, 1), &mut s, 2);
+        assert!((s[2].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_on_nonadjacent_qubits() {
+        let mut s = CVec::from_bitstring("100").unwrap();
+        apply_gate(&SwapGate::new(0, 2), &mut s, 3);
+        assert_eq!(
+            qclab_math::bits::index_to_bitstring(
+                s.iter().position(|z| z.norm() > 0.5).unwrap(),
+                3
+            ),
+            "001"
+        );
+    }
+
+    #[test]
+    fn mcx_paper_gate_fires_only_on_matching_controls() {
+        // MCX([3,4], 2, [0,1]) on 5 qubits: flips q2 iff q3=0 and q4=1
+        let g = MCX::new(&[3, 4], 2, &[0, 1]);
+        let mut s = CVec::from_bitstring("00001").unwrap();
+        apply_gate(&g, &mut s, 5);
+        let idx = s.iter().position(|z| z.norm() > 0.5).unwrap();
+        assert_eq!(qclab_math::bits::index_to_bitstring(idx, 5), "00101");
+        // non-matching ancilla pattern leaves the state untouched
+        let mut s = CVec::from_bitstring("00011").unwrap();
+        apply_gate(&g, &mut s, 5);
+        let idx = s.iter().position(|z| z.norm() > 0.5).unwrap();
+        assert_eq!(qclab_math::bits::index_to_bitstring(idx, 5), "00011");
+    }
+
+    #[test]
+    fn diagonal_kernel_matches_general_kernel() {
+        // apply CZ via the diagonal path and via a Custom (dense) gate
+        let cz = CZ::new(0, 1);
+        let dense = CustomGate::new(
+            "CZdense",
+            &[0, 1],
+            crate::circuit::QCircuit::to_matrix(&{
+                let mut c = crate::circuit::QCircuit::new(2);
+                c.push_back(CZ::new(0, 1));
+                c
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let mut s1 = CVec(vec![cr(0.5); 4]);
+        let mut s2 = s1.clone();
+        apply_gate(&cz, &mut s1, 2);
+        apply_gate(&dense, &mut s2, 2);
+        assert!(s1.approx_eq(&s2, 1e-14));
+    }
+
+    #[test]
+    fn norm_preserved_by_random_gate_sequence() {
+        let n = 5;
+        let gates = vec![
+            Hadamard::new(0),
+            RotationX::new(1, 0.37),
+            CNOT::new(0, 4),
+            RotationZZ::new(1, 3, 1.1),
+            MCX::new(&[0, 1], 2, &[1, 0]),
+            ISwapGate::new(2, 4),
+            TGate::new(3),
+            CRY::new(4, 0, 2.2),
+        ];
+        let s = apply_to_zero(&gates, n);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_matches_to_matrix_for_two_qubit_gates() {
+        // iSWAP applied via kernel equals its 4x4 matrix action
+        let g = ISwapGate::new(0, 1);
+        let m = g.target_matrix();
+        for basis in 0..4 {
+            let mut s = CVec::basis_state(4, basis);
+            apply_gate(&g, &mut s, 2);
+            let expected = m.col(basis);
+            for i in 0..4 {
+                assert!((s[i] - expected[i]).norm() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn large_register_parallel_path() {
+        // cross the parallel threshold and verify a GHZ construction
+        let n = PARALLEL_THRESHOLD_QUBITS;
+        let mut gates = vec![Hadamard::new(0)];
+        for q in 1..n {
+            gates.push(CNOT::new(q - 1, q));
+        }
+        let s = apply_to_zero(&gates, n);
+        let dim = 1usize << n;
+        assert!((s[0].re - INV_SQRT2).abs() < 1e-12);
+        assert!((s[dim - 1].re - INV_SQRT2).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_kernel_config_gives_identical_states() {
+        // all 8 flag combinations must agree bit-for-bit in semantics
+        let n = 6;
+        let gates = vec![
+            Hadamard::new(0),
+            RotationZ::new(2, 0.7),
+            CZ::new(1, 4),
+            SwapGate::new(0, 5),
+            CNOT::new(3, 2),
+            TGate::new(5),
+            RotationZZ::new(1, 3, 0.9),
+            MCX::new(&[0, 2], 4, &[1, 0]),
+        ];
+        let mut reference: Option<CVec> = None;
+        for diag in [true, false] {
+            for swp in [true, false] {
+                for par in [true, false] {
+                    let cfg = KernelConfig {
+                        use_diagonal_kernel: diag,
+                        use_swap_kernel: swp,
+                        allow_parallel: par,
+                    };
+                    let mut state = CVec::basis_state(1 << n, 0);
+                    for g in &gates {
+                        apply_gate_with(g, &mut state, n, &cfg);
+                    }
+                    match &reference {
+                        None => reference = Some(state),
+                        Some(r) => assert!(
+                            state.approx_eq(r, 1e-12),
+                            "config {cfg:?} diverged"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_diagonal_and_controlled_paths() {
+        let n = PARALLEL_THRESHOLD_QUBITS;
+        let mut state = CVec::basis_state(1 << n, 0);
+        apply_gate(&Hadamard::new(n - 1), &mut state, n);
+        apply_gate(&CPhase::new(n - 1, 0, std::f64::consts::PI), &mut state, n);
+        apply_gate(&CNOT::new(n - 1, 1), &mut state, n);
+        assert!((state.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,520 @@
+//! Stabilizer (tableau) simulation of Clifford circuits.
+//!
+//! The paper's QEC footnote notes that practical error correction uses
+//! "Clifford gates and classical control". This module provides the
+//! matching simulation substrate: the Aaronson–Gottesman CHP tableau,
+//! which simulates Clifford circuits (H, S, CNOT and everything they
+//! generate) in polynomial time and memory — thousands of qubits instead
+//! of the state vector's ~30. Rows are packed into `u64` words, so gate
+//! updates stream over `2n·⌈2n/64⌉` bits.
+//!
+//! The tableau holds `2n` Pauli rows (destabilizers then stabilizers)
+//! over the `x|z` bit representation plus a sign bit, exactly as in
+//! Aaronson & Gottesman, *Improved simulation of stabilizer circuits*
+//! (2004).
+//!
+//! ```
+//! use qclab_core::StabilizerState;
+//!
+//! let mut s = StabilizerState::new(2);
+//! s.h(0);
+//! s.cnot(0, 1);
+//! assert_eq!(s.stabilizer_strings(), vec!["+XX", "+ZZ"]);
+//!
+//! // the Bell pair measures randomly but perfectly correlated
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let first = s.measure(0, &mut rng);
+//! let second = s.measure(1, &mut rng);
+//! assert!(first.random && !second.random);
+//! assert_eq!(first.bit, second.bit);
+//! ```
+
+use crate::gates::Gate;
+use crate::error::QclabError;
+use rand::Rng;
+
+/// A Pauli row of the tableau: `x`/`z` bit vectors plus a sign.
+#[derive(Clone, Debug, PartialEq)]
+struct Row {
+    x: Vec<u64>,
+    z: Vec<u64>,
+    /// Sign bit: `true` means the row carries a −1 phase.
+    r: bool,
+}
+
+impl Row {
+    fn zero(words: usize) -> Self {
+        Row {
+            x: vec![0; words],
+            z: vec![0; words],
+            r: false,
+        }
+    }
+
+    #[inline]
+    fn get_x(&self, q: usize) -> bool {
+        self.x[q >> 6] >> (q & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn get_z(&self, q: usize) -> bool {
+        self.z[q >> 6] >> (q & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, q: usize, v: bool) {
+        let (w, b) = (q >> 6, q & 63);
+        self.x[w] = (self.x[w] & !(1 << b)) | ((v as u64) << b);
+    }
+
+    #[inline]
+    fn set_z(&mut self, q: usize, v: bool) {
+        let (w, b) = (q >> 6, q & 63);
+        self.z[w] = (self.z[w] & !(1 << b)) | ((v as u64) << b);
+    }
+}
+
+/// The phase exponent contribution g(x1,z1,x2,z2) ∈ {−1, 0, 1} of
+/// multiplying two single-qubit Paulis (Aaronson–Gottesman eq. for
+/// `rowsum`).
+#[inline]
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => (z2 as i32) - (x2 as i32),
+        (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+        (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+    }
+}
+
+/// A stabilizer state on `n` qubits, initialized to `|0…0⟩`.
+#[derive(Clone, Debug)]
+pub struct StabilizerState {
+    n: usize,
+    words: usize,
+    /// Rows `0..n` are destabilizers, `n..2n` stabilizers.
+    rows: Vec<Row>,
+}
+
+/// The outcome of a stabilizer measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasureOutcome {
+    /// The measured bit.
+    pub bit: bool,
+    /// `true` if the outcome was uniformly random (the qubit was in a
+    /// superposition w.r.t. Z), `false` if it was determined.
+    pub random: bool,
+}
+
+impl StabilizerState {
+    /// Creates the all-zeros stabilizer state on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let words = n.div_ceil(64);
+        let mut rows = vec![Row::zero(words); 2 * n];
+        for q in 0..n {
+            rows[q].set_x(q, true); // destabilizer X_q
+            rows[n + q].set_z(q, true); // stabilizer Z_q
+        }
+        StabilizerState { n, words, rows }
+    }
+
+    /// Number of qubits.
+    pub fn nb_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on `q`: swaps X and Z components.
+    pub fn h(&mut self, q: usize) {
+        for row in &mut self.rows {
+            let x = row.get_x(q);
+            let z = row.get_z(q);
+            row.r ^= x & z;
+            row.set_x(q, z);
+            row.set_z(q, x);
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) {
+        for row in &mut self.rows {
+            let x = row.get_x(q);
+            let z = row.get_z(q);
+            row.r ^= x & z;
+            row.set_z(q, x ^ z);
+        }
+    }
+
+    /// S† on `q` (three S gates).
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t);
+        for row in &mut self.rows {
+            let xc = row.get_x(c);
+            let zc = row.get_z(c);
+            let xt = row.get_x(t);
+            let zt = row.get_z(t);
+            row.r ^= xc & zt & (xt ^ zc ^ true);
+            row.set_x(t, xt ^ xc);
+            row.set_z(c, zc ^ zt);
+        }
+    }
+
+    /// Pauli X on `q` (phase-only tableau update).
+    pub fn x(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.get_z(q);
+        }
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.get_x(q);
+        }
+    }
+
+    /// Pauli Y on `q`.
+    pub fn y(&mut self, q: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.get_x(q) ^ row.get_z(q);
+        }
+    }
+
+    /// `rows[h] := rows[h] · rows[i]`, tracking the sign via the phase
+    /// function `g`.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * (self.rows[h].r as i32) + 2 * (self.rows[i].r as i32);
+        for q in 0..self.n {
+            phase += g(
+                self.rows[i].get_x(q),
+                self.rows[i].get_z(q),
+                self.rows[h].get_x(q),
+                self.rows[h].get_z(q),
+            );
+        }
+        phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "non-Hermitian row product");
+        let (ix, iz) = (self.rows[i].x.clone(), self.rows[i].z.clone());
+        let row_h = &mut self.rows[h];
+        for w in 0..self.words {
+            row_h.x[w] ^= ix[w];
+            row_h.z[w] ^= iz[w];
+        }
+        row_h.r = phase == 2;
+    }
+
+    /// Measures qubit `q` in the Z basis, consuming randomness from `rng`
+    /// when the outcome is not determined.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> MeasureOutcome {
+        match self.find_random_stabilizer(q) {
+            Some(p) => {
+                let bit = rng.gen::<bool>();
+                self.collapse(q, p, bit);
+                MeasureOutcome { bit, random: true }
+            }
+            None => MeasureOutcome {
+                bit: self.deterministic_outcome(q),
+                random: false,
+            },
+        }
+    }
+
+    /// Measures qubit `q`, forcing the outcome to `bit` when it is
+    /// random (used to follow a specific branch of a statevector
+    /// simulation). Returns whether the outcome was random.
+    pub fn measure_forced(&mut self, q: usize, bit: bool) -> Result<MeasureOutcome, QclabError> {
+        match self.find_random_stabilizer(q) {
+            Some(p) => {
+                self.collapse(q, p, bit);
+                Ok(MeasureOutcome { bit, random: true })
+            }
+            None => {
+                let det = self.deterministic_outcome(q);
+                if det != bit {
+                    return Err(QclabError::Unavailable(format!(
+                        "outcome {} on qubit {q} has probability 0",
+                        bit as u8
+                    )));
+                }
+                Ok(MeasureOutcome { bit, random: false })
+            }
+        }
+    }
+
+    /// A stabilizer row (index in `n..2n`) anticommuting with `Z_q`, if
+    /// any — its existence means the measurement outcome is random.
+    fn find_random_stabilizer(&self, q: usize) -> Option<usize> {
+        (self.n..2 * self.n).find(|&p| self.rows[p].get_x(q))
+    }
+
+    fn collapse(&mut self, q: usize, p: usize, bit: bool) {
+        // every other row with x_q = 1 absorbs row p; the destabilizer
+        // partner p - n is skipped — it anticommutes with row p (an
+        // anti-Hermitian product) and is overwritten below anyway
+        for i in 0..2 * self.n {
+            if i != p && i != p - self.n && self.rows[i].get_x(q) {
+                self.rowsum(i, p);
+            }
+        }
+        // row p becomes the new stabilizer ±Z_q; its old value moves to
+        // the destabilizer slot
+        self.rows[p - self.n] = self.rows[p].clone();
+        let mut new_row = Row::zero(self.words);
+        new_row.set_z(q, true);
+        new_row.r = bit;
+        self.rows[p] = new_row;
+    }
+
+    fn deterministic_outcome(&mut self, q: usize) -> bool {
+        // scratch row: product of stabilizers whose destabilizer partner
+        // anticommutes with Z_q
+        let scratch_idx = self.rows.len();
+        self.rows.push(Row::zero(self.words));
+        for i in 0..self.n {
+            if self.rows[i].get_x(q) {
+                self.rowsum(scratch_idx, self.n + i);
+            }
+        }
+        let r = self.rows[scratch_idx].r;
+        self.rows.pop();
+        r
+    }
+
+    /// Applies a circuit gate; errors on non-Clifford gates.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), QclabError> {
+        match gate {
+            Gate::Identity(_) => {}
+            Gate::Hadamard(q) => self.h(*q),
+            Gate::S(q) => self.s(*q),
+            Gate::Sdg(q) => self.sdg(*q),
+            Gate::PauliX(q) => self.x(*q),
+            Gate::PauliY(q) => self.y(*q),
+            Gate::PauliZ(q) => self.z(*q),
+            Gate::Swap(a, b) => {
+                self.cnot(*a, *b);
+                self.cnot(*b, *a);
+                self.cnot(*a, *b);
+            }
+            Gate::Controlled {
+                controls,
+                control_states,
+                target,
+            } if controls.len() == 1 && control_states[0] == 1 => {
+                let c = controls[0];
+                match &**target {
+                    Gate::PauliX(t) => self.cnot(c, *t),
+                    Gate::PauliZ(t) => {
+                        // CZ = H(t) CX H(t)
+                        self.h(*t);
+                        self.cnot(c, *t);
+                        self.h(*t);
+                    }
+                    Gate::PauliY(t) => {
+                        // CY = S(t) CX S†(t)
+                        self.sdg(*t);
+                        self.cnot(c, *t);
+                        self.s(*t);
+                    }
+                    other => {
+                        return Err(QclabError::Unavailable(format!(
+                            "controlled {} is not Clifford",
+                            other.name()
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(QclabError::Unavailable(format!(
+                    "gate {} is not Clifford (stabilizer backend)",
+                    other.name()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The stabilizer generators as strings like `+XZI` (sign, then one
+    /// Pauli letter per qubit) — for inspection and tests.
+    pub fn stabilizer_strings(&self) -> Vec<String> {
+        (self.n..2 * self.n)
+            .map(|i| {
+                let row = &self.rows[i];
+                let mut s = String::with_capacity(self.n + 1);
+                s.push(if row.r { '-' } else { '+' });
+                for q in 0..self.n {
+                    s.push(match (row.get_x(q), row.get_z(q)) {
+                        (false, false) => 'I',
+                        (true, false) => 'X',
+                        (false, true) => 'Z',
+                        (true, true) => 'Y',
+                    });
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_state_stabilized_by_z() {
+        let s = StabilizerState::new(3);
+        assert_eq!(
+            s.stabilizer_strings(),
+            vec!["+ZII", "+IZI", "+IIZ"]
+        );
+    }
+
+    #[test]
+    fn hadamard_turns_z_into_x() {
+        let mut s = StabilizerState::new(2);
+        s.h(0);
+        assert_eq!(s.stabilizer_strings(), vec!["+XII".replace("II", "I"), "+IZ".into()]);
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut s = StabilizerState::new(2);
+        s.h(0);
+        s.cnot(0, 1);
+        let stabs = s.stabilizer_strings();
+        assert_eq!(stabs, vec!["+XX", "+ZZ"]);
+    }
+
+    #[test]
+    fn pauli_gates_flip_signs() {
+        let mut s = StabilizerState::new(1);
+        s.x(0);
+        assert_eq!(s.stabilizer_strings(), vec!["-Z"]);
+        s.x(0);
+        assert_eq!(s.stabilizer_strings(), vec!["+Z"]);
+    }
+
+    #[test]
+    fn s_gate_squares_to_z() {
+        let mut a = StabilizerState::new(1);
+        a.h(0); // stabilizer +X
+        a.s(0);
+        a.s(0);
+        let mut b = StabilizerState::new(1);
+        b.h(0);
+        b.z(0);
+        assert_eq!(a.stabilizer_strings(), b.stabilizer_strings());
+    }
+
+    #[test]
+    fn deterministic_measurement_of_basis_state() {
+        let mut s = StabilizerState::new(2);
+        s.x(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m0 = s.measure(0, &mut rng);
+        assert!(!m0.random);
+        assert!(m0.bit);
+        let m1 = s.measure(1, &mut rng);
+        assert!(!m1.random);
+        assert!(!m1.bit);
+    }
+
+    #[test]
+    fn plus_state_measurement_is_random_then_fixed() {
+        let mut s = StabilizerState::new(1);
+        s.h(0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let first = s.measure(0, &mut rng);
+        assert!(first.random);
+        // repeated measurement is now deterministic and equal
+        let second = s.measure(0, &mut rng);
+        assert!(!second.random);
+        assert_eq!(second.bit, first.bit);
+    }
+
+    #[test]
+    fn ghz_measurements_are_perfectly_correlated() {
+        for seed in 0..20u64 {
+            let n = 8;
+            let mut s = StabilizerState::new(n);
+            s.h(0);
+            for q in 1..n {
+                s.cnot(q - 1, q);
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let first = s.measure(0, &mut rng);
+            assert!(first.random);
+            for q in 1..n {
+                let m = s.measure(q, &mut rng);
+                assert!(!m.random, "later GHZ measurement must be determined");
+                assert_eq!(m.bit, first.bit);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_measurement_rejects_impossible_outcomes() {
+        let mut s = StabilizerState::new(1);
+        s.x(0); // |1>
+        assert!(s.measure_forced(0, false).is_err());
+        assert!(s.measure_forced(0, true).is_ok());
+    }
+
+    #[test]
+    fn apply_gate_accepts_cliffords_and_rejects_t() {
+        let mut s = StabilizerState::new(3);
+        use crate::gates::factories::*;
+        for g in [
+            Hadamard::new(0),
+            SGate::new(1),
+            SdgGate::new(2),
+            PauliX::new(0),
+            PauliY::new(1),
+            PauliZ::new(2),
+            CNOT::new(0, 1),
+            CZ::new(1, 2),
+            CY::new(0, 2),
+            SwapGate::new(0, 2),
+        ] {
+            s.apply_gate(&g).unwrap();
+        }
+        assert!(s.apply_gate(&TGate::new(0)).is_err());
+        assert!(s.apply_gate(&RotationX::new(0, 0.5)).is_err());
+        assert!(s.apply_gate(&Toffoli::new(0, 1, 2)).is_err());
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut s = StabilizerState::new(2);
+        s.x(0);
+        use crate::gates::factories::SwapGate;
+        s.apply_gate(&SwapGate::new(0, 1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!s.measure(0, &mut rng).bit);
+        assert!(s.measure(1, &mut rng).bit);
+    }
+
+    #[test]
+    fn large_register_is_cheap() {
+        // 2048 qubits: far beyond any state vector; must stay fast
+        let n = 2048;
+        let mut s = StabilizerState::new(n);
+        s.h(0);
+        for q in 1..n {
+            s.cnot(q - 1, q);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let first = s.measure(0, &mut rng);
+        let last = s.measure(n - 1, &mut rng);
+        assert_eq!(first.bit, last.bit);
+    }
+}

@@ -1,0 +1,272 @@
+//! Uniformly controlled rotations (multiplexed rotations).
+//!
+//! A *uniformly controlled* rotation applies `R(θ_j)` to a target qubit
+//! when `k` control qubits are in basis state `j` — the workhorse of
+//! state preparation (Möttönen et al.) and of the FABLE block-encoding
+//! compiler the paper cites as built on QCLAB. The naive form needs
+//! `2^k` multi-controlled rotations; the Gray-code decomposition
+//! implemented here needs only `2^k` plain rotations and `2^k` CNOTs:
+//!
+//! ```text
+//! RY(φ_0) — CX — RY(φ_1) — CX — … — RY(φ_{2^k−1}) — CX
+//! ```
+//!
+//! where the rotated angles `φ` are the Walsh–Hadamard-like transform of
+//! the requested `θ` with Gray-code ordering, and each CNOT's control is
+//! the qubit whose Gray-code bit flips at that step.
+//!
+//! ```
+//! use qclab_core::synthesis::{ucr, UcrAxis};
+//!
+//! // RY(0.1) when the control reads 0, RY(0.9) when it reads 1
+//! let circuit = ucr(&[0], 1, UcrAxis::Y, &[0.1, 0.9], 2);
+//! // 2 plain rotations + 2 CNOTs — no multi-controlled gates
+//! assert!(circuit.nb_gates() <= 4);
+//! assert!(circuit.to_matrix().unwrap().is_unitary(1e-12));
+//! ```
+
+use crate::circuit::QCircuit;
+use crate::gates::factories::{RotationY, RotationZ, CNOT};
+use crate::gates::Gate;
+
+/// The rotation axis of a uniformly controlled rotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UcrAxis {
+    Y,
+    Z,
+}
+
+fn rotation(axis: UcrAxis, qubit: usize, theta: f64) -> Gate {
+    match axis {
+        UcrAxis::Y => RotationY::new(qubit, theta),
+        UcrAxis::Z => RotationZ::new(qubit, theta),
+    }
+}
+
+/// Builds the **naive** uniformly controlled rotation: one
+/// multi-controlled rotation per control pattern. Exponentially more
+/// expensive than [`ucr`]; kept as the reference the decomposition is
+/// tested against.
+pub fn ucr_naive(
+    controls: &[usize],
+    target: usize,
+    axis: UcrAxis,
+    angles: &[f64],
+    nb_qubits: usize,
+) -> QCircuit {
+    let k = controls.len();
+    assert_eq!(angles.len(), 1 << k, "need 2^k angles");
+    let mut c = QCircuit::new(nb_qubits);
+    for (j, &theta) in angles.iter().enumerate() {
+        if theta.abs() < 1e-15 {
+            continue;
+        }
+        let mut g = rotation(axis, target, theta);
+        // first listed control carries the most significant bit of j
+        for (pos, &ctrl) in controls.iter().enumerate() {
+            let bit = ((j >> (k - 1 - pos)) & 1) as u8;
+            g = g.controlled(ctrl, bit);
+        }
+        c.push_back(g);
+    }
+    c
+}
+
+/// Gray code of `i`.
+#[inline]
+fn gray(i: usize) -> usize {
+    i ^ (i >> 1)
+}
+
+/// Transforms the requested per-pattern angles `θ` into the rotation
+/// angles `φ` of the Gray-code circuit: `φ_i = 2^{-k} Σ_j (−1)^{⟨b_j,
+/// g_i⟩} θ_j` with `g_i` the Gray code of `i`.
+fn transform_angles(angles: &[f64]) -> Vec<f64> {
+    let m = angles.len();
+    let k = m.trailing_zeros() as usize;
+    debug_assert_eq!(1usize << k, m);
+    let mut out = vec![0.0f64; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let gi = gray(i);
+        let mut acc = 0.0;
+        for (j, &t) in angles.iter().enumerate() {
+            let sign = if (j & gi).count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
+            acc += sign * t;
+        }
+        *o = acc / m as f64;
+    }
+    out
+}
+
+/// Builds the Gray-code decomposition of a uniformly controlled rotation
+/// over `{RY or RZ, CNOT}`. `angles[j]` is the rotation applied when the
+/// controls (first = most significant bit) read `j`.
+pub fn ucr(
+    controls: &[usize],
+    target: usize,
+    axis: UcrAxis,
+    angles: &[f64],
+    nb_qubits: usize,
+) -> QCircuit {
+    ucr_with_tol(controls, target, axis, angles, nb_qubits, 1e-15)
+}
+
+/// [`ucr`] with an explicit drop tolerance on the Gray-transformed
+/// rotation angles — FABLE's compression knob: dropping small `φ` yields
+/// an *approximate* multiplexor whose adjacent CNOTs then cancel (run
+/// [`crate::optimize::optimize`] afterwards to collect them).
+pub fn ucr_with_tol(
+    controls: &[usize],
+    target: usize,
+    axis: UcrAxis,
+    angles: &[f64],
+    nb_qubits: usize,
+    drop_tol: f64,
+) -> QCircuit {
+    let k = controls.len();
+    assert_eq!(angles.len(), 1 << k, "need 2^k angles");
+    let mut c = QCircuit::new(nb_qubits);
+    if k == 0 {
+        if angles[0].abs() > drop_tol {
+            c.push_back(rotation(axis, target, angles[0]));
+        }
+        return c;
+    }
+    let phi = transform_angles(angles);
+    // CNOTs onto the same target commute, so runs of CNOTs between two
+    // *emitted* rotations reduce to the controls appearing an odd number
+    // of times — FABLE's compression: dropping a rotation lets its
+    // neighbouring CNOTs merge by parity.
+    let mut pending = vec![false; k];
+    let flush = |c: &mut QCircuit, pending: &mut [bool]| {
+        for (bitpos, flag) in pending.iter_mut().enumerate() {
+            if *flag {
+                // bit 0 = least significant = last listed control
+                c.push_back(CNOT::new(controls[k - 1 - bitpos], target));
+                *flag = false;
+            }
+        }
+    };
+    for (i, &p) in phi.iter().enumerate() {
+        if p.abs() > drop_tol {
+            flush(&mut c, &mut pending);
+            c.push_back(rotation(axis, target, p));
+        }
+        // the control whose Gray bit flips between step i and i+1:
+        // bit position = number of trailing ones of i (equivalently the
+        // lowest set bit of i+1); the final CNOT closes on the top bit
+        let bitpos = if i + 1 == phi.len() {
+            k - 1
+        } else {
+            (i + 1).trailing_zeros() as usize
+        };
+        pending[bitpos] ^= true;
+    }
+    flush(&mut c, &mut pending);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn angles_for(k: usize, seed: u64) -> Vec<f64> {
+        // deterministic pseudo-random angles
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..(1usize << k))
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64 - 0.5) * 6.0
+            })
+            .collect()
+    }
+
+    fn check_equivalence(k: usize, axis: UcrAxis, seed: u64) {
+        let n = k + 1;
+        let controls: Vec<usize> = (0..k).collect();
+        let target = k;
+        let angles = angles_for(k, seed);
+        let naive = ucr_naive(&controls, target, axis, &angles, n)
+            .to_matrix()
+            .unwrap();
+        let fast = ucr(&controls, target, axis, &angles, n)
+            .to_matrix()
+            .unwrap();
+        assert!(
+            fast.approx_eq(&naive, 1e-10),
+            "Gray-code UCR({axis:?}) deviates for k = {k}"
+        );
+    }
+
+    #[test]
+    fn gray_code_matches_naive_ry() {
+        for k in 0..=4 {
+            check_equivalence(k, UcrAxis::Y, 11 + k as u64);
+        }
+    }
+
+    #[test]
+    fn gray_code_matches_naive_rz() {
+        for k in 0..=4 {
+            check_equivalence(k, UcrAxis::Z, 23 + k as u64);
+        }
+    }
+
+    #[test]
+    fn scrambled_control_order_still_works() {
+        let n = 4;
+        let controls = [2usize, 0, 3];
+        let target = 1;
+        let angles = angles_for(3, 77);
+        let naive = ucr_naive(&controls, target, UcrAxis::Y, &angles, n)
+            .to_matrix()
+            .unwrap();
+        let fast = ucr(&controls, target, UcrAxis::Y, &angles, n)
+            .to_matrix()
+            .unwrap();
+        assert!(fast.approx_eq(&naive, 1e-10));
+    }
+
+    #[test]
+    fn gate_counts_are_linear_in_patterns() {
+        let k = 4;
+        let controls: Vec<usize> = (0..k).collect();
+        let angles = angles_for(k, 5);
+        let c = ucr(&controls, k, UcrAxis::Y, &angles, k + 1);
+        // 2^k rotations + 2^k CNOTs
+        assert!(c.nb_gates() <= 2 * (1 << k));
+        // every gate is a plain rotation or a CNOT — no multi-controls
+        for item in c.items() {
+            if let crate::circuit::CircuitItem::Gate(g) = item {
+                assert!(g.controls().len() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_angles_collapse_to_single_rotation() {
+        // identical angle for every pattern: the transform concentrates
+        // everything in φ_0, all other rotations vanish
+        let k = 3;
+        let controls: Vec<usize> = (0..k).collect();
+        let angles = vec![0.8; 1 << k];
+        let c = ucr(&controls, k, UcrAxis::Z, &angles, k + 1);
+        let rotations = c
+            .items()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    crate::circuit::CircuitItem::Gate(Gate::RotationZ { .. })
+                )
+            })
+            .count();
+        assert_eq!(rotations, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! LaTeX (quantikz) export — QCLAB's `toTex` (paper Sec. 4).
+//!
+//! Generates a standalone, compilable LaTeX document using the `quantikz`
+//! package ("the ability to generate executable LaTeX code"). The same
+//! column layout as the ASCII renderer keeps both outputs consistent.
+
+use crate::layout::{layout, Glyph, Layout};
+use qclab_core::QCircuit;
+use std::fmt::Write;
+
+/// Escapes characters that are special in LaTeX gate labels.
+fn escape(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        match ch {
+            '#' | '%' | '&' | '_' | '{' | '}' => {
+                out.push('\\');
+                out.push(ch);
+            }
+            '†' => out.push_str("^\\dagger"),
+            '√' => out.push_str("\\sqrt{}"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Produces the quantikz body (one `&`-separated row per qubit).
+#[allow(clippy::needless_range_loop)] // wire-indexed grid fills
+pub fn render_body(l: &Layout) -> String {
+    // grid of cells, default \qw
+    let mut grid: Vec<Vec<String>> = vec![vec![String::from("\\qw"); l.nb_columns]; l.nb_qubits];
+
+    for item in &l.items {
+        let col = item.column;
+        if let Some(label) = &item.big_box {
+            let wires = item.span.1 - item.span.0 + 1;
+            grid[item.span.0][col] =
+                format!("\\gate[wires={wires}]{{{}}}", escape(label));
+            for q in item.span.0 + 1..=item.span.1 {
+                // cells covered by a multi-wire gate stay empty
+                grid[q][col] = String::new();
+            }
+            continue;
+        }
+        // distance to the next glyph below, for \ctrl arguments
+        let wires: Vec<usize> = item.glyphs.keys().copied().collect();
+        for (&q, glyph) in &item.glyphs {
+            let cell = match glyph {
+                Glyph::Box(label) => format!("\\gate{{{}}}", escape(label)),
+                Glyph::Meter(basis) => {
+                    if basis.is_empty() {
+                        "\\meter{}".to_string()
+                    } else {
+                        format!("\\meter{{{}}}", escape(basis))
+                    }
+                }
+                Glyph::Reset => "\\gate{\\ket{0}}".to_string(),
+                Glyph::Control(filled) => {
+                    // point the control at the nearest other wire of the item
+                    let target = wires
+                        .iter()
+                        .copied()
+                        .filter(|&w| w != q)
+                        .min_by_key(|&w| w.abs_diff(q))
+                        .unwrap_or(q);
+                    let d = target as isize - q as isize;
+                    if *filled {
+                        format!("\\ctrl{{{d}}}")
+                    } else {
+                        format!("\\octrl{{{d}}}")
+                    }
+                }
+                Glyph::Cross => {
+                    // first cross links to the partner, second terminates
+                    let partner = wires
+                        .iter()
+                        .copied()
+                        .filter(|&w| w != q)
+                        .min_by_key(|&w| w.abs_diff(q));
+                    match partner {
+                        Some(p) if q < p => format!("\\swap{{{}}}", p as isize - q as isize),
+                        _ => "\\targX{}".to_string(),
+                    }
+                }
+                Glyph::Barrier => "\\qw\\slice{}".to_string(),
+            };
+            grid[q][col] = cell;
+        }
+    }
+
+    let mut out = String::new();
+    for (q, row) in grid.iter().enumerate() {
+        let _ = write!(out, "\\lstick{{$q_{{{q}}}$}}");
+        for cell in row {
+            if cell.is_empty() {
+                out.push_str(" &");
+            } else {
+                let _ = write!(out, " & {cell}");
+            }
+        }
+        out.push_str(" & \\qw \\\\\n");
+    }
+    out
+}
+
+/// Produces a complete standalone LaTeX document (`circuit.toTex()`).
+pub fn to_tex(circuit: &QCircuit) -> String {
+    let body = render_body(&layout(circuit));
+    format!(
+        "\\documentclass{{standalone}}\n\
+         \\usepackage{{tikz}}\n\
+         \\usetikzlibrary{{quantikz}}\n\
+         \\begin{{document}}\n\
+         \\begin{{quantikz}}\n\
+         {body}\
+         \\end{{quantikz}}\n\
+         \\end{{document}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_core::gates::factories::*;
+    use qclab_core::Measurement;
+
+    fn bell() -> QCircuit {
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        c
+    }
+
+    #[test]
+    fn document_structure() {
+        let tex = to_tex(&bell());
+        assert!(tex.starts_with("\\documentclass{standalone}"));
+        assert!(tex.contains("\\begin{quantikz}"));
+        assert!(tex.contains("\\end{quantikz}"));
+        assert!(tex.contains("\\end{document}"));
+    }
+
+    #[test]
+    fn paper_circuit_cells() {
+        let tex = to_tex(&bell());
+        assert!(tex.contains("\\gate{H}"));
+        assert!(tex.contains("\\ctrl{1}"));
+        assert!(tex.contains("\\targ") || tex.contains("\\gate{X}"));
+        assert_eq!(tex.matches("\\meter{}").count(), 2);
+        assert!(tex.contains("\\lstick{$q_{0}$}"));
+        assert!(tex.contains("\\lstick{$q_{1}$}"));
+    }
+
+    #[test]
+    fn control_distance_is_signed() {
+        // control below the target: negative distance
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::new(1, 0));
+        let tex = to_tex(&c);
+        assert!(tex.contains("\\ctrl{-1}"), "{tex}");
+    }
+
+    #[test]
+    fn open_control_uses_octrl() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::with_control_state(0, 1, 0));
+        assert!(to_tex(&c).contains("\\octrl{1}"));
+    }
+
+    #[test]
+    fn swap_cells() {
+        let mut c = QCircuit::new(3);
+        c.push_back(SwapGate::new(0, 2));
+        let tex = to_tex(&c);
+        assert!(tex.contains("\\swap{2}"));
+        assert!(tex.contains("\\targX{}"));
+    }
+
+    #[test]
+    fn block_uses_multiwire_gate() {
+        let mut sub = QCircuit::new(2);
+        sub.push_back(CZ::new(0, 1));
+        sub.as_block("diffuser");
+        let mut c = QCircuit::new(2);
+        c.push_back(sub);
+        let tex = to_tex(&c);
+        assert!(tex.contains("\\gate[wires=2]{diffuser}"), "{tex}");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = QCircuit::new(1);
+        c.push_back(SdgGate::new(0)); // label "S†"
+        let tex = to_tex(&c);
+        assert!(tex.contains("S^\\dagger"), "{tex}");
+    }
+
+    #[test]
+    fn measurement_basis_label() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Measurement::y(0));
+        assert!(to_tex(&c).contains("\\meter{y}"));
+    }
+
+    #[test]
+    fn rows_match_qubits_and_end_with_linebreaks() {
+        let body = render_body(&crate::layout::layout(&bell()));
+        assert_eq!(body.lines().count(), 2);
+        for line in body.lines() {
+            assert!(line.ends_with("\\\\"));
+        }
+    }
+}

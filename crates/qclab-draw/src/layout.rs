@@ -1,0 +1,297 @@
+//! Column layout shared by the ASCII and LaTeX renderers.
+//!
+//! Circuit items are packed greedily into columns, exactly like
+//! [`QCircuit::depth`] counts layers: an item occupies the full span of
+//! wires between its lowest and highest qubit, and lands in the first
+//! column where that span is free. Sub-circuits marked
+//! [`as_block`](QCircuit::as_block) become a single spanning box; other
+//! sub-circuits are inlined transparently (paper Sec. 5.3: `asBlock` /
+//! `unBlock`).
+
+use qclab_core::circuit::CircuitItem;
+use qclab_core::measurement::Basis;
+use qclab_core::{Gate, QCircuit};
+use std::collections::BTreeMap;
+
+/// What is drawn on one wire of one placed item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Glyph {
+    /// A boxed gate label (`┤ H ├`).
+    Box(String),
+    /// A control dot; `true` = filled (control state 1).
+    Control(bool),
+    /// One half of a SWAP (`×`).
+    Cross,
+    /// A measurement box; the string is the basis label (`z`, `x`, …).
+    Meter(String),
+    /// A reset box (`|0>`).
+    Reset,
+    /// A barrier tick.
+    Barrier,
+}
+
+/// An item placed on the layout grid.
+#[derive(Clone, Debug)]
+pub struct PlacedItem {
+    /// Column index (0-based).
+    pub column: usize,
+    /// Wire span `(lowest qubit, highest qubit)` including connectors.
+    pub span: (usize, usize),
+    /// Per-wire glyphs. Wires inside the span without a glyph get a
+    /// vertical connector.
+    pub glyphs: BTreeMap<usize, Glyph>,
+    /// If set, the item is drawn as one box spanning all wires of `span`
+    /// with this label (blocks and contiguous multi-qubit customs).
+    pub big_box: Option<String>,
+}
+
+/// A laid-out circuit.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    pub nb_qubits: usize,
+    pub nb_columns: usize,
+    pub items: Vec<PlacedItem>,
+}
+
+struct Builder {
+    level: Vec<usize>,
+    items: Vec<PlacedItem>,
+}
+
+impl Builder {
+    fn place(&mut self, span: (usize, usize), glyphs: BTreeMap<usize, Glyph>, big: Option<String>) {
+        let (lo, hi) = span;
+        let column = (lo..=hi).map(|q| self.level[q]).max().unwrap_or(0);
+        for q in lo..=hi {
+            self.level[q] = column + 1;
+        }
+        self.items.push(PlacedItem {
+            column,
+            span,
+            glyphs,
+            big_box: big,
+        });
+    }
+
+    fn add_gate(&mut self, gate: &Gate) {
+        let mut glyphs = BTreeMap::new();
+        match gate {
+            Gate::Swap(a, b) => {
+                glyphs.insert(*a, Glyph::Cross);
+                glyphs.insert(*b, Glyph::Cross);
+            }
+            Gate::Custom { name, qubits, .. } => {
+                let lo = *qubits.iter().min().unwrap();
+                let hi = *qubits.iter().max().unwrap();
+                if qubits.len() > 1 && hi - lo + 1 == qubits.len() {
+                    // contiguous multi-qubit custom gate: one spanning box
+                    self.place((lo, hi), BTreeMap::new(), Some(name.clone()));
+                    return;
+                }
+                for &q in qubits {
+                    glyphs.insert(q, Glyph::Box(name.clone()));
+                }
+            }
+            Gate::Controlled {
+                controls,
+                control_states,
+                target,
+            } => {
+                for (&c, &s) in controls.iter().zip(control_states.iter()) {
+                    glyphs.insert(c, Glyph::Control(s == 1));
+                }
+                match &**target {
+                    Gate::Swap(a, b) => {
+                        glyphs.insert(*a, Glyph::Cross);
+                        glyphs.insert(*b, Glyph::Cross);
+                    }
+                    inner => {
+                        for q in inner.targets() {
+                            glyphs.insert(q, Glyph::Box(inner.name()));
+                        }
+                    }
+                }
+            }
+            g => {
+                for q in g.targets() {
+                    glyphs.insert(q, Glyph::Box(g.name()));
+                }
+            }
+        }
+        let lo = *glyphs.keys().min().unwrap();
+        let hi = *glyphs.keys().max().unwrap();
+        self.place((lo, hi), glyphs, None);
+    }
+
+    fn add_items(&mut self, circuit: &QCircuit, offset: usize) {
+        for item in circuit.items() {
+            match item {
+                CircuitItem::Gate(g) => {
+                    let g = if offset == 0 {
+                        g.clone()
+                    } else {
+                        g.shifted(offset)
+                    };
+                    self.add_gate(&g);
+                }
+                CircuitItem::Measurement(m) => {
+                    let q = m.qubit() + offset;
+                    let label = match m.basis() {
+                        Basis::Z => String::new(),
+                        b => b.label(),
+                    };
+                    let mut glyphs = BTreeMap::new();
+                    glyphs.insert(q, Glyph::Meter(label));
+                    self.place((q, q), glyphs, None);
+                }
+                CircuitItem::Reset(q) => {
+                    let q = q + offset;
+                    let mut glyphs = BTreeMap::new();
+                    glyphs.insert(q, Glyph::Reset);
+                    self.place((q, q), glyphs, None);
+                }
+                CircuitItem::Barrier(qs) => {
+                    if qs.is_empty() {
+                        continue;
+                    }
+                    let mut glyphs = BTreeMap::new();
+                    for &q in qs {
+                        glyphs.insert(q + offset, Glyph::Barrier);
+                    }
+                    let lo = *glyphs.keys().min().unwrap();
+                    let hi = *glyphs.keys().max().unwrap();
+                    self.place((lo, hi), glyphs, None);
+                }
+                CircuitItem::SubCircuit {
+                    offset: sub_off,
+                    circuit: sub,
+                } => {
+                    let base = offset + sub_off;
+                    if sub.draws_as_block() {
+                        let label = sub.name().unwrap_or("block").to_string();
+                        self.place(
+                            (base, base + sub.nb_qubits() - 1),
+                            BTreeMap::new(),
+                            Some(label),
+                        );
+                    } else {
+                        self.add_items(sub, base);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lays out a circuit for rendering.
+pub fn layout(circuit: &QCircuit) -> Layout {
+    let mut b = Builder {
+        level: vec![0; circuit.nb_qubits()],
+        items: Vec::new(),
+    };
+    b.add_items(circuit, 0);
+    Layout {
+        nb_qubits: circuit.nb_qubits(),
+        nb_columns: b.level.iter().copied().max().unwrap_or(0),
+        items: b.items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_core::gates::factories::*;
+    use qclab_core::Measurement;
+
+    #[test]
+    fn bell_circuit_layout() {
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        let l = layout(&c);
+        assert_eq!(l.nb_columns, 3);
+        assert_eq!(l.items.len(), 4);
+        assert_eq!(l.items[0].column, 0);
+        assert_eq!(l.items[1].column, 1);
+        // both measurements pack into column 2
+        assert_eq!(l.items[2].column, 2);
+        assert_eq!(l.items[3].column, 2);
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(2));
+        let l = layout(&c);
+        assert_eq!(l.nb_columns, 1);
+        assert_eq!(l.items[0].column, 0);
+        assert_eq!(l.items[1].column, 0);
+    }
+
+    #[test]
+    fn cnot_spans_blocking_middle_wire() {
+        let mut c = QCircuit::new(3);
+        c.push_back(CNOT::new(0, 2));
+        c.push_back(Hadamard::new(1)); // must move to column 1
+        let l = layout(&c);
+        assert_eq!(l.items[1].column, 1);
+        assert_eq!(l.items[0].span, (0, 2));
+        assert_eq!(l.items[0].glyphs[&0], Glyph::Control(true));
+        assert_eq!(l.items[0].glyphs[&2], Glyph::Box("X".into()));
+    }
+
+    #[test]
+    fn open_control_glyph() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::with_control_state(1, 0, 0));
+        let l = layout(&c);
+        assert_eq!(l.items[0].glyphs[&1], Glyph::Control(false));
+    }
+
+    #[test]
+    fn block_subcircuit_becomes_big_box() {
+        let mut sub = QCircuit::new(2);
+        sub.push_back(CZ::new(0, 1));
+        sub.as_block("oracle");
+        let mut c = QCircuit::new(3);
+        c.push_back_at(1, sub).unwrap();
+        let l = layout(&c);
+        assert_eq!(l.items.len(), 1);
+        assert_eq!(l.items[0].big_box.as_deref(), Some("oracle"));
+        assert_eq!(l.items[0].span, (1, 2));
+    }
+
+    #[test]
+    fn unblocked_subcircuit_is_inlined() {
+        let mut sub = QCircuit::new(2);
+        sub.push_back(CZ::new(0, 1));
+        let mut c = QCircuit::new(3);
+        c.push_back_at(1, sub).unwrap();
+        let l = layout(&c);
+        assert!(l.items[0].big_box.is_none());
+        assert_eq!(l.items[0].glyphs[&1], Glyph::Control(true));
+    }
+
+    #[test]
+    fn swap_and_barrier_glyphs() {
+        let mut c = QCircuit::new(2);
+        c.push_back(SwapGate::new(0, 1));
+        c.push_back(qclab_core::CircuitItem::Barrier(vec![0, 1]));
+        let l = layout(&c);
+        assert_eq!(l.items[0].glyphs[&0], Glyph::Cross);
+        assert_eq!(l.items[1].glyphs[&1], Glyph::Barrier);
+    }
+
+    #[test]
+    fn measurement_basis_labels() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Measurement::x(0));
+        c.push_back(Measurement::z(0));
+        let l = layout(&c);
+        assert_eq!(l.items[0].glyphs[&0], Glyph::Meter("x".into()));
+        assert_eq!(l.items[1].glyphs[&0], Glyph::Meter(String::new()));
+    }
+}

@@ -1,0 +1,25 @@
+//! # qclab-draw
+//!
+//! Visualization of qclab circuits (paper Sec. 4): terminal "musical
+//! score" diagrams ([`draw_circuit`], QCLAB's `draw`) and executable
+//! quantikz LaTeX ([`to_tex`], QCLAB's `toTex`). Both renderers share the
+//! greedy column [`layout`](layout::layout), so the pictures agree.
+//!
+//! ```
+//! use qclab_core::prelude::*;
+//! use qclab_draw::draw_circuit;
+//!
+//! let mut circuit = QCircuit::new(2);
+//! circuit.push_back(Hadamard::new(0));
+//! circuit.push_back(CNOT::new(0, 1));
+//! let art = draw_circuit(&circuit);
+//! assert!(art.contains("┤ H ├"));
+//! ```
+
+pub mod ascii;
+pub mod latex;
+pub mod layout;
+
+pub use ascii::draw_circuit;
+pub use latex::to_tex;
+pub use layout::{layout, Glyph, Layout, PlacedItem};

@@ -1,0 +1,168 @@
+//! Bit-manipulation helpers for basis-state indexing.
+//!
+//! QCLAB indexes the `2^n`-dimensional state vector with the convention that
+//! **qubit 0 is the most significant bit**: the paper builds
+//! `initial_state = kron(v, bell)` with `v` living on qubit 0, which is
+//! exactly this ordering. All index juggling for gate application,
+//! measurement and collapse funnels through this module so the convention
+//! lives in one place.
+
+/// Returns the bit of qubit `q` inside basis-state index `i` of an
+/// `n`-qubit register (qubit 0 = most significant).
+#[inline]
+pub fn qubit_bit(i: usize, q: usize, n: usize) -> usize {
+    debug_assert!(q < n);
+    (i >> (n - 1 - q)) & 1
+}
+
+/// The bit position (shift amount) of qubit `q` in an `n`-qubit index.
+#[inline]
+pub fn qubit_shift(q: usize, n: usize) -> usize {
+    debug_assert!(q < n);
+    n - 1 - q
+}
+
+/// Sets the bit of qubit `q` in index `i` to `bit` (0 or 1).
+#[inline]
+pub fn set_qubit_bit(i: usize, q: usize, n: usize, bit: usize) -> usize {
+    debug_assert!(bit <= 1);
+    let shift = qubit_shift(q, n);
+    (i & !(1 << shift)) | (bit << shift)
+}
+
+/// Inserts a 0 bit at bit position `pos` (counting from the least
+/// significant bit), shifting the higher bits left.
+///
+/// This is the standard trick for enumerating all indices with a fixed
+/// value on one qubit: iterate `k` over `0..2^(n-1)` and insert the
+/// qubit's bit at its position.
+#[inline]
+pub fn insert_bit(k: usize, pos: usize) -> usize {
+    let low_mask = (1usize << pos) - 1;
+    ((k & !low_mask) << 1) | (k & low_mask)
+}
+
+/// Extracts the bits of `i` at the given qubit positions (qubit order
+/// preserved, first listed qubit becomes the most significant result bit).
+pub fn gather_bits(i: usize, qubits: &[usize], n: usize) -> usize {
+    let mut out = 0usize;
+    for &q in qubits {
+        out = (out << 1) | qubit_bit(i, q, n);
+    }
+    out
+}
+
+/// Scatters the bits of `sub` (first listed qubit = most significant bit of
+/// `sub`) onto the qubit positions of `i`, leaving all other bits intact.
+pub fn scatter_bits(i: usize, sub: usize, qubits: &[usize], n: usize) -> usize {
+    let mut out = i;
+    for (idx, &q) in qubits.iter().enumerate() {
+        let bit = (sub >> (qubits.len() - 1 - idx)) & 1;
+        out = set_qubit_bit(out, q, n, bit);
+    }
+    out
+}
+
+/// Parses a bitstring like `"010"` (qubit 0 first) into a basis-state index.
+///
+/// Returns `None` if the string contains characters other than `'0'`/`'1'`.
+pub fn bitstring_to_index(s: &str) -> Option<usize> {
+    let mut i = 0usize;
+    for ch in s.chars() {
+        i = (i << 1)
+            | match ch {
+                '0' => 0,
+                '1' => 1,
+                _ => return None,
+            };
+    }
+    Some(i)
+}
+
+/// Formats basis-state index `i` of an `n`-qubit register as a bitstring
+/// with qubit 0 first, e.g. `index_to_bitstring(2, 2) == "10"`.
+pub fn index_to_bitstring(i: usize, n: usize) -> String {
+    (0..n)
+        .map(|q| if qubit_bit(i, q, n) == 1 { '1' } else { '0' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit0_is_most_significant() {
+        // |10> on 2 qubits = index 2: qubit 0 carries the 1.
+        assert_eq!(qubit_bit(2, 0, 2), 1);
+        assert_eq!(qubit_bit(2, 1, 2), 0);
+    }
+
+    #[test]
+    fn set_bit_round_trips() {
+        for n in 1..6 {
+            for i in 0..(1usize << n) {
+                for q in 0..n {
+                    let b = qubit_bit(i, q, n);
+                    assert_eq!(set_qubit_bit(i, q, n, b), i);
+                    let flipped = set_qubit_bit(i, q, n, 1 - b);
+                    assert_eq!(qubit_bit(flipped, q, n), 1 - b);
+                    assert_eq!(set_qubit_bit(flipped, q, n, b), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_bit_enumerates_zero_subspace() {
+        // n = 3, qubit at bit position 1: indices with that bit zero are
+        // 0,1,4,5.
+        let got: Vec<usize> = (0..4).map(|k| insert_bit(k, 1)).collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn insert_bit_at_zero_doubles() {
+        let got: Vec<usize> = (0..4).map(|k| insert_bit(k, 0)).collect();
+        assert_eq!(got, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let n = 5;
+        let qubits = [3, 0, 4];
+        for i in 0..(1usize << n) {
+            let sub = gather_bits(i, &qubits, n);
+            assert_eq!(scatter_bits(i, sub, &qubits, n), i);
+        }
+    }
+
+    #[test]
+    fn scatter_overwrites_only_listed_qubits() {
+        let n = 4;
+        // start from all ones, write 00 onto qubits 1 and 2 -> |1001> = 9.
+        let i = 0b1111;
+        assert_eq!(scatter_bits(i, 0b00, &[1, 2], n), 0b1001);
+    }
+
+    #[test]
+    fn bitstring_conversions() {
+        assert_eq!(bitstring_to_index("00"), Some(0));
+        assert_eq!(bitstring_to_index("10"), Some(2));
+        assert_eq!(bitstring_to_index("11"), Some(3));
+        assert_eq!(bitstring_to_index("1x"), None);
+        assert_eq!(index_to_bitstring(2, 2), "10");
+        assert_eq!(index_to_bitstring(5, 4), "0101");
+    }
+
+    #[test]
+    fn bitstring_round_trip() {
+        for n in 1..8 {
+            for i in 0..(1usize << n) {
+                let s = index_to_bitstring(i, n);
+                assert_eq!(bitstring_to_index(&s), Some(i));
+                assert_eq!(s.len(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Dense complex matrices.
+//!
+//! [`CMat`] is a row-major dense matrix over [`C64`]. It provides exactly
+//! the operations the rest of the workspace needs — products, adjoints,
+//! Kronecker products, and structural predicates (unitary / Hermitian /
+//! identity) — implemented directly so the numerical behaviour is fully
+//! under our control, as the paper's "numerical stability" emphasis asks.
+
+use crate::scalar::{approx_eq_c, c, cr, zero, C64, DEFAULT_TOL};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = cr(1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure mapping `(row, col)` to an entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for cl in 0..cols {
+                data.push(f(r, cl));
+            }
+        }
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices. Panics on ragged input.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        let r = rows.len();
+        let cols = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows in CMat::from_rows");
+            data.extend_from_slice(row);
+        }
+        CMat {
+            rows: r,
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector. Panics if
+    /// `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "CMat::from_vec size mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a 2x2 matrix from entries in reading order.
+    pub fn mat2(a: C64, b: C64, cc: C64, d: C64) -> Self {
+        CMat::from_vec(2, 2, vec![a, b, cc, d])
+    }
+
+    /// Builds a square diagonal matrix from the given diagonal.
+    pub fn diag(d: &[C64]) -> Self {
+        let n = d.len();
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = d[i];
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "CMat::matmul dimension mismatch {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        // ikj loop order: the inner loop walks both `rhs` and `out` rows
+        // contiguously, which is markedly faster than the naive ijk order.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == zero() {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`. Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "CMat::matvec dimension mismatch");
+        let mut out = vec![zero(); self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = zero();
+            for (&a, &x) in row.iter().zip(v.iter()) {
+                acc += a * x;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose (the dagger).
+    pub fn dagger(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, cl| self[(cl, r)].conj())
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, cl| self[(cl, r)])
+    }
+
+    /// Elementwise complex conjugate.
+    pub fn conj(&self) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: C64) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z * s).collect(),
+        }
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = CMat::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == zero() {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry of `self - rhs`; the distance used by the
+    /// structural predicates below.
+    pub fn max_abs_diff(&self, rhs: &CMat) -> f64 {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Entrywise approximate equality within `tol`.
+    pub fn approx_eq(&self, rhs: &CMat, tol: f64) -> bool {
+        self.rows == rhs.rows && self.cols == rhs.cols && self.max_abs_diff(rhs) <= tol
+    }
+
+    /// `true` if `self† self = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&CMat::identity(self.rows), tol)
+    }
+
+    /// `true` if `self = self†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..=i {
+                if !approx_eq_c(self[(i, j)], self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if the matrix is the identity within `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&CMat::identity(self.rows), tol)
+    }
+
+    /// `true` if the matrix is diagonal within `tol`.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j && self[(i, j)].norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<C64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix power by repeated squaring (square matrices only).
+    pub fn pow(&self, mut e: u32) -> CMat {
+        assert!(self.is_square(), "pow of a non-square matrix");
+        let mut base = self.clone();
+        let mut acc = CMat::identity(self.rows);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.matmul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.matmul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Outer product `u v†` of two vectors, as a matrix.
+    pub fn outer(u: &[C64], v: &[C64]) -> CMat {
+        CMat::from_fn(u.len(), v.len(), |i, j| u[i] * v[j].conj())
+    }
+
+    /// Embeds `self` (a `d x d` matrix) into `I_left ⊗ self ⊗ I_right`.
+    pub fn embed(&self, left_dim: usize, right_dim: usize) -> CMat {
+        let il = CMat::identity(left_dim);
+        let ir = CMat::identity(right_dim);
+        il.kron(self).kron(&ir)
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, cl): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.rows && cl < self.cols);
+        &self.data[r * self.cols + cl]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, cl): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.rows && cl < self.cols);
+        &mut self.data[r * self.cols + cl]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &CMat {
+    type Output = CMat;
+    fn neg(self) -> CMat {
+        self.scale(c(-1.0, 0.0))
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                let z = self[(i, j)];
+                write!(f, "{:+.4}{:+.4}i ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Convenience: checks unitarity with the default tolerance.
+pub fn assert_unitary(m: &CMat) {
+    assert!(
+        m.is_unitary(DEFAULT_TOL.max(1e-10)),
+        "matrix is not unitary: U†U deviates from I by {}",
+        m.dagger().matmul(m).max_abs_diff(&CMat::identity(m.rows()))
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c, cr};
+
+    fn pauli_x() -> CMat {
+        CMat::mat2(cr(0.0), cr(1.0), cr(1.0), cr(0.0))
+    }
+
+    fn pauli_y() -> CMat {
+        CMat::mat2(cr(0.0), c(0.0, -1.0), c(0.0, 1.0), cr(0.0))
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::mat2(cr(1.0), cr(0.0), cr(0.0), cr(-1.0))
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        assert!(CMat::identity(4).is_identity(0.0));
+        assert!(CMat::identity(4).is_unitary(0.0));
+        assert!(CMat::identity(4).is_diagonal(0.0));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        // XY = iZ
+        assert!(x.matmul(&y).approx_eq(&z.scale(c(0.0, 1.0)), 1e-15));
+        // X^2 = I
+        assert!(x.matmul(&x).is_identity(1e-15));
+        // anticommutation {X, Z} = 0
+        let anti = &x.matmul(&z) + &z.matmul(&x);
+        assert!(anti.approx_eq(&CMat::zeros(2, 2), 1e-15));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for m in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(m.is_unitary(1e-15));
+            assert!(m.is_hermitian(1e-15));
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = pauli_y();
+        let v = vec![c(0.3, 0.1), c(-0.2, 0.7)];
+        let mv = m.matvec(&v);
+        let vm = CMat::from_vec(2, 1, v.clone());
+        let prod = m.matmul(&vm);
+        assert!(approx_eq_c(mv[0], prod[(0, 0)], 1e-15));
+        assert!(approx_eq_c(mv[1], prod[(1, 0)], 1e-15));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let i2 = CMat::identity(2);
+        let k = i2.kron(&x);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        // I ⊗ X = block diag(X, X)
+        assert!(approx_eq_c(k[(0, 1)], cr(1.0), 0.0));
+        assert!(approx_eq_c(k[(2, 3)], cr(1.0), 0.0));
+        assert!(approx_eq_c(k[(0, 3)], cr(0.0), 0.0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let cm = pauli_z();
+        let d = CMat::identity(2);
+        let lhs = a.kron(&b).matmul(&cm.kron(&d));
+        let rhs = a.matmul(&cm).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn dagger_involution_and_product_rule() {
+        let a = pauli_y();
+        let b = pauli_x();
+        assert!(a.dagger().dagger().approx_eq(&a, 0.0));
+        // (AB)† = B†A†
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-15));
+    }
+
+    #[test]
+    fn trace_and_frobenius() {
+        let z = pauli_z();
+        assert!(approx_eq_c(z.trace(), cr(0.0), 0.0));
+        assert!((z.frobenius_norm() - 2f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        let x = pauli_x();
+        assert!(x.pow(0).is_identity(0.0));
+        assert!(x.pow(1).approx_eq(&x, 0.0));
+        assert!(x.pow(2).is_identity(1e-15));
+        assert!(x.pow(7).approx_eq(&x, 1e-15));
+    }
+
+    #[test]
+    fn outer_product_projector() {
+        let v = vec![cr(1.0 / 2f64.sqrt()), c(0.0, 1.0 / 2f64.sqrt())];
+        let p = CMat::outer(&v, &v);
+        // projector: P^2 = P, trace 1, Hermitian
+        assert!(p.matmul(&p).approx_eq(&p, 1e-15));
+        assert!(approx_eq_c(p.trace(), cr(1.0), 1e-15));
+        assert!(p.is_hermitian(1e-15));
+    }
+
+    #[test]
+    fn embed_matches_manual_kron() {
+        let x = pauli_x();
+        let e = x.embed(2, 4);
+        assert_eq!(e.rows(), 16);
+        let manual = CMat::identity(2).kron(&x).kron(&CMat::identity(4));
+        assert!(e.approx_eq(&manual, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn operators_add_sub_neg() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let s = &x + &z;
+        let d = &s - &z;
+        assert!(d.approx_eq(&x, 1e-15));
+        let n = -&x;
+        assert!((&n + &x).approx_eq(&CMat::zeros(2, 2), 0.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Density matrices, partial trace, trace distance and fidelity.
+//!
+//! The tomography example of the paper (Sec. 5.2) reconstructs a density
+//! matrix from measurement statistics and reports the **trace distance**
+//! to the true state; the teleportation example uses **reduced states** of
+//! subsets of qubits. Both live here.
+
+use crate::bits;
+use crate::dense::CMat;
+use crate::eig::{hermitian_eigenvalues, hermitian_trace_norm};
+use crate::scalar::{cr, C64};
+use crate::vector::CVec;
+
+/// A density matrix `ρ` on `n` qubits (a `2^n x 2^n` PSD matrix of trace 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    mat: CMat,
+    nb_qubits: usize,
+}
+
+impl DensityMatrix {
+    /// Builds `ρ = |ψ⟩⟨ψ|` from a pure state.
+    pub fn from_pure(psi: &CVec) -> Self {
+        let nb_qubits = psi.nb_qubits();
+        DensityMatrix {
+            mat: CMat::outer(psi, psi),
+            nb_qubits,
+        }
+    }
+
+    /// Builds a mixture `Σ p_i |ψ_i⟩⟨ψ_i|`. Probabilities need not be
+    /// normalized; they are rescaled to sum to 1.
+    pub fn from_mixture(states: &[(f64, CVec)]) -> Self {
+        assert!(!states.is_empty(), "empty mixture");
+        let nb_qubits = states[0].1.nb_qubits();
+        let dim = 1usize << nb_qubits;
+        let total: f64 = states.iter().map(|(p, _)| p).sum();
+        assert!(total > 0.0, "mixture weights sum to zero");
+        let mut m = CMat::zeros(dim, dim);
+        for (p, psi) in states {
+            assert_eq!(psi.len(), dim, "mixture state dimension mismatch");
+            let proj = CMat::outer(psi, psi).scale(cr(p / total));
+            m = &m + &proj;
+        }
+        DensityMatrix { mat: m, nb_qubits }
+    }
+
+    /// Wraps an existing matrix as a density matrix. Panics if the
+    /// dimension is not a power of two; physical validity is *not* checked
+    /// (tomography estimates can be slightly unphysical — exactly the
+    /// situation of the paper's `ρ_est`).
+    pub fn from_matrix(mat: CMat) -> Self {
+        assert!(mat.is_square(), "density matrix must be square");
+        let dim = mat.rows();
+        assert!(
+            dim.is_power_of_two(),
+            "density matrix dimension {dim} is not a power of two"
+        );
+        DensityMatrix {
+            mat,
+            nb_qubits: dim.trailing_zeros() as usize,
+        }
+    }
+
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(nb_qubits: usize) -> Self {
+        let dim = 1usize << nb_qubits;
+        DensityMatrix {
+            mat: CMat::identity(dim).scale(cr(1.0 / dim as f64)),
+            nb_qubits,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn nb_qubits(&self) -> usize {
+        self.nb_qubits
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// Borrows the underlying matrix.
+    pub fn matrix(&self) -> &CMat {
+        &self.mat
+    }
+
+    /// Trace of `ρ` (1 for a physical state).
+    pub fn trace(&self) -> C64 {
+        self.mat.trace()
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        self.mat.matmul(&self.mat).trace().re
+    }
+
+    /// Checks physical validity: Hermitian, unit trace, PSD — all within
+    /// `tol`.
+    pub fn is_physical(&self, tol: f64) -> bool {
+        if !self.mat.is_hermitian(tol) {
+            return false;
+        }
+        if (self.trace().re - 1.0).abs() > tol || self.trace().im.abs() > tol {
+            return false;
+        }
+        hermitian_eigenvalues(&self.mat)
+            .iter()
+            .all(|&l| l >= -tol)
+    }
+
+    /// Trace distance `D(ρ, σ) = ||ρ - σ||_1 / 2`, the paper's tomography
+    /// quality metric.
+    pub fn trace_distance(&self, other: &DensityMatrix) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "trace distance dimension mismatch");
+        let diff = &self.mat - &other.mat;
+        0.5 * hermitian_trace_norm(&diff)
+    }
+
+    /// Fidelity with a pure state: `F = ⟨ψ|ρ|ψ⟩`.
+    pub fn fidelity_with_pure(&self, psi: &CVec) -> f64 {
+        assert_eq!(self.dim(), psi.len(), "fidelity dimension mismatch");
+        let rho_psi = self.mat.matvec(psi);
+        psi.inner(&CVec(rho_psi)).re
+    }
+
+    /// Expectation value `Tr(ρ A)` of a Hermitian observable.
+    pub fn expectation(&self, observable: &CMat) -> f64 {
+        assert_eq!(self.dim(), observable.rows());
+        self.mat.matmul(observable).trace().re
+    }
+
+    /// Partial trace keeping only `keep` qubits (indices in the original
+    /// register, qubit 0 = most significant). The kept qubits appear in the
+    /// result in ascending original order.
+    pub fn partial_trace_keep(&self, keep: &[usize]) -> DensityMatrix {
+        let n = self.nb_qubits;
+        let mut keep_sorted: Vec<usize> = keep.to_vec();
+        keep_sorted.sort_unstable();
+        keep_sorted.dedup();
+        assert!(
+            keep_sorted.iter().all(|&q| q < n),
+            "partial trace: qubit index out of range"
+        );
+        let traced: Vec<usize> = (0..n).filter(|q| !keep_sorted.contains(q)).collect();
+        let k = keep_sorted.len();
+        let kd = 1usize << k;
+        let td = 1usize << traced.len();
+
+        let mut out = CMat::zeros(kd, kd);
+        for r in 0..kd {
+            for c in 0..kd {
+                let mut acc = C64::new(0.0, 0.0);
+                for t in 0..td {
+                    // assemble the full-register indices that share the
+                    // traced-qubit pattern t
+                    let mut i = bits::scatter_bits(0, r, &keep_sorted, n);
+                    i = bits::scatter_bits(i, t, &traced, n);
+                    let mut j = bits::scatter_bits(0, c, &keep_sorted, n);
+                    j = bits::scatter_bits(j, t, &traced, n);
+                    acc += self.mat[(i, j)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        DensityMatrix {
+            mat: out,
+            nb_qubits: k,
+        }
+    }
+
+    /// The reduced density matrix of one qubit of a **pure** state,
+    /// computed directly from the state vector in `O(2^n)` — unlike
+    /// [`partial_trace_keep`](Self::partial_trace_keep), no `2^n x 2^n`
+    /// matrix is ever formed, so this works on large registers.
+    pub fn single_qubit_from_pure(psi: &CVec, qubit: usize) -> DensityMatrix {
+        let n = psi.nb_qubits();
+        assert!(qubit < n);
+        let s = bits::qubit_shift(qubit, n);
+        let mut r00 = C64::new(0.0, 0.0);
+        let mut r01 = C64::new(0.0, 0.0);
+        let mut r11 = C64::new(0.0, 0.0);
+        for k in 0..(psi.len() >> 1) {
+            let i0 = bits::insert_bit(k, s);
+            let i1 = i0 | (1 << s);
+            let (a, b) = (psi[i0], psi[i1]);
+            r00 += a * a.conj();
+            r11 += b * b.conj();
+            r01 += a * b.conj();
+        }
+        let mut m = CMat::zeros(2, 2);
+        m[(0, 0)] = r00;
+        m[(0, 1)] = r01;
+        m[(1, 0)] = r01.conj();
+        m[(1, 1)] = r11;
+        DensityMatrix {
+            mat: m,
+            nb_qubits: 1,
+        }
+    }
+
+    /// Bloch vector `(⟨X⟩, ⟨Y⟩, ⟨Z⟩)` of a single-qubit state.
+    pub fn bloch_vector(&self) -> (f64, f64, f64) {
+        assert_eq!(self.nb_qubits, 1, "bloch_vector requires a 1-qubit state");
+        let x = 2.0 * self.mat[(0, 1)].re;
+        let y = -2.0 * self.mat[(0, 1)].im;
+        let z = self.mat[(0, 0)].re - self.mat[(1, 1)].re;
+        (x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c, cr};
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    fn paper_v() -> CVec {
+        // |v> = (1/sqrt2, i/sqrt2), the state used throughout the paper
+        CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)])
+    }
+
+    #[test]
+    fn pure_state_density_matrix_of_paper_v() {
+        let rho = DensityMatrix::from_pure(&paper_v());
+        // paper Sec. 5.2: rho_v = [[0.5, -0.5i], [0.5i, 0.5]]
+        assert!((rho.matrix()[(0, 0)].re - 0.5).abs() < 1e-15);
+        assert!((rho.matrix()[(0, 1)].im + 0.5).abs() < 1e-15);
+        assert!((rho.matrix()[(1, 0)].im - 0.5).abs() < 1e-15);
+        assert!((rho.matrix()[(1, 1)].re - 0.5).abs() < 1e-15);
+        assert!(rho.is_physical(1e-12));
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_estimated_density_matrix_trace_distance() {
+        // the concrete rho_est from paper Sec. 5.2 and its distance 0.006
+        let rho = DensityMatrix::from_pure(&paper_v());
+        let est = DensityMatrix::from_matrix(CMat::mat2(
+            cr(0.494),
+            c(0.029, -0.5),
+            c(0.029, 0.5),
+            cr(0.506),
+        ));
+        let d = rho.trace_distance(&est);
+        // eigenvalues of the difference: ±sqrt(0.006² + 0.029²) ≈ ±0.0296,
+        // so D ≈ 0.0296; the paper's 0.006 rounds the S-coefficients first.
+        // We check our metric against the exact closed form for 2x2:
+        let expected = (0.006f64.powi(2) + 0.029f64.powi(2)).sqrt();
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let mm = DensityMatrix::maximally_mixed(2);
+        assert!(mm.is_physical(1e-12));
+        assert!((mm.purity() - 0.25).abs() < 1e-12);
+        assert!((mm.trace().re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixture_of_orthogonal_states() {
+        let zero = CVec::basis_state(2, 0);
+        let one = CVec::basis_state(2, 1);
+        let rho = DensityMatrix::from_mixture(&[(0.5, zero), (0.5, one)]);
+        assert!(rho
+            .matrix()
+            .approx_eq(&CMat::identity(2).scale(cr(0.5)), 1e-15));
+    }
+
+    #[test]
+    fn trace_distance_extremes() {
+        let zero = DensityMatrix::from_pure(&CVec::basis_state(2, 0));
+        let one = DensityMatrix::from_pure(&CVec::basis_state(2, 1));
+        assert!((zero.trace_distance(&one) - 1.0).abs() < 1e-12);
+        assert!(zero.trace_distance(&zero).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        // |v> ⊗ |0>: tracing out qubit 1 gives rho_v.
+        let psi = paper_v().kron(&CVec::basis_state(2, 0));
+        let rho = DensityMatrix::from_pure(&psi);
+        let red = rho.partial_trace_keep(&[0]);
+        let expect = DensityMatrix::from_pure(&paper_v());
+        assert!(red.matrix().approx_eq(expect.matrix(), 1e-14));
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_maximally_mixed() {
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        let rho = DensityMatrix::from_pure(&bell);
+        for q in 0..2 {
+            let red = rho.partial_trace_keep(&[q]);
+            assert!(red
+                .matrix()
+                .approx_eq(DensityMatrix::maximally_mixed(1).matrix(), 1e-14));
+        }
+    }
+
+    #[test]
+    fn partial_trace_preserves_trace() {
+        let psi = CVec(vec![cr(0.5), cr(0.5), c(0.0, 0.5), c(0.5, 0.0)]);
+        let rho = DensityMatrix::from_pure(&psi.normalized());
+        let red = rho.partial_trace_keep(&[1]);
+        assert!((red.trace().re - 1.0).abs() < 1e-14);
+        assert!(red.is_physical(1e-12));
+    }
+
+    #[test]
+    fn single_qubit_reduction_matches_partial_trace() {
+        let psi = CVec(vec![cr(0.5), c(0.0, 0.5), cr(0.5), c(0.5, 0.0)]).normalized();
+        let rho = DensityMatrix::from_pure(&psi);
+        for q in 0..2 {
+            let fast = DensityMatrix::single_qubit_from_pure(&psi, q);
+            let slow = rho.partial_trace_keep(&[q]);
+            assert!(fast.matrix().approx_eq(slow.matrix(), 1e-14));
+        }
+    }
+
+    #[test]
+    fn single_qubit_reduction_of_entangled_state_is_mixed() {
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        let red = DensityMatrix::single_qubit_from_pure(&bell, 1);
+        assert!((red.purity() - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bloch_vector_of_paper_v_points_along_y() {
+        let rho = DensityMatrix::from_pure(&paper_v());
+        let (x, y, z) = rho.bloch_vector();
+        assert!(x.abs() < 1e-14);
+        assert!((y - 1.0).abs() < 1e-14);
+        assert!(z.abs() < 1e-14);
+    }
+
+    #[test]
+    fn expectation_values_match_probabilities() {
+        let rho = DensityMatrix::from_pure(&paper_v());
+        let z = CMat::mat2(cr(1.0), cr(0.0), cr(0.0), cr(-1.0));
+        // <Z> = P(0) - P(1) = 0 for |v>
+        assert!(rho.expectation(&z).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fidelity_with_pure() {
+        let rho = DensityMatrix::from_pure(&paper_v());
+        assert!((rho.fidelity_with_pure(&paper_v()) - 1.0).abs() < 1e-14);
+        let orth = CVec(vec![cr(INV_SQRT2), c(0.0, -INV_SQRT2)]);
+        assert!(rho.fidelity_with_pure(&orth).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,288 @@
+//! Hermitian eigensolver (cyclic complex Jacobi).
+//!
+//! Needed for the tomography experiment of the paper (trace distance between
+//! density matrices requires the eigenvalues of a Hermitian difference) and
+//! for validating density matrices (positive semi-definiteness).
+//!
+//! The solver is the classical cyclic Jacobi iteration extended to complex
+//! Hermitian matrices: each off-diagonal entry `a_pq = r·e^{iφ}` is zeroed
+//! by a unitary plane rotation `J = D·R` with `D = diag(1, e^{-iφ})`
+//! (which makes the pivot real) followed by a real Givens rotation `R`.
+//! Jacobi is slower than tridiagonalization-based methods but is famously
+//! numerically robust and forgiving — the right trade-off for the small
+//! matrices (≤ a few hundred) this workspace diagonalizes.
+
+use crate::dense::CMat;
+use crate::scalar::{cis, cr};
+
+/// Result of a Hermitian eigendecomposition `A = V Λ V†`.
+#[derive(Clone, Debug)]
+pub struct HermitianEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMat,
+}
+
+/// Froebenius norm of the strictly off-diagonal part.
+fn off_norm(a: &CMat) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Computes the full eigendecomposition of a Hermitian matrix.
+///
+/// Panics if `a` is not square; the Hermitian property is assumed (only the
+/// Hermitian part of the input influences the result since updates keep the
+/// working matrix Hermitian).
+pub fn hermitian_eig(a: &CMat) -> HermitianEig {
+    assert!(a.is_square(), "hermitian_eig requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = CMat::identity(n);
+
+    if n <= 1 {
+        return HermitianEig {
+            values: (0..n).map(|i| m[(i, i)].re).collect(),
+            vectors: v,
+        };
+    }
+
+    let scale = a.frobenius_norm().max(1.0);
+    let tol = 1e-14 * scale;
+    const MAX_SWEEPS: usize = 100;
+
+    for _ in 0..MAX_SWEEPS {
+        if off_norm(&m) <= tol {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                let r = apq.norm();
+                if r <= tol / (n as f64) {
+                    continue;
+                }
+                let phi = apq.im.atan2(apq.re);
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+
+                // real Jacobi rotation zeroing the (now real) pivot r
+                let tau = (aqq - app) / (2.0 * r);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // J differs from I at the (p,q) block:
+                //   J[p][p] = c          J[p][q] = s
+                //   J[q][p] = -s·e^{-iφ} J[q][q] = c·e^{-iφ}
+                let e_miphi = cis(-phi);
+                let e_piphi = cis(phi);
+
+                // column update  M <- M J
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * cr(c) - mkq * (cr(s) * e_miphi);
+                    m[(k, q)] = mkp * cr(s) + mkq * (cr(c) * e_miphi);
+                }
+                // row update  M <- J† M
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = mpk * cr(c) - mqk * (cr(s) * e_piphi);
+                    m[(q, k)] = mpk * cr(s) + mqk * (cr(c) * e_piphi);
+                }
+                // restore exact Hermitian structure on the pivot entries
+                m[(p, q)] = cr(0.0);
+                m[(q, p)] = cr(0.0);
+                m[(p, p)] = cr(m[(p, p)].re);
+                m[(q, q)] = cr(m[(q, q)].re);
+
+                // accumulate eigenvectors  V <- V J
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * cr(c) - vkq * (cr(s) * e_miphi);
+                    v[(k, q)] = vkp * cr(s) + vkq * (cr(c) * e_miphi);
+                }
+            }
+        }
+    }
+
+    // sort ascending, permuting eigenvector columns alongside
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)].re).collect();
+    let vectors = CMat::from_fn(n, n, |r, cl| v[(r, order[cl])]);
+
+    HermitianEig { values, vectors }
+}
+
+/// Eigenvalues only, ascending.
+pub fn hermitian_eigenvalues(a: &CMat) -> Vec<f64> {
+    hermitian_eig(a).values
+}
+
+/// The trace norm `||A||_1 = Σ |λ_i|` of a Hermitian matrix.
+pub fn hermitian_trace_norm(a: &CMat) -> f64 {
+    hermitian_eigenvalues(a).iter().map(|l| l.abs()).sum()
+}
+
+/// The unitary time-evolution operator `exp(−i·t·H)` of a Hermitian
+/// matrix, computed through the eigendecomposition:
+/// `V · diag(e^{−iλt}) · V†`.
+pub fn hermitian_evolution(h: &CMat, t: f64) -> CMat {
+    let e = hermitian_eig(h);
+    let d: Vec<crate::scalar::C64> = e.values.iter().map(|&l| cis(-l * t)).collect();
+    e.vectors
+        .matmul(&CMat::diag(&d))
+        .matmul(&e.vectors.dagger())
+}
+
+/// General Hermitian matrix function `f(H) = V · diag(f(λ)) · V†`.
+pub fn hermitian_function(h: &CMat, f: impl Fn(f64) -> crate::scalar::C64) -> CMat {
+    let e = hermitian_eig(h);
+    let d: Vec<crate::scalar::C64> = e.values.iter().map(|&l| f(l)).collect();
+    e.vectors
+        .matmul(&CMat::diag(&d))
+        .matmul(&e.vectors.dagger())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c, cr, C64};
+
+    fn reconstruct(e: &HermitianEig) -> CMat {
+        let lambda = CMat::diag(&e.values.iter().map(|&l| cr(l)).collect::<Vec<C64>>());
+        e.vectors.matmul(&lambda).matmul(&e.vectors.dagger())
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues() {
+        let x = CMat::mat2(cr(0.0), cr(1.0), cr(1.0), cr(0.0));
+        let e = hermitian_eig(&x);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(e.vectors.is_unitary(1e-12));
+        assert!(reconstruct(&e).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn pauli_y_complex_pivot() {
+        let y = CMat::mat2(cr(0.0), c(0.0, -1.0), c(0.0, 1.0), cr(0.0));
+        let e = hermitian_eig(&y);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(reconstruct(&e).approx_eq(&y, 1e-12));
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let d = CMat::diag(&[cr(-2.0), cr(0.5), cr(3.0)]);
+        let e = hermitian_eig(&d);
+        assert!((e.values[0] + 2.0).abs() < 1e-14);
+        assert!((e.values[1] - 0.5).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_hermitian_reconstruction() {
+        // deterministic pseudo-random Hermitian matrix
+        let n = 6;
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut rnd = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut a = CMat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = cr(rnd());
+            for j in 0..i {
+                let z = c(rnd(), rnd());
+                a[(i, j)] = z;
+                a[(j, i)] = z.conj();
+            }
+        }
+        let e = hermitian_eig(&a);
+        assert!(e.vectors.is_unitary(1e-10));
+        assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+        // eigenvalues ascending
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // trace preserved
+        let tr: f64 = e.values.iter().sum();
+        assert!((tr - a.trace().re).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_norm_of_difference() {
+        // rho - sigma for two pure qubit states has eigenvalues ±d.
+        let v = [cr(1.0), cr(0.0)];
+        let w = [cr(0.0), cr(1.0)];
+        let rho = CMat::outer(&v, &v);
+        let sigma = CMat::outer(&w, &w);
+        let diff = &rho - &sigma;
+        // orthogonal states: trace distance 1 => trace norm 2
+        assert!((hermitian_trace_norm(&diff) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolution_of_pauli_x_is_rx() {
+        // exp(-i θ/2 X) must equal the RX(θ) rotation matrix
+        let x = CMat::mat2(cr(0.0), cr(1.0), cr(1.0), cr(0.0));
+        let theta = 0.83;
+        let u = hermitian_evolution(&x, theta / 2.0);
+        let (co, si) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let rx = CMat::mat2(cr(co), c(0.0, -si), c(0.0, -si), cr(co));
+        assert!(u.approx_eq(&rx, 1e-12));
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn evolution_composes_additively() {
+        let h = CMat::mat2(cr(1.0), c(0.2, -0.4), c(0.2, 0.4), cr(-0.5));
+        let u1 = hermitian_evolution(&h, 0.3);
+        let u2 = hermitian_evolution(&h, 0.7);
+        let u = hermitian_evolution(&h, 1.0);
+        assert!(u2.matmul(&u1).approx_eq(&u, 1e-11));
+    }
+
+    #[test]
+    fn hermitian_function_sqrt() {
+        // f(H) = H² recovered through the eigenbasis
+        let h = CMat::mat2(cr(2.0), c(0.5, 0.1), c(0.5, -0.1), cr(1.0));
+        let sq = hermitian_function(&h, |l| cr(l * l));
+        assert!(sq.approx_eq(&h.matmul(&h), 1e-11));
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_eigen_equation() {
+        let y = CMat::mat2(cr(2.0), c(0.3, -0.4), c(0.3, 0.4), cr(-1.0));
+        let e = hermitian_eig(&y);
+        for k in 0..2 {
+            let vk = e.vectors.col(k);
+            let av = y.matvec(&vk);
+            for i in 0..2 {
+                let lv = vk[i] * cr(e.values[k]);
+                assert!((av[i] - lv).norm() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Complex scalar type and tolerance-aware comparisons.
+//!
+//! All of qclab works in double precision. The toolbox the paper describes
+//! emphasizes numerical stability, so comparisons throughout the workspace
+//! go through the helpers here rather than ad-hoc `==` on floats.
+
+use num_complex::Complex64;
+
+/// The complex scalar used throughout qclab (MATLAB `double` analog).
+pub type C64 = Complex64;
+
+/// Default absolute tolerance for floating-point comparisons.
+///
+/// Chosen as `1e-12`: far above the `f64` epsilon accumulated by the deepest
+/// circuits exercised in the test suite, far below any physically meaningful
+/// amplitude difference.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Returns the imaginary unit `i`.
+#[inline]
+pub fn im() -> C64 {
+    C64::new(0.0, 1.0)
+}
+
+/// Returns `1 + 0i`.
+#[inline]
+pub fn one() -> C64 {
+    C64::new(1.0, 0.0)
+}
+
+/// Returns `0 + 0i`.
+#[inline]
+pub fn zero() -> C64 {
+    C64::new(0.0, 0.0)
+}
+
+/// Shorthand constructor for a complex number from real and imaginary parts.
+#[inline]
+pub fn c(re: f64, im: f64) -> C64 {
+    C64::new(re, im)
+}
+
+/// Shorthand constructor for a purely real complex number.
+#[inline]
+pub fn cr(re: f64) -> C64 {
+    C64::new(re, 0.0)
+}
+
+/// `exp(i theta)` — the unit phase factor used by rotation and phase gates.
+#[inline]
+pub fn cis(theta: f64) -> C64 {
+    C64::new(theta.cos(), theta.sin())
+}
+
+/// Absolute comparison of two real numbers within `tol`.
+#[inline]
+pub fn approx_eq_f(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Absolute comparison of two complex numbers within `tol` (per component).
+#[inline]
+pub fn approx_eq_c(a: C64, b: C64, tol: f64) -> bool {
+    approx_eq_f(a.re, b.re, tol) && approx_eq_f(a.im, b.im, tol)
+}
+
+/// Rounds denormal noise to zero: any component with magnitude below `tol`
+/// is clamped to exactly `0.0`.
+///
+/// This mirrors MATLAB-style "chop" output cleaning used when printing
+/// state vectors, and keeps deterministic text output stable across
+/// backends that accumulate rounding differently.
+#[inline]
+pub fn chop(a: C64, tol: f64) -> C64 {
+    let re = if a.re.abs() < tol { 0.0 } else { a.re };
+    let im = if a.im.abs() < tol { 0.0 } else { a.im };
+    C64::new(re, im)
+}
+
+/// Formats a complex number the way MATLAB's command window does:
+/// `0.7071 + 0.0000i`, with a fixed number of decimal places.
+pub fn format_matlab(a: C64, decimals: usize) -> String {
+    let sign = if a.im.is_sign_negative() { '-' } else { '+' };
+    format!(
+        "{:.*} {} {:.*}i",
+        decimals,
+        a.re,
+        sign,
+        decimals,
+        a.im.abs()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cis_matches_euler() {
+        let theta = 0.7342;
+        let z = cis(theta);
+        assert!(approx_eq_f(z.re, theta.cos(), 1e-15));
+        assert!(approx_eq_f(z.im, theta.sin(), 1e-15));
+        assert!(approx_eq_f(z.norm(), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn chop_clamps_small_components() {
+        let z = chop(c(1e-14, 0.5), 1e-12);
+        assert_eq!(z.re, 0.0);
+        assert_eq!(z.im, 0.5);
+    }
+
+    #[test]
+    fn chop_keeps_large_components() {
+        let z = chop(c(0.3, -0.4), 1e-12);
+        assert_eq!(z, c(0.3, -0.4));
+    }
+
+    #[test]
+    fn approx_eq_c_componentwise() {
+        assert!(approx_eq_c(c(1.0, 2.0), c(1.0 + 1e-13, 2.0 - 1e-13), 1e-12));
+        assert!(!approx_eq_c(c(1.0, 2.0), c(1.0 + 1e-10, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn matlab_format_positive_and_negative_imag() {
+        assert_eq!(
+            format_matlab(c(std::f64::consts::FRAC_1_SQRT_2, 0.0), 4),
+            "0.7071 + 0.0000i"
+        );
+        assert_eq!(format_matlab(c(0.0, -0.5), 4), "0.0000 - 0.5000i");
+    }
+}

@@ -1,0 +1,366 @@
+//! Compressed-sparse-row complex matrices.
+//!
+//! QCLAB's MATLAB implementation applies a gate by building the **sparse**
+//! extended unitary `I ⊗ U' ⊗ I` for the whole register and multiplying it
+//! with the state vector (paper Sec. 3.2). [`CsrMat`] is that sparse
+//! representation: the `kron` backend of `qclab-core` builds one per gate
+//! and uses [`CsrMat::matvec`].
+
+use crate::dense::CMat;
+use crate::scalar::{zero, C64};
+
+/// A complex matrix in compressed-sparse-row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMat {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored entry, ordered by row then column.
+    col_idx: Vec<usize>,
+    /// The stored values, aligned with `col_idx`.
+    values: Vec<C64>,
+}
+
+impl CsrMat {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, C64)>,
+    ) -> Self {
+        let mut entries: Vec<(usize, usize, C64)> = triplets
+            .into_iter()
+            .inspect(|&(r, c, _)| {
+                assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            })
+            .collect();
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+
+        // merge consecutive duplicates, then build the row pointer array
+        let mut merged: Vec<(usize, usize, C64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values: Vec<C64> = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] = col_idx.len();
+        }
+        for i in 1..row_ptr.len() {
+            row_ptr[i] = row_ptr[i].max(row_ptr[i - 1]);
+        }
+
+        let mut m = CsrMat {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.prune(0.0);
+        m
+    }
+
+    /// The sparse identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMat {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![C64::new(1.0, 0.0); n],
+        }
+    }
+
+    /// Converts a dense matrix to CSR, dropping entries with magnitude
+    /// `<= drop_tol`.
+    pub fn from_dense(m: &CMat, drop_tol: f64) -> Self {
+        let mut trips = Vec::new();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m[(r, c)];
+                if v.norm() > drop_tol {
+                    trips.push((r, c, v));
+                }
+            }
+        }
+        CsrMat::from_triplets(m.rows(), m.cols(), trips)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Removes stored entries with magnitude `<= tol`.
+    pub fn prune(&mut self, tol: f64) {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.values[k].norm() > tol {
+                    col_idx.push(self.col_idx[k]);
+                    values.push(self.values[k]);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        self.row_ptr = row_ptr;
+        self.col_idx = col_idx;
+        self.values = values;
+    }
+
+    /// Reads entry `(r, c)` (O(row nnz)).
+    pub fn get(&self, r: usize, c: usize) -> C64 {
+        assert!(r < self.rows && c < self.cols);
+        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            if self.col_idx[k] == c {
+                return self.values[k];
+            }
+        }
+        zero()
+    }
+
+    /// Sparse matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "CsrMat::matvec dimension mismatch");
+        let mut out = vec![zero(); self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = zero();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * v[self.col_idx[k]];
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Sparse-sparse matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &CsrMat) -> CsrMat {
+        assert_eq!(self.cols, rhs.rows, "CsrMat::matmul dimension mismatch");
+        // classic Gustavson row-by-row product with a dense accumulator row
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut acc: Vec<C64> = vec![zero(); rhs.cols];
+        let mut marked: Vec<bool> = vec![false; rhs.cols];
+        let mut touched: Vec<usize> = Vec::new();
+
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a = self.values[k];
+                let mid = self.col_idx[k];
+                for kk in rhs.row_ptr[mid]..rhs.row_ptr[mid + 1] {
+                    let c = rhs.col_idx[kk];
+                    if !marked[c] {
+                        marked[c] = true;
+                        touched.push(c);
+                    }
+                    acc[c] += a * rhs.values[kk];
+                }
+            }
+            touched.sort_unstable();
+            for &c in touched.iter() {
+                if acc[c] != zero() {
+                    col_idx.push(c);
+                    values.push(acc[c]);
+                }
+                acc[c] = zero();
+                marked[c] = false;
+            }
+            touched.clear();
+            row_ptr[r + 1] = col_idx.len();
+        }
+
+        CsrMat {
+            rows: self.rows,
+            cols: rhs.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Kronecker product `self ⊗ rhs` (stays sparse).
+    pub fn kron(&self, rhs: &CsrMat) -> CsrMat {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let nnz = self.nnz() * rhs.nnz();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for ra in 0..self.rows {
+            for rb in 0..rhs.rows {
+                for ka in self.row_ptr[ra]..self.row_ptr[ra + 1] {
+                    let a = self.values[ka];
+                    let ca = self.col_idx[ka];
+                    for kb in rhs.row_ptr[rb]..rhs.row_ptr[rb + 1] {
+                        col_idx.push(ca * rhs.cols + rhs.col_idx[kb]);
+                        values.push(a * rhs.values[kb]);
+                    }
+                }
+                row_ptr.push(col_idx.len());
+            }
+        }
+        CsrMat {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CsrMat {
+        let mut trips = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                trips.push((self.col_idx[k], r, self.values[k].conj()));
+            }
+        }
+        CsrMat::from_triplets(self.cols, self.rows, trips)
+    }
+
+    /// Densifies the matrix.
+    pub fn to_dense(&self) -> CMat {
+        let mut m = CMat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m[(r, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c, cr};
+
+    fn sparse_x() -> CsrMat {
+        CsrMat::from_triplets(2, 2, [(0, 1, cr(1.0)), (1, 0, cr(1.0))])
+    }
+
+    fn sparse_z() -> CsrMat {
+        CsrMat::from_triplets(2, 2, [(0, 0, cr(1.0)), (1, 1, cr(-1.0))])
+    }
+
+    #[test]
+    fn triplets_build_and_get() {
+        let m = sparse_x();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), cr(1.0));
+        assert_eq!(m.get(0, 0), cr(0.0));
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMat::from_triplets(2, 2, [(0, 0, cr(1.0)), (0, 0, cr(2.0))]);
+        assert_eq!(m.get(0, 0), cr(3.0));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_triplets_dropped() {
+        let m = CsrMat::from_triplets(2, 2, [(0, 0, cr(0.0)), (1, 1, cr(2.0))]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i = CsrMat::identity(4);
+        let v = vec![cr(1.0), c(0.0, 2.0), cr(3.0), cr(4.0)];
+        assert_eq!(i.matvec(&v), v);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sparse_x().kron(&sparse_z());
+        let d = m.to_dense();
+        let v: Vec<C64> = (0..4).map(|i| c(i as f64, -(i as f64))).collect();
+        let sv = m.matvec(&v);
+        let dv = d.matvec(&v);
+        for (a, b) in sv.iter().zip(dv.iter()) {
+            assert!((a - b).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense() {
+        let a = sparse_x().kron(&CsrMat::identity(2));
+        let b = CsrMat::identity(2).kron(&sparse_z());
+        let prod = a.matmul(&b);
+        let dense_prod = a.to_dense().matmul(&b.to_dense());
+        assert!(prod.to_dense().approx_eq(&dense_prod, 1e-15));
+    }
+
+    #[test]
+    fn kron_matches_dense_kron() {
+        let a = sparse_x();
+        let b = sparse_z();
+        let k = a.kron(&b);
+        let dk = a.to_dense().kron(&b.to_dense());
+        assert!(k.to_dense().approx_eq(&dk, 0.0));
+        assert_eq!(k.nnz(), 4);
+    }
+
+    #[test]
+    fn dagger_matches_dense() {
+        let m = CsrMat::from_triplets(2, 3, [(0, 2, c(1.0, 2.0)), (1, 0, c(0.0, -1.0))]);
+        let d = m.dagger();
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.cols(), 2);
+        assert!(d.to_dense().approx_eq(&m.to_dense().dagger(), 0.0));
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let d = CMat::mat2(cr(0.0), c(1.0, 1.0), cr(0.5), cr(0.0));
+        let s = CsrMat::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 2);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn prune_removes_small_entries() {
+        let mut m = CsrMat::from_triplets(2, 2, [(0, 0, cr(1e-15)), (1, 1, cr(1.0))]);
+        m.prune(1e-12);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 1), cr(1.0));
+    }
+
+    #[test]
+    fn unitarity_of_sparse_gate_product() {
+        // (X ⊗ Z) is unitary: U† U = I.
+        let u = sparse_x().kron(&sparse_z());
+        let prod = u.dagger().matmul(&u);
+        assert!(prod.to_dense().is_identity(1e-15));
+    }
+}

@@ -1,0 +1,291 @@
+//! Complex vectors used as quantum state vectors.
+//!
+//! [`CVec`] is a thin newtype over `Vec<C64>` with the inner-product space
+//! operations a state-vector simulator needs, plus qubit-aware helpers
+//! (basis states from bitstrings, per-qubit probabilities) following the
+//! qubit-0-most-significant convention of [`crate::bits`].
+
+use crate::bits;
+use crate::scalar::{chop, cr, format_matlab, zero, C64};
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// A complex column vector.
+#[derive(Clone, PartialEq)]
+pub struct CVec(pub Vec<C64>);
+
+impl CVec {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        CVec(vec![zero(); n])
+    }
+
+    /// Creates the computational basis state `|i>` in dimension `dim`.
+    pub fn basis_state(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "basis index {i} out of range for dimension {dim}");
+        let mut v = CVec::zeros(dim);
+        v[i] = cr(1.0);
+        v
+    }
+
+    /// Creates the `n`-qubit basis state for a bitstring like `"010"`
+    /// (qubit 0 first). Returns `None` on invalid characters.
+    pub fn from_bitstring(s: &str) -> Option<Self> {
+        let idx = bits::bitstring_to_index(s)?;
+        Some(CVec::basis_state(1usize << s.len(), idx))
+    }
+
+    /// Length of the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of qubits for a state vector of this length; panics if the
+    /// length is not a power of two.
+    pub fn nb_qubits(&self) -> usize {
+        let n = self.len();
+        assert!(
+            n.is_power_of_two(),
+            "state vector length {n} is not a power of two"
+        );
+        n.trailing_zeros() as usize
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Normalizes in place to unit norm; panics on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        let inv = 1.0 / n;
+        for z in self.0.iter_mut() {
+            *z *= inv;
+        }
+    }
+
+    /// Returns a normalized copy.
+    pub fn normalized(&self) -> CVec {
+        let mut v = self.clone();
+        v.normalize();
+        v
+    }
+
+    /// Inner product `<self | rhs>` (conjugate-linear in `self`).
+    pub fn inner(&self, rhs: &CVec) -> C64 {
+        assert_eq!(self.len(), rhs.len(), "inner product length mismatch");
+        self.0
+            .iter()
+            .zip(rhs.0.iter())
+            .map(|(a, b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Fidelity `|<self|rhs>|^2` between two pure states.
+    pub fn fidelity(&self, rhs: &CVec) -> f64 {
+        self.inner(rhs).norm_sqr()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CVec) -> CVec {
+        let mut out = Vec::with_capacity(self.len() * rhs.len());
+        for &a in self.0.iter() {
+            for &b in rhs.0.iter() {
+                out.push(a * b);
+            }
+        }
+        CVec(out)
+    }
+
+    /// Probability of finding qubit `q` in `|bit>` when measuring this
+    /// state (no collapse).
+    pub fn qubit_probability(&self, q: usize, bit: usize) -> f64 {
+        let n = self.nb_qubits();
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits::qubit_bit(*i, q, n) == bit)
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+
+    /// The full probability distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.0.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// `true` if two states are equal up to a global phase, within `tol`.
+    pub fn approx_eq_up_to_phase(&self, rhs: &CVec, tol: f64) -> bool {
+        if self.len() != rhs.len() {
+            return false;
+        }
+        let ip = self.inner(rhs);
+        let (a, b) = (self.norm(), rhs.norm());
+        if a == 0.0 || b == 0.0 {
+            return a == b;
+        }
+        (ip.norm() - a * b).abs() <= tol
+    }
+
+    /// Entrywise approximate equality within `tol`.
+    pub fn approx_eq(&self, rhs: &CVec, tol: f64) -> bool {
+        self.len() == rhs.len()
+            && self
+                .0
+                .iter()
+                .zip(rhs.0.iter())
+                .all(|(a, b)| (a - b).norm() <= tol)
+    }
+
+    /// Returns a copy with sub-`tol` components clamped to zero.
+    pub fn chopped(&self, tol: f64) -> CVec {
+        CVec(self.0.iter().map(|&z| chop(z, tol)).collect())
+    }
+}
+
+impl Deref for CVec {
+    type Target = [C64];
+    fn deref(&self) -> &[C64] {
+        &self.0
+    }
+}
+
+impl DerefMut for CVec {
+    fn deref_mut(&mut self) -> &mut [C64] {
+        &mut self.0
+    }
+}
+
+impl Index<usize> for CVec {
+    type Output = C64;
+    #[inline]
+    fn index(&self, i: usize) -> &C64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for CVec {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut C64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<C64>> for CVec {
+    fn from(v: Vec<C64>) -> Self {
+        CVec(v)
+    }
+}
+
+impl fmt::Debug for CVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CVec [")?;
+        for z in self.0.iter() {
+            writeln!(f, "  {}", format_matlab(*z, 4))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c, cr};
+
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn basis_state_from_bitstring() {
+        let v = CVec::from_bitstring("10").unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[2], cr(1.0));
+        assert_eq!(v.norm(), 1.0);
+        assert!(CVec::from_bitstring("2").is_none());
+    }
+
+    #[test]
+    fn nb_qubits_of_power_of_two() {
+        assert_eq!(CVec::zeros(8).nb_qubits(), 3);
+        assert_eq!(CVec::zeros(1).nb_qubits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn nb_qubits_panics_on_bad_length() {
+        let _ = CVec::zeros(3).nb_qubits();
+    }
+
+    #[test]
+    fn kron_of_paper_initial_state() {
+        // Paper Sec. 5.1: initial_state = kron(v, bell).
+        let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+        let bell = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]);
+        let init = v.kron(&bell);
+        assert_eq!(init.len(), 8);
+        assert!((init.norm() - 1.0).abs() < 1e-15);
+        assert!((init[0].re - 0.5).abs() < 1e-15);
+        assert!((init[3].re - 0.5).abs() < 1e-15);
+        assert!((init[4].im - 0.5).abs() < 1e-15);
+        assert!((init[7].im - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn qubit_probability_of_plus_state() {
+        // |+0>: qubit 0 has P(0)=P(1)=0.5, qubit 1 has P(0)=1.
+        let v = CVec(vec![cr(INV_SQRT2), cr(0.0), cr(INV_SQRT2), cr(0.0)]);
+        assert!((v.qubit_probability(0, 0) - 0.5).abs() < 1e-15);
+        assert!((v.qubit_probability(0, 1) - 0.5).abs() < 1e-15);
+        assert!((v.qubit_probability(1, 0) - 1.0).abs() < 1e-15);
+        assert!(v.qubit_probability(1, 1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inner_product_conjugate_linearity() {
+        let u = CVec(vec![c(0.0, 1.0), cr(0.0)]);
+        let v = CVec(vec![cr(1.0), cr(0.0)]);
+        // <iu0|v> = conj(i) * 1 = -i
+        assert_eq!(u.inner(&v), c(0.0, -1.0));
+        assert_eq!(v.inner(&u), c(0.0, 1.0));
+    }
+
+    #[test]
+    fn normalize_and_fidelity() {
+        let mut v = CVec(vec![cr(3.0), c(0.0, 4.0)]);
+        assert!((v.norm() - 5.0).abs() < 1e-15);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+        assert!((v.fidelity(&v) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn phase_equivalence() {
+        let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+        let w = CVec(v.0.iter().map(|z| z * c(0.0, 1.0)).collect());
+        assert!(v.approx_eq_up_to_phase(&w, 1e-12));
+        assert!(!v.approx_eq(&w, 1e-12));
+        let orth = CVec(vec![cr(INV_SQRT2), c(0.0, -INV_SQRT2)]);
+        assert!(!v.approx_eq_up_to_phase(&orth, 1e-12));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_unit_state() {
+        let v = CVec(vec![cr(0.5), cr(0.5), cr(0.5), c(0.0, 0.5)]);
+        let p: f64 = v.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-15);
+    }
+}

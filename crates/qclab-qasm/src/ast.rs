@@ -1,0 +1,199 @@
+//! Abstract syntax tree for the supported OpenQASM 2.0 subset, plus the
+//! parameter-expression evaluator.
+
+use qclab_core::QclabError;
+use std::collections::HashMap;
+
+/// A parameter expression (angle arithmetic over `pi`, literals, formal
+/// parameters and the OpenQASM built-in functions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// The constant `pi`.
+    Pi,
+    /// A formal gate parameter, resolved at expansion time.
+    Param(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Built-in function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call(Func, Box<Expr>),
+}
+
+/// Binary operators of the OpenQASM expression grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+/// Built-in unary functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Func {
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Ln,
+    Sqrt,
+}
+
+impl Func {
+    /// Parses a function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "tan" => Func::Tan,
+            "exp" => Func::Exp,
+            "ln" => Func::Ln,
+            "sqrt" => Func::Sqrt,
+            _ => return None,
+        })
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression with the given parameter bindings.
+    pub fn eval(&self, params: &HashMap<String, f64>) -> Result<f64, QclabError> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Pi => std::f64::consts::PI,
+            Expr::Param(name) => *params.get(name).ok_or_else(|| QclabError::QasmParse {
+                line: 0,
+                message: format!("unbound parameter '{name}'"),
+            })?,
+            Expr::Neg(e) => -e.eval(params)?,
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(params)?, b.eval(params)?);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                }
+            }
+            Expr::Call(f, e) => {
+                let v = e.eval(params)?;
+                match f {
+                    Func::Sin => v.sin(),
+                    Func::Cos => v.cos(),
+                    Func::Tan => v.tan(),
+                    Func::Exp => v.exp(),
+                    Func::Ln => v.ln(),
+                    Func::Sqrt => v.sqrt(),
+                }
+            }
+        })
+    }
+}
+
+/// An argument of a gate application or measurement: a register name with
+/// an optional index (`q[3]` or bare `q` for broadcasting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Arg {
+    pub reg: String,
+    pub index: Option<usize>,
+}
+
+/// A gate application inside the main program or a gate-definition body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateCall {
+    pub name: String,
+    pub params: Vec<Expr>,
+    pub args: Vec<Arg>,
+    pub line: usize,
+}
+
+/// A user gate definition (`gate name(params) qargs { body }`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub qargs: Vec<String>,
+    pub body: Vec<GateCall>,
+}
+
+/// A top-level statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `qreg name[n];`
+    Qreg { name: String, size: usize },
+    /// `creg name[n];`
+    Creg { name: String, size: usize },
+    /// A gate definition.
+    GateDef(GateDef),
+    /// A gate application.
+    Apply(GateCall),
+    /// `measure q[i] -> c[j];`
+    Measure { qubit: Arg, cbit: Arg, line: usize },
+    /// `reset q[i];`
+    Reset { qubit: Arg, line: usize },
+    /// `barrier args;`
+    Barrier { args: Vec<Arg>, line: usize },
+}
+
+/// A parsed OpenQASM 2.0 program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub statements: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::Pi),
+            Box::new(Expr::Num(2.0)),
+        );
+        let v = e.eval(&HashMap::new()).unwrap();
+        assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_with_params_and_functions() {
+        let mut params = HashMap::new();
+        params.insert("theta".to_string(), 0.5);
+        let e = Expr::Call(
+            Func::Sin,
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Num(2.0)),
+                Box::new(Expr::Param("theta".into())),
+            )),
+        );
+        assert!((e.eval(&params).unwrap() - 1f64.sin()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let e = Expr::Param("phi".into());
+        assert!(e.eval(&HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn power_and_negation() {
+        let e = Expr::Neg(Box::new(Expr::Bin(
+            BinOp::Pow,
+            Box::new(Expr::Num(2.0)),
+            Box::new(Expr::Num(10.0)),
+        )));
+        assert_eq!(e.eval(&HashMap::new()).unwrap(), -1024.0);
+    }
+
+    #[test]
+    fn func_name_table() {
+        assert_eq!(Func::from_name("sqrt"), Some(Func::Sqrt));
+        assert_eq!(Func::from_name("bogus"), None);
+    }
+}

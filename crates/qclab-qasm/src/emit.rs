@@ -1,0 +1,453 @@
+//! OpenQASM 2.0 export (`circuit.toQASM()` in QCLAB, paper Sec. 4).
+//!
+//! Gates with a standard mnemonic are emitted directly. The dialect is the
+//! extended `qelib1` gate set understood by modern toolchains (includes
+//! `sx`, `crx`, `iswap`, `rxx`, `ryy`, `rzz`). Gates without a mnemonic
+//! are lowered:
+//!
+//! * open controls (control state 0) — conjugated with `x`,
+//! * singly-controlled gates outside the native set — ABC decomposition
+//!   over `{rz, ry, cx, u1}` via [`qclab_core::decompose`],
+//! * doubly-controlled X/Z/SWAP — `ccx` (with basis-change conjugation),
+//! * custom single-qubit unitaries — `u3` (exact up to global phase),
+//! * X-/Y-/custom-basis measurements — basis change, `measure`, undo.
+//!
+//! Multi-controlled gates with three or more controls and custom
+//! multi-qubit unitaries have no faithful OpenQASM 2 spelling and are
+//! reported as errors.
+
+use qclab_core::circuit::CircuitItem;
+use qclab_core::decompose::{controlled_to_basic, zyz};
+use qclab_core::measurement::Basis;
+use qclab_core::{Gate, Measurement, QCircuit, QclabError};
+use std::fmt::Write;
+
+fn fmt_angle(theta: f64) -> String {
+    // render clean multiples of pi symbolically for readability
+    let pi = std::f64::consts::PI;
+    let ratio = theta / pi;
+    for den in [1i64, 2, 3, 4, 6, 8] {
+        let num = ratio * den as f64;
+        if (num - num.round()).abs() < 1e-12 && num.round() != 0.0 {
+            let num = num.round() as i64;
+            return match (num, den) {
+                (1, 1) => "pi".to_string(),
+                (-1, 1) => "-pi".to_string(),
+                (n, 1) => format!("{n}*pi"),
+                (1, d) => format!("pi/{d}"),
+                (-1, d) => format!("-pi/{d}"),
+                (n, d) => format!("{n}*pi/{d}"),
+            };
+        }
+    }
+    format!("{theta:.17}")
+}
+
+fn unsupported(what: impl Into<String>) -> QclabError {
+    QclabError::Unavailable(format!("cannot export to OpenQASM 2.0: {}", what.into()))
+}
+
+struct Emitter {
+    out: String,
+}
+
+impl Emitter {
+    fn line(&mut self, s: &str) {
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn emit_simple(&mut self, mnemonic: &str, params: &[f64], qubits: &[usize]) {
+        let mut s = String::from(mnemonic);
+        if !params.is_empty() {
+            let ps: Vec<String> = params.iter().map(|&p| fmt_angle(p)).collect();
+            write!(s, "({})", ps.join(", ")).unwrap();
+        }
+        let qs: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
+        write!(s, " {};", qs.join(", ")).unwrap();
+        self.line(&s);
+    }
+
+    /// Emits a gate, lowering it if it has no native mnemonic.
+    fn emit_gate(&mut self, gate: &Gate) -> Result<(), QclabError> {
+        match gate {
+            Gate::Identity(q) => self.emit_simple("id", &[], &[*q]),
+            Gate::Hadamard(q) => self.emit_simple("h", &[], &[*q]),
+            Gate::PauliX(q) => self.emit_simple("x", &[], &[*q]),
+            Gate::PauliY(q) => self.emit_simple("y", &[], &[*q]),
+            Gate::PauliZ(q) => self.emit_simple("z", &[], &[*q]),
+            Gate::S(q) => self.emit_simple("s", &[], &[*q]),
+            Gate::Sdg(q) => self.emit_simple("sdg", &[], &[*q]),
+            Gate::T(q) => self.emit_simple("t", &[], &[*q]),
+            Gate::Tdg(q) => self.emit_simple("tdg", &[], &[*q]),
+            Gate::SX(q) => self.emit_simple("sx", &[], &[*q]),
+            Gate::SXdg(q) => self.emit_simple("sxdg", &[], &[*q]),
+            Gate::RotationX { qubit, theta } => self.emit_simple("rx", &[*theta], &[*qubit]),
+            Gate::RotationY { qubit, theta } => self.emit_simple("ry", &[*theta], &[*qubit]),
+            Gate::RotationZ { qubit, theta } => self.emit_simple("rz", &[*theta], &[*qubit]),
+            Gate::Phase { qubit, theta } => self.emit_simple("u1", &[*theta], &[*qubit]),
+            Gate::U2 { qubit, phi, lambda } => {
+                self.emit_simple("u2", &[*phi, *lambda], &[*qubit])
+            }
+            Gate::U3 {
+                qubit,
+                theta,
+                phi,
+                lambda,
+            } => self.emit_simple("u3", &[*theta, *phi, *lambda], &[*qubit]),
+            Gate::Swap(a, b) => self.emit_simple("swap", &[], &[*a, *b]),
+            Gate::ISwap(a, b) => self.emit_simple("iswap", &[], &[*a, *b]),
+            Gate::RotationXX { qubits, theta } => {
+                self.emit_simple("rxx", &[*theta], &[qubits[0], qubits[1]])
+            }
+            Gate::RotationYY { qubits, theta } => {
+                self.emit_simple("ryy", &[*theta], &[qubits[0], qubits[1]])
+            }
+            Gate::RotationZZ { qubits, theta } => {
+                self.emit_simple("rzz", &[*theta], &[qubits[0], qubits[1]])
+            }
+            Gate::Custom { name, qubits, matrix } => {
+                if qubits.len() != 1 {
+                    return Err(unsupported(format!(
+                        "custom multi-qubit gate '{name}'"
+                    )));
+                }
+                // exact up to an unobservable global phase
+                let a = zyz(matrix);
+                self.emit_simple("rz", &[a.delta], &[qubits[0]]);
+                self.emit_simple("ry", &[a.gamma], &[qubits[0]]);
+                self.emit_simple("rz", &[a.beta], &[qubits[0]]);
+            }
+            Gate::Controlled {
+                controls,
+                control_states,
+                target,
+            } => self.emit_controlled(controls, control_states, target)?,
+        }
+        Ok(())
+    }
+
+    fn emit_controlled(
+        &mut self,
+        controls: &[usize],
+        control_states: &[u8],
+        target: &Gate,
+    ) -> Result<(), QclabError> {
+        // conjugate open controls with X so the body sees all-ones controls
+        let opens: Vec<usize> = controls
+            .iter()
+            .zip(control_states.iter())
+            .filter(|&(_, &s)| s == 0)
+            .map(|(&q, _)| q)
+            .collect();
+        for &q in &opens {
+            self.emit_simple("x", &[], &[q]);
+        }
+        let result = self.emit_closed_controlled(controls, target);
+        for &q in &opens {
+            self.emit_simple("x", &[], &[q]);
+        }
+        result
+    }
+
+    /// Controlled gate with every control on state 1.
+    fn emit_closed_controlled(
+        &mut self,
+        controls: &[usize],
+        target: &Gate,
+    ) -> Result<(), QclabError> {
+        match (controls.len(), target) {
+            (1, Gate::PauliX(t)) => self.emit_simple("cx", &[], &[controls[0], *t]),
+            (1, Gate::PauliY(t)) => self.emit_simple("cy", &[], &[controls[0], *t]),
+            (1, Gate::PauliZ(t)) => self.emit_simple("cz", &[], &[controls[0], *t]),
+            (1, Gate::Hadamard(t)) => self.emit_simple("ch", &[], &[controls[0], *t]),
+            (1, Gate::RotationX { qubit, theta }) => {
+                self.emit_simple("crx", &[*theta], &[controls[0], *qubit])
+            }
+            (1, Gate::RotationY { qubit, theta }) => {
+                self.emit_simple("cry", &[*theta], &[controls[0], *qubit])
+            }
+            (1, Gate::RotationZ { qubit, theta }) => {
+                self.emit_simple("crz", &[*theta], &[controls[0], *qubit])
+            }
+            (1, Gate::Phase { qubit, theta }) => {
+                self.emit_simple("cu1", &[*theta], &[controls[0], *qubit])
+            }
+            (1, Gate::Swap(a, b)) => self.emit_simple("cswap", &[], &[controls[0], *a, *b]),
+            (1, other) if other.nb_targets() == 1 => {
+                // generic singly-controlled 1q gate: ABC decomposition
+                let t = other.targets()[0];
+                for g in controlled_to_basic(controls[0], 1, t, &other.target_matrix()) {
+                    self.emit_gate(&g)?;
+                }
+            }
+            (2, Gate::PauliX(t)) => {
+                self.emit_simple("ccx", &[], &[controls[0], controls[1], *t])
+            }
+            (2, Gate::PauliZ(t)) => {
+                // ccz = H(t) ccx H(t)
+                self.emit_simple("h", &[], &[*t]);
+                self.emit_simple("ccx", &[], &[controls[0], controls[1], *t]);
+                self.emit_simple("h", &[], &[*t]);
+            }
+            (_, Gate::Swap(a, b)) => {
+                // multi-controlled SWAP via SWAP = CX(b,a)·CX(a,b)·CX(b,a):
+                // only the middle CX needs the extra controls
+                self.emit_simple("cx", &[], &[*b, *a]);
+                let inner = Gate::PauliX(*b).controlled(*a, 1);
+                let inner = controls
+                    .iter()
+                    .fold(inner, |g, &cq| g.controlled(cq, 1));
+                self.emit_gate(&inner)?;
+                self.emit_simple("cx", &[], &[*b, *a]);
+            }
+            (_, other) if other.nb_targets() == 1 => {
+                // k >= 2 controls on a general single-qubit gate: lower to
+                // singly-controlled gates via the Barenco recursion, then
+                // emit each piece (CX natively, controlled-customs via ABC)
+                let t = other.targets()[0];
+                let states = vec![1u8; controls.len()];
+                for g in qclab_core::decompose::multi_controlled_to_singly_controlled(
+                    controls,
+                    &states,
+                    t,
+                    &other.target_matrix(),
+                ) {
+                    self.emit_gate(&g)?;
+                }
+            }
+            (k, other) => {
+                return Err(unsupported(format!(
+                    "{k}-controlled {}-target gate (decompose it first)",
+                    other.nb_targets()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_measurement(&mut self, m: &Measurement) -> Result<(), QclabError> {
+        let q = m.qubit();
+        match m.basis() {
+            Basis::Z => self.emit_simple_measure(q),
+            Basis::X => {
+                self.emit_simple("h", &[], &[q]);
+                self.emit_simple_measure(q);
+                self.emit_simple("h", &[], &[q]);
+            }
+            Basis::Y => {
+                // V† = H·S†, emitted in circuit order: sdg then h
+                self.emit_simple("sdg", &[], &[q]);
+                self.emit_simple("h", &[], &[q]);
+                self.emit_simple_measure(q);
+                self.emit_simple("h", &[], &[q]);
+                self.emit_simple("s", &[], &[q]);
+            }
+            Basis::Custom { change, .. } => {
+                let a = zyz(&change.dagger());
+                self.emit_simple("rz", &[a.delta], &[q]);
+                self.emit_simple("ry", &[a.gamma], &[q]);
+                self.emit_simple("rz", &[a.beta], &[q]);
+                self.emit_simple_measure(q);
+                let b = zyz(change);
+                self.emit_simple("rz", &[b.delta], &[q]);
+                self.emit_simple("ry", &[b.gamma], &[q]);
+                self.emit_simple("rz", &[b.beta], &[q]);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_simple_measure(&mut self, q: usize) {
+        self.line(&format!("measure q[{q}] -> c[{q}];"));
+    }
+
+    fn emit_items(&mut self, circuit: &QCircuit, offset: usize) -> Result<(), QclabError> {
+        for item in circuit.items() {
+            match item {
+                CircuitItem::Gate(g) => {
+                    let g = if offset == 0 {
+                        g.clone()
+                    } else {
+                        g.shifted(offset)
+                    };
+                    self.emit_gate(&g)?;
+                }
+                CircuitItem::Measurement(m) => {
+                    let m = if offset == 0 {
+                        m.clone()
+                    } else {
+                        m.shifted(offset)
+                    };
+                    self.emit_measurement(&m)?;
+                }
+                CircuitItem::Reset(q) => self.line(&format!("reset q[{}];", q + offset)),
+                CircuitItem::Barrier(qs) => {
+                    let args: Vec<String> =
+                        qs.iter().map(|q| format!("q[{}]", q + offset)).collect();
+                    self.line(&format!("barrier {};", args.join(", ")));
+                }
+                CircuitItem::SubCircuit {
+                    offset: sub_off,
+                    circuit: sub,
+                } => self.emit_items(sub, offset + sub_off)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a circuit to OpenQASM 2.0 source (`circuit.toQASM()`).
+pub fn circuit_to_qasm(circuit: &QCircuit) -> Result<String, QclabError> {
+    let n = circuit.nb_qubits();
+    let mut e = Emitter {
+        out: String::with_capacity(64 + circuit.len() * 16),
+    };
+    e.line("OPENQASM 2.0;");
+    e.line("include \"qelib1.inc\";");
+    e.line(&format!("qreg q[{n}];"));
+    e.line(&format!("creg c[{n}];"));
+    e.emit_items(circuit, 0)?;
+    Ok(e.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qclab_core::gates::factories::*;
+
+    #[test]
+    fn paper_circuit_qasm_output() {
+        // paper Sec. 4: the QASM listing for circuit (1)
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        let expected = "OPENQASM 2.0;\n\
+                        include \"qelib1.inc\";\n\
+                        qreg q[2];\n\
+                        creg c[2];\n\
+                        h q[0];\n\
+                        cx q[0], q[1];\n\
+                        measure q[0] -> c[0];\n\
+                        measure q[1] -> c[1];\n";
+        assert_eq!(qasm, expected);
+    }
+
+    #[test]
+    fn angle_formatting() {
+        assert_eq!(fmt_angle(std::f64::consts::PI), "pi");
+        assert_eq!(fmt_angle(-std::f64::consts::PI), "-pi");
+        assert_eq!(fmt_angle(std::f64::consts::FRAC_PI_2), "pi/2");
+        assert_eq!(fmt_angle(std::f64::consts::PI * 0.75), "3*pi/4");
+        assert_eq!(fmt_angle(2.0 * std::f64::consts::PI), "2*pi");
+        // non-multiples fall back to full precision decimals
+        assert!(fmt_angle(0.123).starts_with("0.123"));
+    }
+
+    #[test]
+    fn open_control_is_x_conjugated() {
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::with_control_state(0, 1, 0));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        let body: Vec<&str> = qasm.lines().skip(4).collect();
+        assert_eq!(body, vec!["x q[0];", "cx q[0], q[1];", "x q[0];"]);
+    }
+
+    #[test]
+    fn x_basis_measurement_is_h_conjugated() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Measurement::x(0));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        let body: Vec<&str> = qasm.lines().skip(4).collect();
+        assert_eq!(
+            body,
+            vec!["h q[0];", "measure q[0] -> c[0];", "h q[0];"]
+        );
+    }
+
+    #[test]
+    fn toffoli_and_mcz_lowering() {
+        let mut c = QCircuit::new(3);
+        c.push_back(Toffoli::new(0, 1, 2));
+        c.push_back(MCZ::new(&[0, 1], 2, &[1, 1]));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        assert!(qasm.contains("ccx q[0], q[1], q[2];"));
+        assert!(qasm.contains("h q[2];"));
+    }
+
+    #[test]
+    fn paper_qec_mcx_exports_with_open_controls() {
+        // MCX([3,4], 2, [0,1]) -> x-conjugated ccx
+        let mut c = QCircuit::new(5);
+        c.push_back(MCX::new(&[3, 4], 2, &[0, 1]));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        let body: Vec<&str> = qasm.lines().skip(4).collect();
+        assert_eq!(
+            body,
+            vec!["x q[3];", "ccx q[3], q[4], q[2];", "x q[3];"]
+        );
+    }
+
+    #[test]
+    fn generic_controlled_gate_is_abc_decomposed() {
+        let mut c = QCircuit::new(2);
+        c.push_back(Gate::S(1).controlled(0, 1)); // CS has no mnemonic here
+        let qasm = circuit_to_qasm(&c).unwrap();
+        assert!(qasm.contains("cx q[0], q[1];"));
+        assert!(qasm.contains("u1"));
+    }
+
+    #[test]
+    fn triple_controlled_x_is_lowered_not_rejected() {
+        let mut c = QCircuit::new(4);
+        c.push_back(MCX::new(&[0, 1, 2], 3, &[1, 1, 1]));
+        let qasm = circuit_to_qasm(&c).unwrap();
+        // the Barenco lowering leaves only native mnemonics
+        for line in qasm.lines().skip(4) {
+            let mnemonic = line
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .split('(')
+                .next()
+                .unwrap();
+            assert!(
+                ["cx", "ccx", "rz", "ry", "u1", "x", "h"].contains(&mnemonic),
+                "unexpected mnemonic in lowered output: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_swap_with_two_controls_is_lowered() {
+        let mut c = QCircuit::new(4);
+        c.push_back(
+            Gate::Swap(2, 3).controlled(0, 1).controlled(1, 1),
+        );
+        assert!(circuit_to_qasm(&c).is_ok());
+    }
+
+    #[test]
+    fn unsupported_exports_are_clean_errors() {
+        let mut c = QCircuit::new(2);
+        c.push_back(Gate::Custom {
+            name: "big".into(),
+            qubits: vec![0, 1],
+            matrix: qclab_math::CMat::identity(4),
+        });
+        assert!(circuit_to_qasm(&c).is_err());
+    }
+
+    #[test]
+    fn subcircuits_are_flattened_with_offsets() {
+        let mut sub = QCircuit::new(1);
+        sub.push_back(Hadamard::new(0));
+        let mut c = QCircuit::new(3);
+        c.push_back_at(2, sub).unwrap();
+        let qasm = circuit_to_qasm(&c).unwrap();
+        assert!(qasm.contains("h q[2];"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Conversion of a parsed OpenQASM [`Program`] into a [`QCircuit`].
+//!
+//! Multiple quantum registers are concatenated into one qclab register
+//! (offsets assigned in declaration order). User gate definitions are
+//! expanded inline — parameters are evaluated and formal qubit arguments
+//! substituted, recursively, so the resulting circuit contains only
+//! built-in gates. Bare register arguments broadcast across the register
+//! as the OpenQASM spec prescribes.
+
+use crate::ast::{Arg, GateCall, Program, Stmt};
+use qclab_core::circuit::CircuitItem;
+use qclab_core::gates::factories::gate_from_mnemonic;
+use qclab_core::{Measurement, QCircuit, QclabError};
+use std::collections::HashMap;
+
+fn perr(line: usize, message: impl Into<String>) -> QclabError {
+    QclabError::QasmParse {
+        line,
+        message: message.into(),
+    }
+}
+
+struct RegTable {
+    /// name -> (offset, size)
+    qregs: HashMap<String, (usize, usize)>,
+    nb_qubits: usize,
+    cregs: HashMap<String, usize>,
+}
+
+impl RegTable {
+    /// Resolves an indexed argument to an absolute qubit.
+    fn resolve(&self, arg: &Arg, line: usize) -> Result<usize, QclabError> {
+        let (off, size) = self
+            .qregs
+            .get(&arg.reg)
+            .ok_or_else(|| perr(line, format!("unknown quantum register '{}'", arg.reg)))?;
+        let idx = arg
+            .index
+            .ok_or_else(|| perr(line, format!("register '{}' used without index", arg.reg)))?;
+        if idx >= *size {
+            return Err(perr(
+                line,
+                format!("index {idx} out of range for qreg {}[{size}]", arg.reg),
+            ));
+        }
+        Ok(off + idx)
+    }
+
+    /// Broadcast width of a call: the common size of all bare registers
+    /// (1 if every argument is indexed).
+    fn broadcast_width(&self, args: &[Arg], line: usize) -> Result<usize, QclabError> {
+        let mut width: Option<usize> = None;
+        for a in args {
+            if a.index.is_none() {
+                let (_, size) = self
+                    .qregs
+                    .get(&a.reg)
+                    .ok_or_else(|| perr(line, format!("unknown quantum register '{}'", a.reg)))?;
+                match width {
+                    None => width = Some(*size),
+                    Some(w) if w == *size => {}
+                    Some(w) => {
+                        return Err(perr(
+                            line,
+                            format!("broadcast size mismatch: {w} vs {size}"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(width.unwrap_or(1))
+    }
+
+    /// Resolves argument `a` for broadcast iteration `k`.
+    fn resolve_broadcast(&self, a: &Arg, k: usize, line: usize) -> Result<usize, QclabError> {
+        if a.index.is_some() {
+            self.resolve(a, line)
+        } else {
+            self.resolve(
+                &Arg {
+                    reg: a.reg.clone(),
+                    index: Some(k),
+                },
+                line,
+            )
+        }
+    }
+}
+
+/// Expands a gate call into built-in gates, resolving user definitions
+/// recursively. `qubits` are the absolute qubit indices of the call.
+fn expand_call(
+    name: &str,
+    params: &[f64],
+    qubits: &[usize],
+    defs: &HashMap<String, crate::ast::GateDef>,
+    line: usize,
+    depth: usize,
+    out: &mut Vec<qclab_core::Gate>,
+) -> Result<(), QclabError> {
+    if depth > 64 {
+        return Err(perr(line, "gate definition recursion too deep"));
+    }
+    if let Some(def) = defs.get(name) {
+        if def.params.len() != params.len() || def.qargs.len() != qubits.len() {
+            return Err(perr(
+                line,
+                format!(
+                    "gate '{name}' expects {} params / {} qubits, got {} / {}",
+                    def.params.len(),
+                    def.qargs.len(),
+                    params.len(),
+                    qubits.len()
+                ),
+            ));
+        }
+        let bindings: HashMap<String, f64> = def
+            .params
+            .iter()
+            .cloned()
+            .zip(params.iter().copied())
+            .collect();
+        let qmap: HashMap<&str, usize> = def
+            .qargs
+            .iter()
+            .map(String::as_str)
+            .zip(qubits.iter().copied())
+            .collect();
+        for call in &def.body {
+            let sub_params: Vec<f64> = call
+                .params
+                .iter()
+                .map(|e| e.eval(&bindings))
+                .collect::<Result<_, _>>()?;
+            let sub_qubits: Vec<usize> = call
+                .args
+                .iter()
+                .map(|a| {
+                    qmap.get(a.reg.as_str()).copied().ok_or_else(|| {
+                        perr(call.line, format!("unknown gate argument '{}'", a.reg))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            expand_call(
+                &call.name,
+                &sub_params,
+                &sub_qubits,
+                defs,
+                call.line,
+                depth + 1,
+                out,
+            )?;
+        }
+        Ok(())
+    } else {
+        let g = gate_from_mnemonic(name, params, qubits)
+            .map_err(|e| perr(line, format!("{e}")))?;
+        out.push(g);
+        Ok(())
+    }
+}
+
+/// Builds a [`QCircuit`] from a parsed program.
+pub fn program_to_circuit(program: &Program) -> Result<QCircuit, QclabError> {
+    // first pass: registers and definitions
+    let mut table = RegTable {
+        qregs: HashMap::new(),
+        nb_qubits: 0,
+        cregs: HashMap::new(),
+    };
+    let mut defs: HashMap<String, crate::ast::GateDef> = HashMap::new();
+    for stmt in &program.statements {
+        match stmt {
+            Stmt::Qreg { name, size } => {
+                if table.qregs.contains_key(name) {
+                    return Err(perr(0, format!("duplicate qreg '{name}'")));
+                }
+                table.qregs.insert(name.clone(), (table.nb_qubits, *size));
+                table.nb_qubits += size;
+            }
+            Stmt::Creg { name, size } => {
+                table.cregs.insert(name.clone(), *size);
+            }
+            Stmt::GateDef(def) => {
+                defs.insert(def.name.clone(), def.clone());
+            }
+            _ => {}
+        }
+    }
+    if table.nb_qubits == 0 {
+        return Err(perr(0, "program declares no quantum register"));
+    }
+
+    let mut circuit = QCircuit::new(table.nb_qubits);
+
+    // second pass: operations
+    for stmt in &program.statements {
+        match stmt {
+            Stmt::Qreg { .. } | Stmt::Creg { .. } | Stmt::GateDef(_) => {}
+            Stmt::Apply(GateCall {
+                name,
+                params,
+                args,
+                line,
+            }) => {
+                let width = table.broadcast_width(args, *line)?;
+                let values: Vec<f64> = params
+                    .iter()
+                    .map(|e| e.eval(&HashMap::new()))
+                    .collect::<Result<_, _>>()?;
+                for k in 0..width {
+                    let qubits: Vec<usize> = args
+                        .iter()
+                        .map(|a| table.resolve_broadcast(a, k, *line))
+                        .collect::<Result<_, _>>()?;
+                    let mut gates = Vec::new();
+                    expand_call(name, &values, &qubits, &defs, *line, 0, &mut gates)?;
+                    for g in gates {
+                        circuit
+                            .try_push_back(g)
+                            .map_err(|e| perr(*line, format!("{e}")))?;
+                    }
+                }
+            }
+            Stmt::Measure { qubit, cbit, line } => {
+                // classical bit target is validated for existence only —
+                // qclab records outcomes per branch, not in cregs
+                if !table.cregs.contains_key(&cbit.reg) {
+                    return Err(perr(
+                        *line,
+                        format!("unknown classical register '{}'", cbit.reg),
+                    ));
+                }
+                if qubit.index.is_none() {
+                    // broadcast measurement over the whole register
+                    let (off, size) = table.qregs[&qubit.reg];
+                    for k in 0..size {
+                        circuit
+                            .try_push_back(Measurement::z(off + k))
+                            .map_err(|e| perr(*line, format!("{e}")))?;
+                    }
+                } else {
+                    let q = table.resolve(qubit, *line)?;
+                    circuit
+                        .try_push_back(Measurement::z(q))
+                        .map_err(|e| perr(*line, format!("{e}")))?;
+                }
+            }
+            Stmt::Reset { qubit, line } => {
+                let q = table.resolve(qubit, *line)?;
+                circuit
+                    .try_push_back(CircuitItem::Reset(q))
+                    .map_err(|e| perr(*line, format!("{e}")))?;
+            }
+            Stmt::Barrier { args, line } => {
+                let mut qs = Vec::new();
+                for a in args {
+                    if a.index.is_none() {
+                        let (off, size) = *table
+                            .qregs
+                            .get(&a.reg)
+                            .ok_or_else(|| perr(*line, format!("unknown qreg '{}'", a.reg)))?;
+                        qs.extend(off..off + size);
+                    } else {
+                        qs.push(table.resolve(a, *line)?);
+                    }
+                }
+                circuit
+                    .try_push_back(CircuitItem::Barrier(qs))
+                    .map_err(|e| perr(*line, format!("{e}")))?;
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn import(src: &str) -> QCircuit {
+        program_to_circuit(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_listing_builds_paper_circuit() {
+        let src = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"#;
+        let c = import(src);
+        assert_eq!(c.nb_qubits(), 2);
+        assert_eq!(c.nb_gates(), 2);
+        assert_eq!(c.nb_measurements(), 2);
+        let sim = c.simulate_bitstring("00").unwrap();
+        assert_eq!(sim.results(), &["00", "11"]);
+    }
+
+    #[test]
+    fn gate_definition_expansion() {
+        let src = "qreg q[2]; gate rzz2(theta) a,b { cx a,b; rz(theta) b; cx a,b; } rzz2(pi/4) q[0], q[1];";
+        let c = import(src);
+        assert_eq!(c.nb_gates(), 3);
+    }
+
+    #[test]
+    fn nested_gate_definitions() {
+        let src = "qreg q[1]; gate g1 a { h a; } gate g2 a { g1 a; g1 a; } g2 q[0];";
+        let c = import(src);
+        assert_eq!(c.nb_gates(), 2);
+        // H twice = identity
+        assert!(c.to_matrix().unwrap().is_identity(1e-12));
+    }
+
+    #[test]
+    fn broadcast_over_register() {
+        let c = import("qreg q[3]; h q;");
+        assert_eq!(c.nb_gates(), 3);
+        let c = import("qreg q[2]; creg c[2]; measure q -> c;");
+        assert_eq!(c.nb_measurements(), 2);
+    }
+
+    #[test]
+    fn two_qregs_are_concatenated() {
+        let c = import("qreg a[1]; qreg b[2]; x a[0]; x b[1];");
+        assert_eq!(c.nb_qubits(), 3);
+        // second x lands on absolute qubit 2
+        let sim = c.simulate_bitstring("000").unwrap();
+        assert_eq!(sim.branches().len(), 1);
+        let s = sim.states()[0];
+        let idx = s.iter().position(|z| z.norm() > 0.5).unwrap();
+        assert_eq!(qclab_math::bits::index_to_bitstring(idx, 3), "101");
+    }
+
+    #[test]
+    fn import_errors() {
+        // unknown register
+        assert!(program_to_circuit(&parse("qreg q[1]; x r[0];").unwrap()).is_err());
+        // index out of range
+        assert!(program_to_circuit(&parse("qreg q[1]; x q[4];").unwrap()).is_err());
+        // unknown gate
+        assert!(program_to_circuit(&parse("qreg q[1]; bogus q[0];").unwrap()).is_err());
+        // wrong arity for a defined gate
+        assert!(
+            program_to_circuit(&parse("qreg q[2]; gate g a { h a; } g q[0], q[1];").unwrap())
+                .is_err()
+        );
+        // no qreg at all
+        assert!(program_to_circuit(&parse("creg c[1];").unwrap()).is_err());
+        // unknown creg in measure
+        assert!(program_to_circuit(&parse("qreg q[1]; measure q[0] -> c[0];").unwrap()).is_err());
+    }
+
+    #[test]
+    fn reset_and_barrier_import() {
+        let c = import("qreg q[2]; creg c[2]; h q[0]; reset q[0]; barrier q; measure q[0] -> c[0];");
+        assert_eq!(c.len(), 4);
+        let sim = c.simulate_bitstring("00").unwrap();
+        // reset forces outcome 0 on both branches
+        assert!(sim.results().iter().all(|r| *r == "0"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Tokenizer for OpenQASM 2.0 source text.
+//!
+//! Produces a flat token stream with line numbers for error reporting.
+//! Handles `//` line comments, string literals (for `include`), reals,
+//! integers, identifiers/keywords and the operator/punctuation set of the
+//! OpenQASM 2.0 grammar.
+
+use qclab_core::QclabError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`qreg`, `measure`, gate names, …).
+    Ident(String),
+    /// Numeric literal (integers are also parsed as reals; integer-ness
+    /// is re-checked where the grammar requires it).
+    Number(f64),
+    /// String literal, quotes stripped (only used by `include`).
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    /// `->` in measure statements.
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    /// `==` (accepted but unused: `if` statements are rejected later with
+    /// a clear message rather than a lex error).
+    EqEq,
+}
+
+/// A token paired with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenizes QASM source. Returns a lex error with line info on an
+/// unexpected character or an unterminated string.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, QclabError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+
+    let err = |line: usize, msg: String| QclabError::QasmParse { line, message: msg };
+
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // line comment
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Slash,
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(err(line, "unterminated string literal".into()));
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else if (c == 'e' || c == 'E') && !s.is_empty() {
+                        // exponent part; may be followed by a sign
+                        s.push(c);
+                        chars.next();
+                        if let Some(&sign) = chars.peek() {
+                            if sign == '+' || sign == '-' {
+                                s.push(sign);
+                                chars.next();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = s
+                    .parse()
+                    .map_err(|_| err(line, format!("invalid number '{s}'")))?;
+                out.push(SpannedTok {
+                    tok: Tok::Number(v),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::Arrow,
+                        line,
+                    });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Minus,
+                        line,
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::EqEq, line });
+                } else {
+                    return Err(err(line, "unexpected '='".into()));
+                }
+            }
+            _ => {
+                chars.next();
+                let tok = match ch {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semicolon,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '^' => Tok::Caret,
+                    other => {
+                        return Err(err(line, format!("unexpected character '{other}'")));
+                    }
+                };
+                out.push(SpannedTok { tok, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            toks("qreg q[2];"),
+            vec![
+                Tok::Ident("qreg".into()),
+                Tok::Ident("q".into()),
+                Tok::LBracket,
+                Tok::Number(2.0),
+                Tok::RBracket,
+                Tok::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            toks("measure q[0] -> c[0];")[4..6],
+            [Tok::RBracket, Tok::Arrow]
+        );
+        assert_eq!(toks("-1")[0], Tok::Minus);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("h q[0]; // apply hadamard\nx q[1];").len(),
+            12 // two gate statements of 6 tokens each
+        );
+    }
+
+    #[test]
+    fn string_literal() {
+        assert_eq!(
+            toks("include \"qelib1.inc\";"),
+            vec![
+                Tok::Ident("include".into()),
+                Tok::Str("qelib1.inc".into()),
+                Tok::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponent_and_decimal() {
+        assert_eq!(toks("2.5e-3")[0], Tok::Number(2.5e-3));
+        assert_eq!(toks("0.5")[0], Tok::Number(0.5));
+        assert_eq!(toks("3")[0], Tok::Number(3.0));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spanned = tokenize("h q[0];\n\nx q[1];").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn bad_character_errors_with_line() {
+        let e = tokenize("h q[0];\n$").unwrap_err();
+        match e {
+            QclabError::QasmParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("include \"oops;").is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Recursive-descent parser for the supported OpenQASM 2.0 subset.
+//!
+//! Supported grammar: the `OPENQASM 2.0;` header, `include` (accepted and
+//! ignored — the `qelib1` gate set is built in), `qreg`/`creg`
+//! declarations, gate definitions, gate applications with parameter
+//! expressions and register broadcasting, `measure`, `reset` and
+//! `barrier`. `if` and `opaque` are rejected with a clear message.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, SpannedTok, Tok};
+use qclab_core::QclabError;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+fn perr(line: usize, message: impl Into<String>) -> QclabError {
+    QclabError::QasmParse {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), QclabError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => Err(perr(line, format!("expected {what}, found {t:?}"))),
+            None => Err(perr(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, QclabError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(perr(line, format!("expected {what}, found {t:?}"))),
+            None => Err(perr(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_uint(&mut self, what: &str) -> Result<usize, QclabError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Number(v)) if v >= 0.0 && v.fract() == 0.0 => Ok(v as usize),
+            Some(t) => Err(perr(line, format!("expected {what}, found {t:?}"))),
+            None => Err(perr(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, QclabError> {
+        self.parse_add()
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, QclabError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.parse_mul()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.parse_mul()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, QclabError> {
+        let mut lhs = self.parse_pow()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let rhs = self.parse_pow()?;
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Slash) {
+                let rhs = self.parse_pow()?;
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_pow(&mut self) -> Result<Expr, QclabError> {
+        let base = self.parse_unary()?;
+        if self.eat(&Tok::Caret) {
+            // right-associative
+            let exp = self.parse_pow()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QclabError> {
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&Tok::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, QclabError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Number(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Ident(name)) => {
+                if name == "pi" {
+                    Ok(Expr::Pi)
+                } else if let Some(f) = Func::from_name(&name) {
+                    self.expect(&Tok::LParen, "'(' after function name")?;
+                    let arg = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "')' after function argument")?;
+                    Ok(Expr::Call(f, Box::new(arg)))
+                } else {
+                    Ok(Expr::Param(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "closing ')'")?;
+                Ok(e)
+            }
+            Some(t) => Err(perr(line, format!("unexpected token {t:?} in expression"))),
+            None => Err(perr(line, "unexpected end of input in expression")),
+        }
+    }
+
+    // ---- arguments ---------------------------------------------------
+
+    fn parse_arg(&mut self) -> Result<Arg, QclabError> {
+        let reg = self.expect_ident("register name")?;
+        let index = if self.eat(&Tok::LBracket) {
+            let i = self.expect_uint("register index")?;
+            self.expect(&Tok::RBracket, "closing ']'")?;
+            Some(i)
+        } else {
+            None
+        };
+        Ok(Arg { reg, index })
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Arg>, QclabError> {
+        let mut args = vec![self.parse_arg()?];
+        while self.eat(&Tok::Comma) {
+            args.push(self.parse_arg()?);
+        }
+        Ok(args)
+    }
+
+    /// A gate call after its name has been consumed.
+    fn parse_gate_call(&mut self, name: String, line: usize) -> Result<GateCall, QclabError> {
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen)
+            && !self.eat(&Tok::RParen) {
+                params.push(self.parse_expr()?);
+                while self.eat(&Tok::Comma) {
+                    params.push(self.parse_expr()?);
+                }
+                self.expect(&Tok::RParen, "closing ')' after parameters")?;
+            }
+        let args = self.parse_args()?;
+        self.expect(&Tok::Semicolon, "';' after gate application")?;
+        Ok(GateCall {
+            name,
+            params,
+            args,
+            line,
+        })
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn parse_reg(&mut self) -> Result<(String, usize), QclabError> {
+        let name = self.expect_ident("register name")?;
+        self.expect(&Tok::LBracket, "'['")?;
+        let size = self.expect_uint("register size")?;
+        self.expect(&Tok::RBracket, "']'")?;
+        self.expect(&Tok::Semicolon, "';'")?;
+        Ok((name, size))
+    }
+
+    fn parse_gate_def(&mut self) -> Result<GateDef, QclabError> {
+        let name = self.expect_ident("gate name")?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen)
+            && !self.eat(&Tok::RParen) {
+                params.push(self.expect_ident("parameter name")?);
+                while self.eat(&Tok::Comma) {
+                    params.push(self.expect_ident("parameter name")?);
+                }
+                self.expect(&Tok::RParen, "')' after gate parameters")?;
+            }
+        let mut qargs = vec![self.expect_ident("qubit argument")?];
+        while self.eat(&Tok::Comma) {
+            qargs.push(self.expect_ident("qubit argument")?);
+        }
+        self.expect(&Tok::LBrace, "'{' starting gate body")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let line = self.line();
+            let gname = self.expect_ident("gate name in body")?;
+            if gname == "barrier" {
+                // barriers inside gate bodies are no-ops; skip to ';'
+                while self.peek() != Some(&Tok::Semicolon) && self.peek().is_some() {
+                    self.pos += 1;
+                }
+                self.expect(&Tok::Semicolon, "';'")?;
+                continue;
+            }
+            body.push(self.parse_gate_call(gname, line)?);
+        }
+        self.expect(&Tok::RBrace, "'}' ending gate body")?;
+        Ok(GateDef {
+            name,
+            params,
+            qargs,
+            body,
+        })
+    }
+
+    fn parse_program(&mut self) -> Result<Program, QclabError> {
+        let mut program = Program::default();
+
+        // optional header: OPENQASM <version>;
+        if self.peek() == Some(&Tok::Ident("OPENQASM".into())) {
+            self.pos += 1;
+            let line = self.line();
+            match self.next() {
+                Some(Tok::Number(v)) if (v - 2.0).abs() < 1.0 => {}
+                Some(t) => return Err(perr(line, format!("unsupported QASM version {t:?}"))),
+                None => return Err(perr(line, "missing QASM version")),
+            }
+            self.expect(&Tok::Semicolon, "';' after version")?;
+        }
+
+        while let Some(tok) = self.peek().cloned() {
+            let line = self.line();
+            match tok {
+                Tok::Ident(kw) => {
+                    self.pos += 1;
+                    match kw.as_str() {
+                        "include" => {
+                            // the built-in gate table plays the role of
+                            // qelib1.inc; the file itself is not read
+                            match self.next() {
+                                Some(Tok::Str(_)) => {}
+                                _ => return Err(perr(line, "expected include file string")),
+                            }
+                            self.expect(&Tok::Semicolon, "';' after include")?;
+                        }
+                        "qreg" => {
+                            let (name, size) = self.parse_reg()?;
+                            program.statements.push(Stmt::Qreg { name, size });
+                        }
+                        "creg" => {
+                            let (name, size) = self.parse_reg()?;
+                            program.statements.push(Stmt::Creg { name, size });
+                        }
+                        "gate" => {
+                            let def = self.parse_gate_def()?;
+                            program.statements.push(Stmt::GateDef(def));
+                        }
+                        "measure" => {
+                            let qubit = self.parse_arg()?;
+                            self.expect(&Tok::Arrow, "'->' in measure")?;
+                            let cbit = self.parse_arg()?;
+                            self.expect(&Tok::Semicolon, "';' after measure")?;
+                            program.statements.push(Stmt::Measure { qubit, cbit, line });
+                        }
+                        "reset" => {
+                            let qubit = self.parse_arg()?;
+                            self.expect(&Tok::Semicolon, "';' after reset")?;
+                            program.statements.push(Stmt::Reset { qubit, line });
+                        }
+                        "barrier" => {
+                            let args = self.parse_args()?;
+                            self.expect(&Tok::Semicolon, "';' after barrier")?;
+                            program.statements.push(Stmt::Barrier { args, line });
+                        }
+                        "if" => {
+                            return Err(perr(
+                                line,
+                                "classically controlled 'if' statements are not supported",
+                            ));
+                        }
+                        "opaque" => {
+                            return Err(perr(line, "'opaque' gates are not supported"));
+                        }
+                        gate_name => {
+                            let call = self.parse_gate_call(gate_name.to_string(), line)?;
+                            program.statements.push(Stmt::Apply(call));
+                        }
+                    }
+                }
+                other => {
+                    return Err(perr(line, format!("unexpected token {other:?}")));
+                }
+            }
+        }
+        Ok(program)
+    }
+}
+
+/// Parses OpenQASM 2.0 source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, QclabError> {
+    let toks = tokenize(src)?;
+    Parser { toks, pos: 0 }.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QASM: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"#;
+
+    #[test]
+    fn parses_the_paper_listing() {
+        let p = parse(PAPER_QASM).unwrap();
+        assert_eq!(p.statements.len(), 6);
+        match &p.statements[0] {
+            Stmt::Qreg { name, size } => {
+                assert_eq!(name, "q");
+                assert_eq!(*size, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.statements[3] {
+            Stmt::Apply(call) => {
+                assert_eq!(call.name, "cx");
+                assert_eq!(call.args.len(), 2);
+                assert_eq!(call.args[1].index, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameters_with_expressions() {
+        let p = parse("qreg q[1]; rz(pi/2) q[0]; u3(0.1, -pi, 2*pi) q[0];").unwrap();
+        match &p.statements[1] {
+            Stmt::Apply(call) => {
+                assert_eq!(call.params.len(), 1);
+                let v = call.params[0].eval(&Default::default()).unwrap();
+                assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.statements[2] {
+            Stmt::Apply(call) => assert_eq!(call.params.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gate_definition() {
+        let src = "gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }";
+        let p = parse(src).unwrap();
+        match &p.statements[0] {
+            Stmt::GateDef(def) => {
+                assert_eq!(def.name, "rzz");
+                assert_eq!(def.params, vec!["theta"]);
+                assert_eq!(def.qargs, vec!["a", "b"]);
+                assert_eq!(def.body.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_argument_without_index() {
+        let p = parse("qreg q[3]; h q;").unwrap();
+        match &p.statements[1] {
+            Stmt::Apply(call) => assert_eq!(call.args[0].index, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_and_barrier() {
+        let p = parse("qreg q[2]; reset q[0]; barrier q[0], q[1];").unwrap();
+        assert!(matches!(p.statements[1], Stmt::Reset { .. }));
+        match &p.statements[2] {
+            Stmt::Barrier { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_if_and_opaque() {
+        assert!(parse("if (c==1) x q[0];").is_err());
+        assert!(parse("opaque magic q;").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse("qreg q[2];\nh q[0]\nx q[1];").unwrap_err();
+        match e {
+            QclabError::QasmParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse("qreg q[1]; rz(1+2*3^2) q[0];").unwrap();
+        match &p.statements[1] {
+            Stmt::Apply(call) => {
+                assert_eq!(call.params[0].eval(&Default::default()).unwrap(), 19.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

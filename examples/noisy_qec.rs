@@ -1,0 +1,43 @@
+//! Noisy quantum error correction on the density-matrix simulator: the
+//! paper's repetition code (Sec. 5.4) evaluated quantitatively under a
+//! bit-flip memory channel, with coherent multi-controlled-X correction.
+//!
+//! Run with `cargo run --release --example noisy_qec`.
+
+use qclab::core::sim::density::{DensityState, NoiseChannel};
+use qclab::prelude::*;
+use qclab_algorithms::qec::memory_error_experiment;
+use qclab_math::scalar::{c, cr};
+
+fn main() {
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+
+    // ---- channel basics -----------------------------------------------
+    println!("a bare qubit under increasing bit-flip noise:");
+    for p in [0.0, 0.1, 0.3, 0.5] {
+        let mut ds = DensityState::from_pure(&v);
+        ds.apply_channel(0, &NoiseChannel::BitFlip(p));
+        println!(
+            "  p = {p:.1}: fidelity {:.4}, purity {:.4}",
+            ds.fidelity_with_pure(&v),
+            ds.purity()
+        );
+    }
+
+    // ---- the repetition code fights back ------------------------------
+    println!("\nbit-flip code vs bare qubit (infidelity, exact):");
+    println!("  {:>6}  {:>12}  {:>12}  {:>8}", "p", "bare", "encoded", "gain");
+    for p in [0.001, 0.01, 0.05, 0.1, 0.25] {
+        let (bare, protected) = memory_error_experiment(p, &v);
+        println!(
+            "  {:>6.3}  {:>12.6}  {:>12.6}  {:>7.1}x",
+            p,
+            1.0 - bare,
+            1.0 - protected,
+            (1.0 - bare) / (1.0 - protected)
+        );
+    }
+    println!("\nencoded infidelity follows 3p² - 2p³ exactly: the code");
+    println!("corrects every single flip and fails only on double flips.");
+}

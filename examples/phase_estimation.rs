@@ -1,0 +1,26 @@
+//! Quantum phase estimation built from qclab pieces: controlled powers of
+//! a custom gate plus the inverse QFT as a sub-circuit block. Estimates
+//! the eigenphase of diag(1, e^{2πiφ}) at increasing precision.
+//!
+//! Run with `cargo run --example phase_estimation`.
+
+use qclab::prelude::*;
+use qclab_algorithms::phase_estimation::{estimate_phase, phase_estimation_circuit};
+
+fn main() {
+    // draw a small instance so the block structure is visible
+    let u = qclab::core::gates::matrices::phase(2.0 * std::f64::consts::PI * 0.25);
+    let circuit = phase_estimation_circuit(3, &u).unwrap();
+    println!("{}", draw_circuit(&circuit));
+
+    let phi = 0.3;
+    println!("estimating phase φ = {phi} of diag(1, e^{{2πiφ}}):");
+    for t in 2..=8 {
+        let est = estimate_phase(t, phi).unwrap();
+        println!(
+            "  {t} counting qubits: estimate {est:.6} (error {:.6}, resolution {:.6})",
+            (est - phi).abs(),
+            1.0 / (1u64 << t) as f64
+        );
+    }
+}

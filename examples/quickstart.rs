@@ -1,0 +1,38 @@
+//! Quickstart: the paper's running example, translated line by line.
+//!
+//! ```matlab
+//! circuit = qclab.QCircuit(2);
+//! circuit.push_back(qclab.qgates.Hadamard(0));
+//! circuit.push_back(qclab.qgates.CNOT(0,1));
+//! circuit.push_back(qclab.Measurement(0));
+//! circuit.push_back(qclab.Measurement(1));
+//! simulation = circuit.simulate('00');
+//! ```
+//!
+//! Run with `cargo run --example quickstart`.
+
+use qclab::prelude::*;
+
+fn main() {
+    // construct circuit (1) of the paper
+    let mut circuit = QCircuit::new(2);
+    circuit.push_back(Hadamard::new(0));
+    circuit.push_back(CNOT::new(0, 1));
+    circuit.push_back(Measurement::z(0));
+    circuit.push_back(Measurement::z(1));
+
+    // visualize it in the terminal (QCLAB's `circuit.draw`)
+    println!("{}", draw_circuit(&circuit));
+
+    // simulate from |00>
+    let simulation = circuit.simulate_bitstring("00").unwrap();
+    println!("results:       {:?}", simulation.results());
+    println!("probabilities: {:?}", simulation.probabilities());
+
+    // sample 1000 shots, seeded for reproducibility (MATLAB rng(1))
+    let counts = simulation.counts(1000, 1);
+    println!("counts(1000):  {counts:?}");
+
+    // export to OpenQASM (QCLAB's `circuit.toQASM`)
+    println!("\n{}", to_qasm(&circuit).unwrap());
+}

@@ -1,0 +1,57 @@
+//! Quench dynamics of a transverse-field Ising chain via Trotterized
+//! time evolution — the F3C-style workload built from qclab pieces:
+//! Pauli-string Hamiltonians, Trotter circuits, observables, and the
+//! exact evolution as cross-check.
+//!
+//! Run with `cargo run --release --example spin_chain_dynamics`.
+
+use qclab::core::observable::{Observable, Pauli, PauliString};
+use qclab::prelude::*;
+use qclab_algorithms::trotter::{evolve, exact_evolution, TrotterOrder};
+
+fn main() {
+    let n = 5;
+    let h = Observable::ising_chain(n, 1.0, 1.0); // critical TFIM
+    let z0 = Observable::new(n).term(1.0, &pauli_z_on(0, n));
+
+    // quench: start from the all-up product state |00..0>
+    let init = CVec::basis_state(1 << n, 0);
+
+    println!("TFIM quench, n = {n}, J = h = 1 (critical point)");
+    println!("⟨Z_0⟩(t): Trotter-2 with 20 steps vs exact diagonalization\n");
+    println!("  {:>5}  {:>12}  {:>12}  {:>10}", "t", "trotter", "exact", "|error|");
+
+    for k in 0..=10 {
+        let t = 0.3 * k as f64;
+        let (mz_trotter, mz_exact) = if k == 0 {
+            (z0.expectation(&init), z0.expectation(&init))
+        } else {
+            let circuit = evolve(&h, t, 20, TrotterOrder::Second);
+            let sim = circuit.simulate(&init).unwrap();
+            let psi_t = sim.states()[0];
+
+            let u = exact_evolution(&h, t);
+            let exact_state = CVec(u.matvec(&init));
+            (z0.expectation(psi_t), z0.expectation(&exact_state))
+        };
+        println!(
+            "  {:>5.2}  {:>12.6}  {:>12.6}  {:>10.2e}",
+            t,
+            mz_trotter,
+            mz_exact,
+            (mz_trotter - mz_exact).abs()
+        );
+    }
+
+    let circuit = evolve(&h, 3.0, 20, TrotterOrder::Second);
+    println!(
+        "\ncircuit for t = 3.0: {} gates, depth {}",
+        circuit.nb_gates(),
+        circuit.depth()
+    );
+}
+
+fn pauli_z_on(q: usize, n: usize) -> String {
+    let _ = PauliString::single(n, q, Pauli::Z); // (API demonstration)
+    (0..n).map(|i| if i == q { 'Z' } else { 'I' }).collect()
+}

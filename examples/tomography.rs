@@ -1,0 +1,54 @@
+//! Single-qubit state tomography (paper Sec. 5.2): reconstructs the
+//! density matrix of |v> = (1/√2, i/√2) from seeded `counts` in the X, Y
+//! and Z bases and reports the trace distance to the true state.
+//!
+//! Run with `cargo run --example tomography`.
+
+use qclab::prelude::*;
+use qclab_algorithms::tomography::tomography;
+use qclab_math::scalar::{c, cr, format_matlab};
+
+fn main() {
+    const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let v = CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]);
+
+    let shots = 1000;
+    let seed = 1; // rng(1) in the paper
+    let result = tomography(&v, shots, seed).unwrap();
+
+    println!("counts with {shots} shots per basis (seed {seed}):");
+    println!("  X basis: {:?}", result.counts_x);
+    println!("  Y basis: {:?}", result.counts_y);
+    println!("  Z basis: {:?}", result.counts_z);
+
+    println!(
+        "\nPauli coefficients: S0 = {:.3}, S1 = {:.3}, S2 = {:.3}, S3 = {:.3}",
+        result.s[0], result.s[1], result.s[2], result.s[3]
+    );
+
+    println!("\nestimated density matrix:");
+    let m = result.rho_est.matrix();
+    for i in 0..2 {
+        println!(
+            "  [{}  {}]",
+            format_matlab(m[(i, 0)], 3),
+            format_matlab(m[(i, 1)], 3)
+        );
+    }
+
+    let rho_true = DensityMatrix::from_pure(&v);
+    println!("\ntrue density matrix:");
+    let m = rho_true.matrix();
+    for i in 0..2 {
+        println!(
+            "  [{}  {}]",
+            format_matlab(m[(i, 0)], 3),
+            format_matlab(m[(i, 1)], 3)
+        );
+    }
+
+    println!(
+        "\ntrace distance: {:.4}",
+        rho_true.trace_distance(&result.rho_est)
+    );
+}

@@ -1,0 +1,71 @@
+//! Property tests: the sparse-Kronecker backend (MATLAB QCLAB) and the
+//! in-place kernel backend (QCLAB++) must be indistinguishable, and both
+//! must satisfy the invariants of unitary evolution.
+
+mod common;
+
+use common::{circuit, state};
+use proptest::prelude::*;
+use qclab::prelude::*;
+use qclab_core::sim::{kernel, kron};
+
+const N: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both backends produce identical state vectors on random circuits.
+    #[test]
+    fn backends_agree_on_random_circuits(c in circuit(N, 12), init in state(N)) {
+        let mut a = init.clone();
+        let mut b = init;
+        for item in c.items() {
+            if let CircuitItem::Gate(g) = item {
+                kernel::apply_gate(g, &mut a, N);
+                kron::apply_gate(g, &mut b, N);
+            }
+        }
+        prop_assert!(a.approx_eq(&b, 1e-10), "backends diverged");
+    }
+
+    /// Unitary evolution preserves the norm.
+    #[test]
+    fn norm_is_preserved(c in circuit(N, 16), init in state(N)) {
+        let sim = c.simulate(&init).unwrap();
+        prop_assert!((sim.states()[0].norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// The adjoint circuit inverts the original.
+    #[test]
+    fn adjoint_inverts(c in circuit(N, 10), init in state(N)) {
+        let mut full = c.clone();
+        for item in c.adjoint().unwrap().items() {
+            full.push_back(item.clone());
+        }
+        let sim = full.simulate(&init).unwrap();
+        prop_assert!(sim.states()[0].approx_eq(&init, 1e-9));
+    }
+
+    /// to_matrix agrees with the simulator on every basis state.
+    #[test]
+    fn to_matrix_matches_simulation(c in circuit(3, 8)) {
+        let m = c.to_matrix().unwrap();
+        prop_assert!(m.is_unitary(1e-9));
+        for j in 0..8usize {
+            let init = CVec::basis_state(8, j);
+            let sim = c.simulate(&init).unwrap();
+            let col = m.col(j);
+            for (i, amp) in sim.states()[0].iter().enumerate() {
+                prop_assert!((amp - col[i]).norm() < 1e-9);
+            }
+        }
+    }
+
+    /// The extended sparse unitary of any random gate is unitary and its
+    /// dense form matches the kernel's action.
+    #[test]
+    fn extended_unitary_is_unitary(g in common::gate(N)) {
+        let u = kron::extended_unitary(&g, N);
+        prop_assert!(u.to_dense().is_unitary(1e-9));
+    }
+}

@@ -1,0 +1,91 @@
+#![allow(dead_code)] // each test binary uses a different subset
+
+//! Shared proptest strategies for the integration test suite: random
+//! gates, random circuits, and random normalized state vectors.
+
+use proptest::prelude::*;
+use qclab::prelude::*;
+use qclab_math::scalar::c;
+
+/// Strategy over angles in (-2π, 2π).
+pub fn angle() -> impl Strategy<Value = f64> {
+    -std::f64::consts::TAU..std::f64::consts::TAU
+}
+
+/// Strategy over a random gate on a register of `n` qubits (n >= 3).
+pub fn gate(n: usize) -> impl Strategy<Value = Gate> {
+    assert!(n >= 3, "gate strategy needs at least 3 qubits");
+    let q = 0..n;
+    // a pair of distinct qubits
+    let qq = (0..n, 0..n - 1).prop_map(move |(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (a, b)
+    });
+    // a triple of distinct qubits
+    let qqq = (0..n, 0..n - 1, 0..n - 2).prop_map(move |(a, b, cc)| {
+        let b = if b >= a { b + 1 } else { b };
+        let mut cc = cc;
+        for low in [a.min(b), a.max(b)] {
+            if cc >= low {
+                cc += 1;
+            }
+        }
+        (a, b, cc)
+    });
+
+    prop_oneof![
+        q.clone().prop_map(Hadamard::new),
+        q.clone().prop_map(PauliX::new),
+        q.clone().prop_map(PauliY::new),
+        q.clone().prop_map(PauliZ::new),
+        q.clone().prop_map(SGate::new),
+        q.clone().prop_map(TdgGate::new),
+        q.clone().prop_map(SXGate::new),
+        (q.clone(), angle()).prop_map(|(q, t)| RotationX::new(q, t)),
+        (q.clone(), angle()).prop_map(|(q, t)| RotationY::new(q, t)),
+        (q.clone(), angle()).prop_map(|(q, t)| RotationZ::new(q, t)),
+        (q.clone(), angle()).prop_map(|(q, t)| PhaseGate::new(q, t)),
+        (q.clone(), angle(), angle(), angle())
+            .prop_map(|(q, a, b, cc)| U3Gate::new(q, a, b, cc)),
+        qq.clone().prop_map(|(a, b)| SwapGate::new(a, b)),
+        qq.clone().prop_map(|(a, b)| ISwapGate::new(a, b)),
+        (qq.clone(), angle()).prop_map(|((a, b), t)| RotationZZ::new(a, b, t)),
+        (qq.clone(), angle()).prop_map(|((a, b), t)| RotationXX::new(a, b, t)),
+        qq.clone().prop_map(|(a, b)| CNOT::new(a, b)),
+        qq.clone().prop_map(|(a, b)| CZ::new(a, b)),
+        (qq.clone(), 0u8..2).prop_map(|((a, b), s)| CNOT::with_control_state(a, b, s)),
+        (qq.clone(), angle()).prop_map(|((a, b), t)| CRY::new(a, b, t)),
+        (qq, angle()).prop_map(|((a, b), t)| CPhase::new(a, b, t)),
+        (qqq.clone(), 0u8..2, 0u8..2)
+            .prop_map(|((a, b, cc), s1, s2)| MCX::new(&[a, b], cc, &[s1, s2])),
+        qqq.prop_map(|(a, b, cc)| Toffoli::new(a, b, cc)),
+    ]
+}
+
+/// Strategy over a unitary circuit of up to `max_gates` gates on `n`
+/// qubits.
+pub fn circuit(n: usize, max_gates: usize) -> impl Strategy<Value = QCircuit> {
+    prop::collection::vec(gate(n), 1..=max_gates).prop_map(move |gates| {
+        let mut c = QCircuit::new(n);
+        for g in gates {
+            c.push_back(g);
+        }
+        c
+    })
+}
+
+/// Strategy over a normalized state vector on `n` qubits.
+pub fn state(n: usize) -> impl Strategy<Value = CVec> {
+    let dim = 1usize << n;
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim..=dim).prop_filter_map(
+        "state must have nonzero norm",
+        |parts| {
+            let v = CVec(parts.into_iter().map(|(re, im)| c(re, im)).collect());
+            if v.norm() < 1e-3 {
+                None
+            } else {
+                Some(v.normalized())
+            }
+        },
+    )
+}

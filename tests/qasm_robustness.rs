@@ -1,0 +1,86 @@
+//! Robustness tests for the OpenQASM front end: arbitrary input must
+//! never panic — malformed programs produce structured parse errors with
+//! line information.
+
+use proptest::prelude::*;
+use qclab_qasm::from_qasm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Completely arbitrary strings: the parser returns Ok or Err, never
+    /// panics.
+    #[test]
+    fn arbitrary_input_never_panics(src in ".{0,200}") {
+        let _ = from_qasm(&src);
+    }
+
+    /// QASM-flavoured token soup: random keywords, numbers and
+    /// punctuation stitched together.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("qreg".to_string()),
+                Just("creg".to_string()),
+                Just("gate".to_string()),
+                Just("measure".to_string()),
+                Just("reset".to_string()),
+                Just("barrier".to_string()),
+                Just("h".to_string()),
+                Just("cx".to_string()),
+                Just("rz".to_string()),
+                Just("q[0]".to_string()),
+                Just("q[1]".to_string()),
+                Just("c[0]".to_string()),
+                Just("->".to_string()),
+                Just("(pi/2)".to_string()),
+                Just(";".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(",".to_string()),
+                Just("q".to_string()),
+                Just("2".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = from_qasm(&src);
+    }
+
+    /// Truncations of a valid program fail gracefully (or parse, for
+    /// prefixes that happen to be complete).
+    #[test]
+    fn truncated_program_never_panics(cut in 0usize..200) {
+        let full = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                    gate rzz2(t) a,b { cx a,b; rz(t) b; cx a,b; }\n\
+                    h q[0];\nrzz2(pi/4) q[0], q[1];\nmeasure q -> c;\n";
+        let cut = cut.min(full.len());
+        // avoid slicing inside a UTF-8 boundary (input is ASCII here)
+        let _ = from_qasm(&full[..cut]);
+    }
+}
+
+#[test]
+fn specific_malformed_programs_error_cleanly() {
+    let cases = [
+        "qreg q[0];",                       // empty register is useless but parses; gate fails
+        "qreg q[2]; h q[5];",               // out of range
+        "qreg q[2]; cx q[0], q[0];",        // duplicate qubit
+        "qreg q[2]; gate g a { h a; } g q;", // broadcast through gate def
+        "qreg q[1]; rz() q[0];",            // empty params
+        "qreg q[1]; rz(1,2) q[0];",         // too many params
+        "qreg q[1]; measure q[0] -> ;",     // missing cbit
+        "OPENQASM 3.0; qreg q[1];",         // unsupported version
+        "qreg q[1]; gate loop a { loop a; } loop q[0];", // infinite recursion
+    ];
+    for src in cases {
+        // some are permissible; the point is that none of them panic
+        let _ = from_qasm(src);
+    }
+    // recursion depth specifically must be a clean error, not a stack
+    // overflow
+    let e = from_qasm("qreg q[1]; gate loop a { loop a; } loop q[0];");
+    assert!(e.is_err());
+}
