@@ -121,7 +121,9 @@ pub fn fable(a: &CMat, compress_tol: f64) -> Result<BlockEncoding, QclabError> {
 pub fn encoded_block(enc: &BlockEncoding) -> Result<CMat, QclabError> {
     let u = enc.circuit.to_matrix()?;
     let dim = 1usize << enc.nb_system;
-    Ok(CMat::from_fn(dim, dim, |i, j| u[(i, j)] / qclab_math::scalar::cr(enc.scale)))
+    Ok(CMat::from_fn(dim, dim, |i, j| {
+        u[(i, j)] / qclab_math::scalar::cr(enc.scale)
+    }))
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ pub fn deutsch_jozsa(n: usize, oracle: &DjOracle) -> QCircuit {
         }
         DjOracle::BalancedMask(mask) => {
             assert_eq!(mask.len(), n, "mask length mismatch");
-            assert!(mask.contains('1'), "all-zero mask is constant, not balanced");
+            assert!(
+                mask.contains('1'),
+                "all-zero mask is constant, not balanced"
+            );
             for (q, ch) in mask.chars().enumerate() {
                 if ch == '1' {
                     uf.push_back(CNOT::new(q, ancilla));

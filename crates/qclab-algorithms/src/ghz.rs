@@ -46,9 +46,7 @@ mod tests {
     #[test]
     fn ghz_state_has_two_equal_amplitudes() {
         for n in 2..=10 {
-            let sim = ghz_circuit(n)
-                .simulate_bitstring(&"0".repeat(n))
-                .unwrap();
+            let sim = ghz_circuit(n).simulate_bitstring(&"0".repeat(n)).unwrap();
             let s = sim.states()[0];
             let dim = 1usize << n;
             assert!((s[0].re - INV_SQRT2).abs() < 1e-12);

@@ -23,8 +23,8 @@ pub mod qec;
 pub mod qft;
 pub mod state_preparation;
 pub mod teleportation;
-pub mod trotter;
 pub mod tomography;
+pub mod trotter;
 pub mod vqe;
 
 pub use amplitude_estimation::{count_marked, estimate_amplitude, AmplitudeEstimate};
@@ -35,13 +35,12 @@ pub use ghz::{bell_circuit, ghz_circuit};
 pub use grover::{grover_circuit, grover_diffuser, grover_oracle, optimal_iterations};
 pub use phase_estimation::{estimate_phase, phase_estimation_circuit};
 pub use qec::{
-    bit_flip_circuit, bit_flip_circuit_ancilla_reuse, correct_by_pauli_frame,
-    phase_flip_circuit, shor_code_circuit, shor_code_fidelity, InjectedError,
-    PauliError,
+    bit_flip_circuit, bit_flip_circuit_ancilla_reuse, correct_by_pauli_frame, phase_flip_circuit,
+    shor_code_circuit, shor_code_fidelity, InjectedError, PauliError,
 };
 pub use qft::{iqft, qft};
 pub use state_preparation::{prepare_and_verify, prepare_state};
 pub use teleportation::{teleport, teleportation_circuit};
-pub use trotter::{evolve, exact_evolution, trotter_step, TrotterOrder};
 pub use tomography::{tomography, Tomography};
+pub use trotter::{evolve, exact_evolution, trotter_step, TrotterOrder};
 pub use vqe::{ansatz, energy, exact_ground_energy, vqe_minimize, VqeResult};

@@ -142,11 +142,7 @@ pub fn correct_by_pauli_frame(sim: &qclab_core::Simulation) -> Vec<(String, CVec
             };
             let mut state = b.state().clone();
             if let Some(q) = flip {
-                qclab_core::sim::kernel::apply_gate(
-                    &qclab_core::Gate::PauliX(q),
-                    &mut state,
-                    n,
-                );
+                qclab_core::sim::kernel::apply_gate(&qclab_core::Gate::PauliX(q), &mut state, n);
             }
             (syndrome, state)
         })
@@ -387,11 +383,8 @@ mod tests {
     #[test]
     fn phase_flip_code_corrects_phase_errors() {
         for q in 0..3 {
-            let sim = protect(
-                &phase_flip_circuit(InjectedError::PhaseFlip(q)),
-                &paper_v(),
-            )
-            .unwrap();
+            let sim =
+                protect(&phase_flip_circuit(InjectedError::PhaseFlip(q)), &paper_v()).unwrap();
             let f = logical_fidelity(&sim, &paper_v());
             assert!(f > 1.0 - 1e-10, "fidelity {f} after Z on q{q}");
         }

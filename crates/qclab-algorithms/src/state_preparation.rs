@@ -50,8 +50,16 @@ pub fn prepare_state(psi: &CVec) -> Result<QCircuit, QclabError> {
                 continue;
             }
             let t = 2.0 * b.norm().atan2(a.norm());
-            let arg_a = if a.norm() > 1e-15 { a.im.atan2(a.re) } else { 0.0 };
-            let arg_b = if b.norm() > 1e-15 { b.im.atan2(b.re) } else { 0.0 };
+            let arg_a = if a.norm() > 1e-15 {
+                a.im.atan2(a.re)
+            } else {
+                0.0
+            };
+            let arg_b = if b.norm() > 1e-15 {
+                b.im.atan2(b.re)
+            } else {
+                0.0
+            };
             let w = arg_b - arg_a;
             let gamma = (arg_a + arg_b) / 2.0;
             theta[p] = t;
@@ -125,12 +133,7 @@ mod tests {
         // |v> = (1/√2, i/√2)
         assert_prepares(&CVec(vec![cr(INV_SQRT2), c(0.0, INV_SQRT2)]));
         // the Bell state
-        assert_prepares(&CVec(vec![
-            cr(INV_SQRT2),
-            cr(0.0),
-            cr(0.0),
-            cr(INV_SQRT2),
-        ]));
+        assert_prepares(&CVec(vec![cr(INV_SQRT2), cr(0.0), cr(0.0), cr(INV_SQRT2)]));
     }
 
     #[test]

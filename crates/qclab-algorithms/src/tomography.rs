@@ -137,8 +137,7 @@ mod tests {
     fn accuracy_improves_with_shots() {
         let rho_true = DensityMatrix::from_pure(&paper_v());
         let d_small = rho_true.trace_distance(&tomography(&paper_v(), 100, 7).unwrap().rho_est);
-        let d_large =
-            rho_true.trace_distance(&tomography(&paper_v(), 100_000, 7).unwrap().rho_est);
+        let d_large = rho_true.trace_distance(&tomography(&paper_v(), 100_000, 7).unwrap().rho_est);
         assert!(
             d_large < d_small.max(0.02),
             "more shots did not help: {d_small} -> {d_large}"

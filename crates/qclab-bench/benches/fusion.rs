@@ -1,0 +1,72 @@
+//! Criterion bench for the gate-fusion ablation: the kernel backend with
+//! and without the fusion pre-pass on random 1–2 qubit circuits, where
+//! fusion's economics are clearest — every merged gate removes a full
+//! sweep over the `2^n` amplitudes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qclab_core::prelude::*;
+use qclab_core::sim::kernel::KernelConfig;
+use qclab_math::CVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random circuit of `gates` one- and two-qubit gates.
+fn random_circuit(n: usize, gates: usize, seed: u64) -> QCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = QCircuit::new(n);
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        let mut p = rng.gen_range(0..n - 1);
+        if p >= q {
+            p += 1;
+        }
+        match rng.gen_range(0..8u32) {
+            0 => c.push_back(Hadamard::new(q)),
+            1 => c.push_back(RotationX::new(q, rng.gen_range(-3.0..3.0))),
+            2 => c.push_back(RotationZ::new(q, rng.gen_range(-3.0..3.0))),
+            3 => c.push_back(TGate::new(q)),
+            4 => c.push_back(CNOT::new(q, p)),
+            5 => c.push_back(CZ::new(q, p)),
+            6 => c.push_back(RotationZZ::new(q, p, rng.gen_range(-3.0..3.0))),
+            _ => c.push_back(SwapGate::new(q, p)),
+        };
+    }
+    c
+}
+
+fn sim_opts(fuse: bool, max_fused: usize) -> SimOptions {
+    SimOptions {
+        backend: Backend::Kernel,
+        kernel: KernelConfig {
+            fuse,
+            max_fused_qubits: max_fused,
+            ..KernelConfig::default()
+        },
+        ..SimOptions::default()
+    }
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    // the headline ablation: 20 qubits, 200 random 1-2q gates
+    for n in [16usize, 20] {
+        let circuit = random_circuit(n, 200, 42);
+        let init = CVec::basis_state(1 << n, 0);
+        group.bench_with_input(BenchmarkId::new("unfused", n), &n, |b, _| {
+            b.iter(|| circuit.simulate_with(&init, &sim_opts(false, 2)).unwrap());
+        });
+        for cap in [2usize, 3, 4] {
+            group.bench_with_input(BenchmarkId::new(format!("fused{cap}"), n), &n, |b, _| {
+                b.iter(|| circuit.simulate_with(&init, &sim_opts(true, cap)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fusion
+}
+criterion_main!(benches);

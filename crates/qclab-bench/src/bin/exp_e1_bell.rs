@@ -22,7 +22,13 @@ fn main() {
             .iter()
             .enumerate()
             .filter(|(_, z)| z.norm() > 1e-12)
-            .map(|(i, z)| format!("|{}⟩: {}", qclab_math::bits::index_to_bitstring(i, 2), format_matlab(*z, 4)))
+            .map(|(i, z)| {
+                format!(
+                    "|{}⟩: {}",
+                    qclab_math::bits::index_to_bitstring(i, 2),
+                    format_matlab(*z, 4)
+                )
+            })
             .collect();
         t.row(&[
             format!("'{}'", b.result()),

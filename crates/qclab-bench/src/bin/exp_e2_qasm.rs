@@ -17,7 +17,10 @@ fn main() {
                     cx q[0], q[1];\n\
                     measure q[0] -> c[0];\n\
                     measure q[1] -> c[1];\n";
-    assert_eq!(qasm, expected, "QASM output deviates from the paper listing");
+    assert_eq!(
+        qasm, expected,
+        "QASM output deviates from the paper listing"
+    );
 
     // round trip: the re-imported circuit behaves identically
     let back = qclab_qasm::from_qasm(&qasm).unwrap();

@@ -26,7 +26,10 @@ fn main() {
         &["result", "probability"],
     );
     for b in simulation.branches() {
-        t.row(&[format!("'{}'", b.result()), format!("{:.4}", b.probability())]);
+        t.row(&[
+            format!("'{}'", b.result()),
+            format!("{:.4}", b.probability()),
+        ]);
     }
     t.emit("e5_grover");
 

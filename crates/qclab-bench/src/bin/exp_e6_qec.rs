@@ -17,7 +17,12 @@ fn main() {
 
     let mut t = Table::new(
         "E6: repetition code syndromes and recovery",
-        &["injected error", "syndrome", "probability", "logical fidelity"],
+        &[
+            "injected error",
+            "syndrome",
+            "probability",
+            "logical fidelity",
+        ],
     );
     for (error, label) in [
         (InjectedError::None, "none"),

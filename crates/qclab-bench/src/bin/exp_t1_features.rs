@@ -21,7 +21,10 @@ fn main() {
     t.row(&[
         "custom user-defined gates".into(),
         "yes".into(),
-        format!("CustomGate 'G' applied; unitary check enforced ({} gate)", c.nb_gates()),
+        format!(
+            "CustomGate 'G' applied; unitary check enforced ({} gate)",
+            c.nb_gates()
+        ),
     ]);
 
     // mid-circuit measurement
@@ -34,7 +37,10 @@ fn main() {
     t.row(&[
         "mid-circuit measurements".into(),
         "yes".into(),
-        format!("{} branches after measure-then-entangle", sim.branches().len()),
+        format!(
+            "{} branches after measure-then-entangle",
+            sim.branches().len()
+        ),
     ]);
 
     // partial measurement with reduced states
@@ -93,7 +99,10 @@ fn main() {
     t.row(&[
         "optimized kernel backend (QCLAB++ analog)".into(),
         "yes".into(),
-        format!("16-qubit GHZ in-place simulation, norm {:.3}", sim.states()[0].norm()),
+        format!(
+            "16-qubit GHZ in-place simulation, norm {:.3}",
+            sim.states()[0].norm()
+        ),
     ]);
 
     t.emit("t1_features");

@@ -55,12 +55,7 @@ fn main() {
             Some(k) => (fmt_seconds(k), format!("{:.1}x", k / kernel_time)),
             None => ("(skipped)".into(), "—".into()),
         };
-        t.row(&[
-            n.to_string(),
-            kron_cell,
-            fmt_seconds(kernel_time),
-            speedup,
-        ]);
+        t.row(&[n.to_string(), kron_cell, fmt_seconds(kernel_time), speedup]);
     }
     t.emit("f1_backend_scaling");
     println!(

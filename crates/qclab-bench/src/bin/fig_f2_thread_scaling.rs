@@ -33,7 +33,10 @@ fn main() {
         .unwrap_or(4);
 
     let mut t = Table::new(
-        &format!("F2: kernel backend thread scaling (n = {n}, {} gates)", gates.len()),
+        &format!(
+            "F2: kernel backend thread scaling (n = {n}, {} gates)",
+            gates.len()
+        ),
         &["threads", "wall time", "speedup vs 1 thread"],
     );
 

@@ -10,7 +10,9 @@ fn main() {
     // sweep over register sizes; for each, success probability per k
     let mut t = Table::new(
         "F3: Grover success probability vs iterations (marked = all-ones)",
-        &["qubits", "k=1", "k=2", "k=3", "k=4", "k=6", "k=8", "k_opt", "p(k_opt)"],
+        &[
+            "qubits", "k=1", "k=2", "k=3", "k=4", "k=6", "k=8", "k_opt", "p(k_opt)",
+        ],
     );
     for n in 2..=10usize {
         let marked = "1".repeat(n);

@@ -30,7 +30,11 @@ fn main() {
         let bare_inf = 1.0 - bare;
         let enc_inf = 1.0 - protected;
         let analytic = 3.0 * p * p - 2.0 * p * p * p;
-        let gain = if enc_inf > 0.0 { bare_inf / enc_inf } else { f64::INFINITY };
+        let gain = if enc_inf > 0.0 {
+            bare_inf / enc_inf
+        } else {
+            f64::INFINITY
+        };
         t.row(&[
             format!("{p:.3}"),
             format!("{bare_inf:.6}"),
@@ -43,10 +47,14 @@ fn main() {
 
     // quantitative checks
     let (bare, protected) = memory_error_experiment(0.01, &v);
-    assert!((1.0 - protected) < (1.0 - bare) / 10.0, "d=3 code should give ~p/3p² gain");
-    let (bare, protected) = memory_error_experiment(0.6, &v);
-    assert!(protected < bare, "code must lose above the p = 1/2 crossover");
-    println!(
-        "shape check: encoded infidelity = 3p²-2p³ exactly; crossover at p = 1/2 ✓"
+    assert!(
+        (1.0 - protected) < (1.0 - bare) / 10.0,
+        "d=3 code should give ~p/3p² gain"
     );
+    let (bare, protected) = memory_error_experiment(0.6, &v);
+    assert!(
+        protected < bare,
+        "code must lose above the p = 1/2 crossover"
+    );
+    println!("shape check: encoded infidelity = 3p²-2p³ exactly; crossover at p = 1/2 ✓");
 }

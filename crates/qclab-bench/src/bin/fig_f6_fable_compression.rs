@@ -44,7 +44,13 @@ fn main() {
     let dim = 8;
     let mut t = Table::new(
         "F6: FABLE block-encoding compression (8x8 matrices, 7-qubit circuits)",
-        &["matrix", "compress_tol", "gates", "vs exact", "max block error"],
+        &[
+            "matrix",
+            "compress_tol",
+            "gates",
+            "vs exact",
+            "max block error",
+        ],
     );
 
     for (name, a) in [

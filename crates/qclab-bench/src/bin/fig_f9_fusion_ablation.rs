@@ -1,0 +1,113 @@
+//! Figure F9 — gate-fusion ablation: simulating a random circuit of 1–2
+//! qubit gates with the fusion pre-pass on and off, at several fusion
+//! caps. Fusion trades cheap small-matrix products (done once, on
+//! `2^k`-dimensional blocks) for whole-state sweeps, so the win grows
+//! with register size and circuit depth.
+
+use qclab_bench::{fmt_seconds, Table};
+use qclab_core::prelude::*;
+use qclab_core::sim::fusion::fuse_circuit;
+use qclab_core::sim::kernel::KernelConfig;
+use qclab_math::CVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random circuit of `gates` one- and two-qubit gates (the acceptance
+/// workload: 20 qubits, 200 gates).
+fn random_12q_circuit(n: usize, gates: usize, seed: u64) -> QCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = QCircuit::new(n);
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        let mut p = rng.gen_range(0..n - 1);
+        if p >= q {
+            p += 1;
+        }
+        match rng.gen_range(0..8u32) {
+            0 => c.push_back(Hadamard::new(q)),
+            1 => c.push_back(RotationX::new(q, rng.gen_range(-3.0..3.0))),
+            2 => c.push_back(RotationZ::new(q, rng.gen_range(-3.0..3.0))),
+            3 => c.push_back(TGate::new(q)),
+            4 => c.push_back(CNOT::new(q, p)),
+            5 => c.push_back(CZ::new(q, p)),
+            6 => c.push_back(RotationZZ::new(q, p, rng.gen_range(-3.0..3.0))),
+            _ => c.push_back(SwapGate::new(q, p)),
+        };
+    }
+    c
+}
+
+fn opts(fuse: bool, cap: usize) -> SimOptions {
+    SimOptions {
+        backend: Backend::Kernel,
+        kernel: KernelConfig {
+            fuse,
+            max_fused_qubits: cap,
+            ..KernelConfig::default()
+        },
+        ..SimOptions::default()
+    }
+}
+
+/// Samples every configuration round-robin and reports per-config
+/// medians, so slow drift on a shared machine (frequency scaling,
+/// co-tenants) hits all configs alike instead of biasing whichever
+/// one happened to run during a slow window.
+fn interleaved_medians(circuit: &QCircuit, init: &CVec, configs: &[SimOptions]) -> Vec<f64> {
+    const RUNS: usize = 9;
+    let mut samples = vec![Vec::with_capacity(RUNS); configs.len()];
+    for _ in 0..RUNS {
+        for (i, o) in configs.iter().enumerate() {
+            let start = std::time::Instant::now();
+            circuit.simulate_with(init, o).unwrap();
+            samples[i].push(start.elapsed().as_secs_f64());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(f64::total_cmp);
+            s[RUNS / 2]
+        })
+        .collect()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "F9: gate-fusion ablation (200 random 1-2q gates)",
+        &["qubits", "config", "gates applied", "time", "speedup"],
+    );
+
+    let caps = [2usize, 3, 4];
+    for n in [16usize, 18, 20] {
+        let circuit = random_12q_circuit(n, 200, 42);
+        let init = CVec::basis_state(1 << n, 0);
+        let configs: Vec<SimOptions> = std::iter::once(opts(false, 2))
+            .chain(caps.iter().map(|&c| opts(true, c)))
+            .collect();
+        let times = interleaved_medians(&circuit, &init, &configs);
+        let unfused = times[0];
+        t.row(&[
+            n.to_string(),
+            "unfused".into(),
+            "200".into(),
+            fmt_seconds(unfused),
+            "1.0x".into(),
+        ]);
+        for (&cap, &fused) in caps.iter().zip(&times[1..]) {
+            let stats = fuse_circuit(&circuit, cap).1;
+            t.row(&[
+                n.to_string(),
+                format!("fused (cap {cap})"),
+                stats.gates_out.to_string(),
+                fmt_seconds(fused),
+                format!("{:.1}x", unfused / fused),
+            ]);
+        }
+    }
+    t.emit("f9_fusion_ablation");
+    println!(
+        "shape check: fusion wins grow with register size; caps 3-4 fuse\n\
+         more gates but pay exponentially larger block sweeps"
+    );
+}

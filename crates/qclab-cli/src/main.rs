@@ -8,34 +8,79 @@
 //! qclab stats    circuit.qasm              gate/depth/measurement counts
 //! ```
 //!
+//! `simulate` and `counts` accept `--no-fuse` to disable the gate-fusion
+//! pre-pass (useful for timing comparisons and for debugging the fused
+//! execution path).
+//!
 //! Mirrors the workflow of the paper: construct (or import) a circuit,
 //! inspect it, simulate it, and sample repeated experiments.
 
+use qclab_core::sim::kernel::KernelConfig;
+use qclab_core::sim::SimOptions;
 use qclab_core::{QCircuit, QclabError};
 use std::process::ExitCode;
 
 /// A parsed command line.
 #[derive(Debug, PartialEq)]
 enum Command {
-    Draw { path: String },
-    Tex { path: String },
-    Simulate { path: String, init: Option<String> },
-    Counts { path: String, shots: u64, seed: u64 },
-    Stats { path: String },
+    Draw {
+        path: String,
+    },
+    Tex {
+        path: String,
+    },
+    Simulate {
+        path: String,
+        init: Option<String>,
+        fuse: bool,
+    },
+    Counts {
+        path: String,
+        shots: u64,
+        seed: u64,
+        fuse: bool,
+    },
+    Stats {
+        path: String,
+    },
 }
 
 fn usage() -> String {
     "usage:\n  qclab draw     <file.qasm>\n  qclab tex      <file.qasm>\n  \
-     qclab simulate <file.qasm> [initial-bitstring]\n  \
-     qclab counts   <file.qasm> <shots> [seed]\n  qclab stats    <file.qasm>"
+     qclab simulate [--no-fuse] <file.qasm> [initial-bitstring]\n  \
+     qclab counts   [--no-fuse] <file.qasm> <shots> [seed]\n  qclab stats    <file.qasm>"
         .to_string()
 }
 
-/// Parses the argument vector (without the program name).
+/// Parses the argument vector (without the program name). The
+/// `--no-fuse` flag may appear anywhere after the command name; the
+/// remaining arguments are positional.
 fn parse_args(args: &[String]) -> Result<Command, String> {
-    let cmd = args.first().ok_or_else(usage)?;
-    let path = args
-        .get(1)
+    let cmd = args.first().ok_or_else(usage)?.clone();
+    let mut fuse = true;
+    let rest: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| {
+            if *a == "--no-fuse" {
+                fuse = false;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    if !fuse && !matches!(cmd.as_str(), "simulate" | "counts") {
+        return Err(format!(
+            "--no-fuse only applies to simulate/counts\n{}",
+            usage()
+        ));
+    }
+    if let Some(opt) = rest.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{opt}'\n{}", usage()));
+    }
+    let path = rest
+        .first()
         .ok_or_else(|| format!("missing .qasm file\n{}", usage()))?
         .clone();
     match cmd.as_str() {
@@ -43,24 +88,42 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "tex" => Ok(Command::Tex { path }),
         "simulate" => Ok(Command::Simulate {
             path,
-            init: args.get(2).cloned(),
+            init: rest.get(1).cloned(),
+            fuse,
         }),
         "counts" => {
-            let shots = args
-                .get(2)
+            let shots = rest
+                .get(1)
                 .ok_or_else(|| format!("missing shot count\n{}", usage()))?
                 .parse::<u64>()
                 .map_err(|_| "shots must be a non-negative integer".to_string())?;
-            let seed = match args.get(3) {
+            let seed = match rest.get(2) {
                 Some(s) => s
                     .parse::<u64>()
                     .map_err(|_| "seed must be a non-negative integer".to_string())?,
                 None => 1,
             };
-            Ok(Command::Counts { path, shots, seed })
+            Ok(Command::Counts {
+                path,
+                shots,
+                seed,
+                fuse,
+            })
         }
         "stats" => Ok(Command::Stats { path }),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Simulation options for the CLI: defaults everywhere except the
+/// fusion switch.
+fn sim_opts(fuse: bool) -> SimOptions {
+    SimOptions {
+        kernel: KernelConfig {
+            fuse,
+            ..KernelConfig::default()
+        },
+        ..SimOptions::default()
     }
 }
 
@@ -69,10 +132,10 @@ fn load(path: &str) -> Result<QCircuit, String> {
     qclab_qasm::from_qasm(&src).map_err(|e| format!("{path}: {e}"))
 }
 
-fn simulate(circuit: &QCircuit, init: Option<&str>) -> Result<String, QclabError> {
+fn simulate(circuit: &QCircuit, init: Option<&str>, fuse: bool) -> Result<String, QclabError> {
     let zeros = "0".repeat(circuit.nb_qubits());
     let bits = init.unwrap_or(&zeros);
-    let sim = circuit.simulate_bitstring(bits)?;
+    let sim = circuit.simulate_bitstring_with(bits, &sim_opts(fuse))?;
     let mut out = String::new();
     out.push_str(&format!(
         "simulated {} qubits from |{}>: {} branch(es)\n",
@@ -82,7 +145,10 @@ fn simulate(circuit: &QCircuit, init: Option<&str>) -> Result<String, QclabError
     ));
     for b in sim.branches() {
         if b.result().is_empty() {
-            out.push_str(&format!("  (no measurements)  p = {:.6}\n", b.probability()));
+            out.push_str(&format!(
+                "  (no measurements)  p = {:.6}\n",
+                b.probability()
+            ));
         } else {
             out.push_str(&format!("  '{}'  p = {:.6}\n", b.result(), b.probability()));
         }
@@ -90,9 +156,9 @@ fn simulate(circuit: &QCircuit, init: Option<&str>) -> Result<String, QclabError
     Ok(out)
 }
 
-fn counts(circuit: &QCircuit, shots: u64, seed: u64) -> Result<String, QclabError> {
+fn counts(circuit: &QCircuit, shots: u64, seed: u64, fuse: bool) -> Result<String, QclabError> {
     let zeros = "0".repeat(circuit.nb_qubits());
-    let sim = circuit.simulate_bitstring(&zeros)?;
+    let sim = circuit.simulate_bitstring_with(&zeros, &sim_opts(fuse))?;
     let mut out = format!("counts over {shots} shots (seed {seed}):\n");
     for (result, n) in sim.counts(shots, seed) {
         out.push_str(&format!("  '{result}': {n}\n"));
@@ -114,12 +180,15 @@ fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Draw { path } => Ok(qclab_draw::draw_circuit(&load(&path)?)),
         Command::Tex { path } => Ok(qclab_draw::to_tex(&load(&path)?)),
-        Command::Simulate { path, init } => {
-            simulate(&load(&path)?, init.as_deref()).map_err(|e| e.to_string())
+        Command::Simulate { path, init, fuse } => {
+            simulate(&load(&path)?, init.as_deref(), fuse).map_err(|e| e.to_string())
         }
-        Command::Counts { path, shots, seed } => {
-            counts(&load(&path)?, shots, seed).map_err(|e| e.to_string())
-        }
+        Command::Counts {
+            path,
+            shots,
+            seed,
+            fuse,
+        } => counts(&load(&path)?, shots, seed, fuse).map_err(|e| e.to_string()),
         Command::Stats { path } => Ok(stats(&load(&path)?)),
     }
 }
@@ -172,20 +241,49 @@ mod tests {
             Command::Counts {
                 path: "f.qasm".into(),
                 shots: 100,
-                seed: 7
+                seed: 7,
+                fuse: true
             }
         );
         assert_eq!(
             parse_args(&args(&["simulate", "f.qasm", "01"])).unwrap(),
             Command::Simulate {
                 path: "f.qasm".into(),
-                init: Some("01".into())
+                init: Some("01".into()),
+                fuse: true
             }
         );
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["bogus", "f.qasm"])).is_err());
         assert!(parse_args(&args(&["counts", "f.qasm"])).is_err());
         assert!(parse_args(&args(&["counts", "f.qasm", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_no_fuse_flag() {
+        // the flag is position-independent within simulate/counts
+        assert_eq!(
+            parse_args(&args(&["simulate", "--no-fuse", "f.qasm"])).unwrap(),
+            Command::Simulate {
+                path: "f.qasm".into(),
+                init: None,
+                fuse: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["counts", "f.qasm", "50", "--no-fuse"])).unwrap(),
+            Command::Counts {
+                path: "f.qasm".into(),
+                shots: 50,
+                seed: 1,
+                fuse: false
+            }
+        );
+        // rejected where it has no meaning
+        assert!(parse_args(&args(&["draw", "--no-fuse", "f.qasm"])).is_err());
+        // typo'd options are named in the error, not taken as file paths
+        let e = parse_args(&args(&["simulate", "--nofuse", "f.qasm"])).unwrap_err();
+        assert!(e.contains("unknown option '--nofuse'"));
     }
 
     #[test]
@@ -206,14 +304,24 @@ mod tests {
         let sim = run(Command::Simulate {
             path: p.clone(),
             init: None,
+            fuse: true,
         })
         .unwrap();
         assert!(sim.contains("'00'"));
         assert!(sim.contains("'11'"));
+        // disabling fusion must not change the reported branches
+        let unfused = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            fuse: false,
+        })
+        .unwrap();
+        assert_eq!(sim, unfused);
         let cts = run(Command::Counts {
             path: p,
             shots: 100,
             seed: 1,
+            fuse: true,
         })
         .unwrap();
         assert!(cts.contains("counts over 100 shots"));

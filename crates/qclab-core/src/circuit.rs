@@ -327,7 +327,11 @@ impl QCircuit {
         for item in &self.items {
             match item {
                 CircuitItem::Gate(g) => {
-                    let g = if offset == 0 { g.clone() } else { g.shifted(offset) };
+                    let g = if offset == 0 {
+                        g.clone()
+                    } else {
+                        g.shifted(offset)
+                    };
                     crate::sim::kernel::apply_gate(&g, state, n);
                 }
                 CircuitItem::Barrier(_) => {}

@@ -159,7 +159,10 @@ pub fn sqrt_unitary_2x2(u: &CMat) -> CMat {
             CMat::identity(2)
         } else {
             // V = -I: pick n = z, so √V = i·σ_z
-            CMat::diag(&[qclab_math::scalar::c(0.0, 1.0), qclab_math::scalar::c(0.0, -1.0)])
+            CMat::diag(&[
+                qclab_math::scalar::c(0.0, 1.0),
+                qclab_math::scalar::c(0.0, -1.0),
+            ])
         }
     } else {
         // n·σ = (V - cos θ·I) / (i sin θ)
@@ -169,8 +172,7 @@ pub fn sqrt_unitary_2x2(u: &CMat) -> CMat {
             (v[(r, c)] - diag) / i_sin
         });
         let (half_c, half_s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-        &CMat::identity(2).scale(cr(half_c))
-            + &nsigma.scale(qclab_math::scalar::c(0.0, half_s))
+        &CMat::identity(2).scale(cr(half_c)) + &nsigma.scale(qclab_math::scalar::c(0.0, half_s))
     };
     w.scale(cis(alpha / 2.0))
 }
@@ -312,12 +314,14 @@ mod tests {
             for (control, target) in [(0usize, 1usize), (1, 0)] {
                 let direct = {
                     let mut c = QCircuit::new(2);
-                    c.push_back(Gate::Custom {
-                        name: "U".into(),
-                        qubits: vec![target],
-                        matrix: u.clone(),
-                    }
-                    .controlled(control, 1));
+                    c.push_back(
+                        Gate::Custom {
+                            name: "U".into(),
+                            qubits: vec![target],
+                            matrix: u.clone(),
+                        }
+                        .controlled(control, 1),
+                    );
                     c.to_matrix().unwrap()
                 };
                 let decomposed = {
@@ -398,7 +402,9 @@ mod tests {
         ];
         for (controls, states, target) in cases {
             let n = controls.len() + 1 + target.saturating_sub(controls.len());
-            let n = n.max(controls.iter().copied().max().unwrap() + 1).max(target + 1);
+            let n = n
+                .max(controls.iter().copied().max().unwrap() + 1)
+                .max(target + 1);
             let direct = circuit_matrix(
                 n,
                 &[Gate::Controlled {

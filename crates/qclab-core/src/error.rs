@@ -42,7 +42,10 @@ impl fmt::Display for QclabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QclabError::QubitOutOfRange { qubit, nb_qubits } => {
-                write!(f, "qubit {qubit} out of range for a {nb_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for a {nb_qubits}-qubit register"
+                )
             }
             QclabError::DuplicateQubits { qubits } => {
                 write!(f, "gate references duplicate qubits: {qubits:?}")

@@ -7,9 +7,9 @@
 
 #![allow(clippy::new_ret_no_self)] // factories mirror MATLAB constructors
 
-use super::Gate;
 #[cfg(test)]
 use super::matrices;
+use super::Gate;
 use crate::error::QclabError;
 use qclab_math::CMat;
 
@@ -380,18 +380,17 @@ pub fn gate_from_mnemonic(
     params: &[f64],
     qubits: &[usize],
 ) -> Result<Gate, QclabError> {
-    let need =
-        |n_params: usize, n_qubits: usize| -> Result<(), QclabError> {
-            if params.len() != n_params || qubits.len() != n_qubits {
-                Err(QclabError::InvalidGateSpec(format!(
-                    "{mnemonic} expects {n_params} params / {n_qubits} qubits, got {} / {}",
-                    params.len(),
-                    qubits.len()
-                )))
-            } else {
-                Ok(())
-            }
-        };
+    let need = |n_params: usize, n_qubits: usize| -> Result<(), QclabError> {
+        if params.len() != n_params || qubits.len() != n_qubits {
+            Err(QclabError::InvalidGateSpec(format!(
+                "{mnemonic} expects {n_params} params / {n_qubits} qubits, got {} / {}",
+                params.len(),
+                qubits.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
     let g = match mnemonic {
         "id" => {
             need(0, 1)?;
@@ -570,8 +569,6 @@ mod tests {
         let g = Toffoli::new(0, 1, 2);
         assert_eq!(g.controls().len(), 2);
         assert_eq!(g.targets(), vec![2]);
-        assert!(g
-            .target_matrix()
-            .approx_eq(&matrices::pauli_x(), 0.0));
+        assert!(g.target_matrix().approx_eq(&matrices::pauli_x(), 0.0));
     }
 }

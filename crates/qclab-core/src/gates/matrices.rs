@@ -18,12 +18,7 @@ pub fn identity() -> CMat {
 
 /// Hadamard gate.
 pub fn hadamard() -> CMat {
-    CMat::mat2(
-        cr(INV_SQRT2),
-        cr(INV_SQRT2),
-        cr(INV_SQRT2),
-        cr(-INV_SQRT2),
-    )
+    CMat::mat2(cr(INV_SQRT2), cr(INV_SQRT2), cr(INV_SQRT2), cr(-INV_SQRT2))
 }
 
 /// Pauli-X (NOT).

@@ -36,12 +36,7 @@ impl Basis {
         match self {
             Basis::Z => CMat::identity(2),
             // columns |+>, |->
-            Basis::X => CMat::mat2(
-                cr(INV_SQRT2),
-                cr(INV_SQRT2),
-                cr(INV_SQRT2),
-                cr(-INV_SQRT2),
-            ),
+            Basis::X => CMat::mat2(cr(INV_SQRT2), cr(INV_SQRT2), cr(INV_SQRT2), cr(-INV_SQRT2)),
             // columns |+i> = (1, i)/√2 and |-i> = (1, -i)/√2
             Basis::Y => CMat::mat2(
                 cr(INV_SQRT2),

@@ -303,7 +303,13 @@ mod tests {
     #[test]
     fn bell_state_correlations() {
         let b = bell();
-        for (s, expect) in [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IX", 0.0)] {
+        for (s, expect) in [
+            ("ZZ", 1.0),
+            ("XX", 1.0),
+            ("YY", -1.0),
+            ("ZI", 0.0),
+            ("IX", 0.0),
+        ] {
             let got = PauliString::parse(s).unwrap().expectation(&b);
             assert!((got - expect).abs() < 1e-14, "<{s}> = {got}, want {expect}");
         }

@@ -82,60 +82,97 @@ fn cancels(a: &Gate, b: &Gate) -> bool {
 fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
     use Gate::*;
     match (a, b) {
-        (RotationX { qubit: q1, theta: t1 }, RotationX { qubit: q2, theta: t2 })
-            if q1 == q2 =>
-        {
-            Some(RotationX {
-                qubit: *q1,
-                theta: t1 + t2,
-            })
-        }
-        (RotationY { qubit: q1, theta: t1 }, RotationY { qubit: q2, theta: t2 })
-            if q1 == q2 =>
-        {
-            Some(RotationY {
-                qubit: *q1,
-                theta: t1 + t2,
-            })
-        }
-        (RotationZ { qubit: q1, theta: t1 }, RotationZ { qubit: q2, theta: t2 })
-            if q1 == q2 =>
-        {
-            Some(RotationZ {
-                qubit: *q1,
-                theta: t1 + t2,
-            })
-        }
-        (Phase { qubit: q1, theta: t1 }, Phase { qubit: q2, theta: t2 }) if q1 == q2 => {
-            Some(Phase {
-                qubit: *q1,
-                theta: t1 + t2,
-            })
-        }
-        (RotationXX { qubits: a1, theta: t1 }, RotationXX { qubits: a2, theta: t2 })
-            if a1 == a2 =>
-        {
-            Some(RotationXX {
-                qubits: *a1,
-                theta: t1 + t2,
-            })
-        }
-        (RotationYY { qubits: a1, theta: t1 }, RotationYY { qubits: a2, theta: t2 })
-            if a1 == a2 =>
-        {
-            Some(RotationYY {
-                qubits: *a1,
-                theta: t1 + t2,
-            })
-        }
-        (RotationZZ { qubits: a1, theta: t1 }, RotationZZ { qubits: a2, theta: t2 })
-            if a1 == a2 =>
-        {
-            Some(RotationZZ {
-                qubits: *a1,
-                theta: t1 + t2,
-            })
-        }
+        (
+            RotationX {
+                qubit: q1,
+                theta: t1,
+            },
+            RotationX {
+                qubit: q2,
+                theta: t2,
+            },
+        ) if q1 == q2 => Some(RotationX {
+            qubit: *q1,
+            theta: t1 + t2,
+        }),
+        (
+            RotationY {
+                qubit: q1,
+                theta: t1,
+            },
+            RotationY {
+                qubit: q2,
+                theta: t2,
+            },
+        ) if q1 == q2 => Some(RotationY {
+            qubit: *q1,
+            theta: t1 + t2,
+        }),
+        (
+            RotationZ {
+                qubit: q1,
+                theta: t1,
+            },
+            RotationZ {
+                qubit: q2,
+                theta: t2,
+            },
+        ) if q1 == q2 => Some(RotationZ {
+            qubit: *q1,
+            theta: t1 + t2,
+        }),
+        (
+            Phase {
+                qubit: q1,
+                theta: t1,
+            },
+            Phase {
+                qubit: q2,
+                theta: t2,
+            },
+        ) if q1 == q2 => Some(Phase {
+            qubit: *q1,
+            theta: t1 + t2,
+        }),
+        (
+            RotationXX {
+                qubits: a1,
+                theta: t1,
+            },
+            RotationXX {
+                qubits: a2,
+                theta: t2,
+            },
+        ) if a1 == a2 => Some(RotationXX {
+            qubits: *a1,
+            theta: t1 + t2,
+        }),
+        (
+            RotationYY {
+                qubits: a1,
+                theta: t1,
+            },
+            RotationYY {
+                qubits: a2,
+                theta: t2,
+            },
+        ) if a1 == a2 => Some(RotationYY {
+            qubits: *a1,
+            theta: t1 + t2,
+        }),
+        (
+            RotationZZ {
+                qubits: a1,
+                theta: t1,
+            },
+            RotationZZ {
+                qubits: a2,
+                theta: t2,
+            },
+        ) if a1 == a2 => Some(RotationZZ {
+            qubits: *a1,
+            theta: t1 + t2,
+        }),
         // controlled rotations/phases with identical control structure
         (
             Controlled {

@@ -384,8 +384,14 @@ mod tests {
             let mut ds = DensityState::from_pure(&paper_v().kron(&CVec::basis_state(2, 0)));
             ds.apply_channel(0, &ch);
             ds.apply_channel(1, &ch);
-            assert!((ds.trace().re - 1.0).abs() < 1e-12, "{ch:?} broke the trace");
-            assert!(ds.to_density_matrix().is_physical(1e-10), "{ch:?} unphysical");
+            assert!(
+                (ds.trace().re - 1.0).abs() < 1e-12,
+                "{ch:?} broke the trace"
+            );
+            assert!(
+                ds.to_density_matrix().is_physical(1e-10),
+                "{ch:?} unphysical"
+            );
         }
     }
 

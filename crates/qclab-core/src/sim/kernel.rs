@@ -55,6 +55,13 @@ pub struct KernelConfig {
     pub use_swap_kernel: bool,
     /// Allow Rayon parallelism above [`PARALLEL_THRESHOLD_QUBITS`].
     pub allow_parallel: bool,
+    /// Run the gate-fusion pre-pass ([`super::fusion`]) before
+    /// simulation: causally-adjacent small gates merge into dense blocks,
+    /// trading tiny matrix products for whole-state sweeps.
+    pub fuse: bool,
+    /// Qubit-footprint cap (controls included) for fused blocks, clamped
+    /// to `1..=`[`super::fusion::MAX_FUSED_QUBITS_LIMIT`] by the pass.
+    pub max_fused_qubits: usize,
 }
 
 impl Default for KernelConfig {
@@ -63,6 +70,8 @@ impl Default for KernelConfig {
             use_diagonal_kernel: true,
             use_swap_kernel: true,
             allow_parallel: true,
+            fuse: true,
+            max_fused_qubits: super::fusion::DEFAULT_MAX_FUSED_QUBITS,
         }
     }
 }
@@ -83,7 +92,7 @@ pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConf
     // dedicated permutation kernel for the uncontrolled SWAP
     if let Gate::Swap(a, b) = gate {
         if controls.is_empty() && cfg.use_swap_kernel {
-            apply_swap(state, n, *a, *b);
+            apply_swap(state, n, *a, *b, parallel);
             return;
         }
     }
@@ -97,14 +106,53 @@ pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConf
     } else if targets.len() == 1 {
         apply_1q(state, n, targets[0], &matrix, cm, parallel);
     } else {
-        apply_kq(state, n, &targets, &matrix, cm);
+        apply_kq(state, n, &targets, &matrix, cm, parallel);
     }
+}
+
+/// Raw state pointer handed to parallel kernel iterations that touch
+/// provably disjoint amplitude indices (the iteration spaces below
+/// partition the register), making the shared mutable access sound.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut C64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor instead of field access so closures capture the whole
+    /// `Send` wrapper rather than the raw pointer field (2021 edition
+    /// closures capture disjoint fields).
+    #[inline(always)]
+    fn get(self) -> *mut C64 {
+        self.0
+    }
+}
+
+/// Whether the vectorized dense kernels should take over: they are
+/// single-threaded, so they win whenever threads would not (no parallel
+/// dispatch, or only one worker available anyway).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn use_simd(parallel: bool) -> bool {
+    super::simd::available() && (!parallel || rayon::current_num_threads() == 1)
 }
 
 /// Single-qubit kernel: walks the register in `(i, i + 2^s)` pairs and
 /// applies the 2x2 matrix, skipping pairs whose control bits don't match.
 fn apply_1q(state: &mut [C64], n: usize, q: usize, m: &CMat, cm: CtrlMasks, parallel: bool) {
     let s = bits::qubit_shift(q, n);
+    #[cfg(target_arch = "x86_64")]
+    if cm.0 == 0 && use_simd(parallel) {
+        let m = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+        unsafe {
+            if s >= 1 {
+                super::simd::apply_1q_dense(state, s, m);
+            } else {
+                super::simd::apply_1q_dense_lsb(state, m);
+            }
+        }
+        return;
+    }
     let half = 1usize << s;
     let block = half << 1;
     let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
@@ -177,7 +225,11 @@ fn apply_diagonal(
         return;
     }
     if targets.len() == 1 {
-        apply_diag_1q_ctrl(state, n, targets[0], diag[0], diag[1], cm);
+        apply_diag_1q_ctrl(state, n, targets[0], diag[0], diag[1], cm, parallel);
+        return;
+    }
+    if cm.0 == 0 {
+        apply_diag_kq(state, n, targets, diag, parallel);
         return;
     }
     let one = C64::new(1.0, 0.0);
@@ -199,6 +251,39 @@ fn apply_diagonal(
     } else {
         for (i, z) in state.iter_mut().enumerate() {
             apply(i, z);
+        }
+    }
+}
+
+/// Uncontrolled multi-target diagonal kernel. Every target bit is fixed
+/// within an aligned run of `2^s_min` amplitudes (`s_min` the smallest
+/// target shift), so each run shares one diagonal entry and the state
+/// streams through in sequential run-sized chunks — no per-amplitude
+/// index arithmetic. This is also the path diagonal fused blocks take.
+fn apply_diag_kq(state: &mut [C64], n: usize, targets: &[usize], diag: &[C64], parallel: bool) {
+    let s_min = targets
+        .iter()
+        .map(|&q| bits::qubit_shift(q, n))
+        .min()
+        .expect("diagonal kernel needs targets");
+    let d_lo = 1usize << s_min;
+    let one = C64::new(1.0, 0.0);
+    let scale = |ci: usize, chunk: &mut [C64]| {
+        let d = diag[bits::gather_bits(ci * d_lo, targets, n)];
+        if d != one {
+            for z in chunk {
+                *z *= d;
+            }
+        }
+    };
+    if parallel {
+        state
+            .par_chunks_mut(d_lo)
+            .enumerate()
+            .for_each(|(ci, chunk)| scale(ci, chunk));
+    } else {
+        for (ci, chunk) in state.chunks_mut(d_lo).enumerate() {
+            scale(ci, chunk);
         }
     }
 }
@@ -234,11 +319,37 @@ fn apply_diag_1q(state: &mut [C64], n: usize, q: usize, d0: C64, d1: C64, parall
 /// Controlled single-qubit diagonal kernel: enumerates `(i0, i1)` pairs
 /// like the dense 1q kernel (half the index space) and skips unit
 /// diagonal entries, so a CZ touches only the amplitudes it changes.
-fn apply_diag_1q_ctrl(state: &mut [C64], n: usize, q: usize, d0: C64, d1: C64, cm: CtrlMasks) {
+fn apply_diag_1q_ctrl(
+    state: &mut [C64],
+    n: usize,
+    q: usize,
+    d0: C64,
+    d1: C64,
+    cm: CtrlMasks,
+    parallel: bool,
+) {
     let s = bits::qubit_shift(q, n);
     let one = C64::new(1.0, 0.0);
     let half = state.len() >> 1;
     let (scale0, scale1) = (d0 != one, d1 != one);
+    if parallel {
+        // each k owns the disjoint pair (i0, i0 | 2^s)
+        let ptr = SendPtr(state.as_mut_ptr());
+        (0..half).into_par_iter().for_each(move |k| {
+            let i0 = bits::insert_bit(k, s);
+            if ctrl_ok(i0, cm) {
+                unsafe {
+                    if scale0 {
+                        *ptr.get().add(i0) *= d0;
+                    }
+                    if scale1 {
+                        *ptr.get().add(i0 | (1 << s)) *= d1;
+                    }
+                }
+            }
+        });
+        return;
+    }
     for k in 0..half {
         let i0 = bits::insert_bit(k, s);
         if ctrl_ok(i0, cm) {
@@ -254,13 +365,26 @@ fn apply_diag_1q_ctrl(state: &mut [C64], n: usize, q: usize, d0: C64, d1: C64, c
 
 /// Uncontrolled SWAP kernel: exchanges amplitudes whose `a`/`b` bits
 /// differ (a pure permutation — no arithmetic at all).
-fn apply_swap(state: &mut [C64], n: usize, a: usize, b: usize) {
+fn apply_swap(state: &mut [C64], n: usize, a: usize, b: usize, parallel: bool) {
     let sa = bits::qubit_shift(a, n);
     let sb = bits::qubit_shift(b, n);
     let (hi, lo) = (sa.max(sb), sa.min(sb));
     // enumerate indices with bit hi = 1 and bit lo = 0; partner has them
     // exchanged. Two inserts build the index from a (n-2)-bit counter.
     let count = state.len() >> 2;
+    if parallel {
+        // each k owns the disjoint index pair it exchanges
+        let ptr = SendPtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(move |k| {
+            let base = bits::insert_bit(bits::insert_bit(k, lo), hi);
+            let i = base | (1 << hi);
+            let j = base | (1 << lo);
+            unsafe {
+                std::ptr::swap(ptr.get().add(i), ptr.get().add(j));
+            }
+        });
+        return;
+    }
     for k in 0..count {
         let base = bits::insert_bit(bits::insert_bit(k, lo), hi);
         let i = base | (1 << hi);
@@ -269,41 +393,142 @@ fn apply_swap(state: &mut [C64], n: usize, a: usize, b: usize) {
     }
 }
 
+/// One gather–multiply–scatter group of the k-qubit kernel. `base` has
+/// zero bits at every target position, so `base | offsets[sub]` is the
+/// amplitude index holding sub-state `sub` of the group (`offsets` is the
+/// precomputed scatter-index table `scatter_bits(0, sub, targets, n)`).
+///
+/// # Safety
+/// The caller must guarantee `base | offsets[sub]` is in bounds for the
+/// state and that no other thread touches this group's indices.
+#[inline]
+unsafe fn kq_group(
+    state: *mut C64,
+    base: usize,
+    offsets: &[usize],
+    m: &CMat,
+    gathered: &mut [C64],
+    out: &mut [C64],
+) {
+    for (g, &off) in gathered.iter_mut().zip(offsets) {
+        *g = unsafe { *state.add(base | off) };
+    }
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::new(0.0, 0.0);
+        let row = m.row(r);
+        for (c, &g) in gathered.iter().enumerate() {
+            acc += row[c] * g;
+        }
+        *o = acc;
+    }
+    for (&o, &off) in out.iter().zip(offsets) {
+        unsafe {
+            *state.add(base | off) = o;
+        }
+    }
+}
+
 /// General k-target-qubit kernel: gathers the `2^k` amplitudes of each
-/// group, multiplies by the dense gate matrix, and scatters back.
-fn apply_kq(state: &mut [C64], n: usize, targets: &[usize], m: &CMat, cm: CtrlMasks) {
+/// group, multiplies by the dense gate matrix, and scatters back. The
+/// scatter-index table is computed once per gate; each group only pays
+/// one base-index construction plus an OR per amplitude.
+fn apply_kq(
+    state: &mut [C64],
+    n: usize,
+    targets: &[usize],
+    m: &CMat,
+    cm: CtrlMasks,
+    parallel: bool,
+) {
     let k = targets.len();
     let dim = 1usize << k;
     debug_assert_eq!(m.rows(), dim);
+
+    // uncontrolled two-qubit gates — in particular the dense blocks the
+    // fusion pass emits — take the vectorized path when the innermost
+    // stride admits it (neither target on the least significant qubit)
+    #[cfg(target_arch = "x86_64")]
+    if cm.0 == 0 && use_simd(parallel) {
+        if k == 2 {
+            let s0 = bits::qubit_shift(targets[0], n);
+            let s1 = bits::qubit_shift(targets[1], n);
+            unsafe {
+                if s0.min(s1) >= 1 {
+                    super::simd::apply_2q_dense(state, s0, s1, m.as_slice());
+                } else {
+                    super::simd::apply_2q_dense_lsb(state, s0, s1, m.as_slice());
+                }
+            }
+            return;
+        }
+        // larger fused blocks (up to the fusion cap) use the generic
+        // vectorized gather/matvec/scatter when no target sits on the
+        // least significant qubit
+        if (3..=4).contains(&k) && state.len() >> k >= 2 {
+            let shifts_g: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
+            if shifts_g.iter().all(|&s| s >= 1) {
+                unsafe { super::simd::apply_kq_dense(state, &shifts_g, m.as_slice()) };
+                return;
+            }
+        }
+    }
 
     // shifts of the target qubits, ascending, for base-index construction
     let mut shifts: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
     shifts.sort_unstable();
 
-    let mut gathered = vec![C64::new(0.0, 0.0); dim];
-    let mut out = vec![C64::new(0.0, 0.0); dim];
+    // scatter-index table: target-bit pattern of each sub-state
+    let offsets: Vec<usize> = (0..dim)
+        .map(|sub| bits::scatter_bits(0, sub, targets, n))
+        .collect();
 
-    for mcount in 0..(state.len() >> k) {
+    let groups = state.len() >> k;
+    let base_of = |mcount: usize| {
         let mut base = mcount;
         for &s in &shifts {
             base = bits::insert_bit(base, s);
         }
-        if !ctrl_ok(base, cm) {
-            continue;
-        }
-        for (sub, g) in gathered.iter_mut().enumerate() {
-            *g = state[bits::scatter_bits(base, sub, targets, n)];
-        }
-        for (r, o) in out.iter_mut().enumerate() {
-            let mut acc = C64::new(0.0, 0.0);
-            let row = m.row(r);
-            for (c, &g) in gathered.iter().enumerate() {
-                acc += row[c] * g;
+        base
+    };
+
+    if parallel && groups > 1 {
+        // contiguous chunks of groups per task: groups touch pairwise
+        // disjoint index sets, and chunking amortizes the scratch buffers
+        let chunks = (rayon::current_num_threads() * 4).clamp(1, groups);
+        let per_chunk = groups.div_ceil(chunks);
+        let ptr = SendPtr(state.as_mut_ptr());
+        (0..chunks).into_par_iter().for_each(|ci| {
+            let mut gathered = vec![C64::new(0.0, 0.0); dim];
+            let mut out = vec![C64::new(0.0, 0.0); dim];
+            let lo = ci * per_chunk;
+            let hi = (lo + per_chunk).min(groups);
+            for mcount in lo..hi {
+                let base = base_of(mcount);
+                if ctrl_ok(base, cm) {
+                    unsafe {
+                        kq_group(ptr.get(), base, &offsets, m, &mut gathered, &mut out);
+                    }
+                }
             }
-            *o = acc;
-        }
-        for (sub, &o) in out.iter().enumerate() {
-            state[bits::scatter_bits(base, sub, targets, n)] = o;
+        });
+        return;
+    }
+
+    let mut gathered = vec![C64::new(0.0, 0.0); dim];
+    let mut out = vec![C64::new(0.0, 0.0); dim];
+    for mcount in 0..groups {
+        let base = base_of(mcount);
+        if ctrl_ok(base, cm) {
+            unsafe {
+                kq_group(
+                    state.as_mut_ptr(),
+                    base,
+                    &offsets,
+                    m,
+                    &mut gathered,
+                    &mut out,
+                );
+            }
         }
     }
 }
@@ -375,10 +600,7 @@ mod tests {
         let mut s = CVec::from_bitstring("100").unwrap();
         apply_gate(&SwapGate::new(0, 2), &mut s, 3);
         assert_eq!(
-            qclab_math::bits::index_to_bitstring(
-                s.iter().position(|z| z.norm() > 0.5).unwrap(),
-                3
-            ),
+            qclab_math::bits::index_to_bitstring(s.iter().position(|z| z.norm() > 0.5).unwrap(), 3),
             "001"
         );
     }
@@ -469,37 +691,47 @@ mod tests {
 
     #[test]
     fn every_kernel_config_gives_identical_states() {
-        // all 8 flag combinations must agree bit-for-bit in semantics
+        // all 16 flag combinations must agree bit-for-bit in semantics;
+        // the circuit goes through `simulate_with` so the `fuse` flag
+        // exercises the fusion pre-pass, not just the per-gate dispatch
+        use crate::sim::{Backend, SimOptions};
         let n = 6;
-        let gates = vec![
-            Hadamard::new(0),
-            RotationZ::new(2, 0.7),
-            CZ::new(1, 4),
-            SwapGate::new(0, 5),
-            CNOT::new(3, 2),
-            TGate::new(5),
-            RotationZZ::new(1, 3, 0.9),
-            MCX::new(&[0, 2], 4, &[1, 0]),
-        ];
+        let mut circuit = crate::circuit::QCircuit::new(n);
+        circuit
+            .push_back(Hadamard::new(0))
+            .push_back(RotationZ::new(2, 0.7))
+            .push_back(CZ::new(1, 4))
+            .push_back(SwapGate::new(0, 5))
+            .push_back(CNOT::new(3, 2))
+            .push_back(TGate::new(5))
+            .push_back(RotationZZ::new(1, 3, 0.9))
+            .push_back(MCX::new(&[0, 2], 4, &[1, 0]));
         let mut reference: Option<CVec> = None;
         for diag in [true, false] {
             for swp in [true, false] {
                 for par in [true, false] {
-                    let cfg = KernelConfig {
-                        use_diagonal_kernel: diag,
-                        use_swap_kernel: swp,
-                        allow_parallel: par,
-                    };
-                    let mut state = CVec::basis_state(1 << n, 0);
-                    for g in &gates {
-                        apply_gate_with(g, &mut state, n, &cfg);
-                    }
-                    match &reference {
-                        None => reference = Some(state),
-                        Some(r) => assert!(
-                            state.approx_eq(r, 1e-12),
-                            "config {cfg:?} diverged"
-                        ),
+                    for fuse in [true, false] {
+                        let cfg = KernelConfig {
+                            use_diagonal_kernel: diag,
+                            use_swap_kernel: swp,
+                            allow_parallel: par,
+                            fuse,
+                            max_fused_qubits: super::super::fusion::DEFAULT_MAX_FUSED_QUBITS,
+                        };
+                        let opts = SimOptions {
+                            backend: Backend::Kernel,
+                            kernel: cfg,
+                            ..SimOptions::default()
+                        };
+                        let init = CVec::basis_state(1 << n, 0);
+                        let sim = circuit.simulate_with(&init, &opts).unwrap();
+                        let state = sim.states()[0].clone();
+                        match &reference {
+                            None => reference = Some(state),
+                            Some(r) => {
+                                assert!(state.approx_eq(r, 1e-12), "config {cfg:?} diverged")
+                            }
+                        }
                     }
                 }
             }

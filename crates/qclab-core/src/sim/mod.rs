@@ -17,8 +17,10 @@
 
 pub mod collapse;
 pub mod density;
+pub mod fusion;
 pub mod kernel;
 pub mod kron;
+pub(crate) mod simd;
 pub mod stabilizer;
 
 use crate::circuit::{CircuitItem, QCircuit};
@@ -49,6 +51,11 @@ pub struct SimOptions {
     /// Measurement outcomes with probability below this threshold are
     /// pruned instead of spawning a branch.
     pub branch_tol: f64,
+    /// Kernel dispatch configuration, including the gate-fusion pre-pass
+    /// (`kernel.fuse` / `kernel.max_fused_qubits`, honoured by both
+    /// backends) and the per-gate specialization switches (kernel
+    /// backend only).
+    pub kernel: kernel::KernelConfig,
 }
 
 impl Default for SimOptions {
@@ -56,6 +63,7 @@ impl Default for SimOptions {
         SimOptions {
             backend: Backend::Kernel,
             branch_tol: 1e-12,
+            kernel: kernel::KernelConfig::default(),
         }
     }
 }
@@ -223,12 +231,22 @@ impl QCircuit {
     /// Simulates from a basis state given as a bitstring
     /// (`circuit.simulate('00')`).
     pub fn simulate_bitstring(&self, bits: &str) -> Result<Simulation, QclabError> {
+        self.simulate_bitstring_with(bits, &SimOptions::default())
+    }
+
+    /// Simulates from a basis-state bitstring with explicit
+    /// [`SimOptions`].
+    pub fn simulate_bitstring_with(
+        &self,
+        bits: &str,
+        opts: &SimOptions,
+    ) -> Result<Simulation, QclabError> {
         if bits.len() != self.nb_qubits() {
             return Err(QclabError::InvalidBitstring(bits.to_string()));
         }
         let initial = CVec::from_bitstring(bits)
             .ok_or_else(|| QclabError::InvalidBitstring(bits.to_string()))?;
-        self.simulate(&initial)
+        self.simulate_with(&initial, opts)
     }
 
     /// Simulates with explicit [`SimOptions`].
@@ -255,7 +273,16 @@ impl QCircuit {
             state: initial.clone(),
             measured: BTreeMap::new(),
         }];
-        run_items(self, 0, &mut branches, opts, self.nb_qubits())?;
+        // gate-fusion pre-pass: semantically neutral, so it applies to
+        // either backend
+        let fused;
+        let circuit = if opts.kernel.fuse {
+            fused = fusion::fuse_circuit(self, opts.kernel.max_fused_qubits).0;
+            &fused
+        } else {
+            self
+        };
+        run_items(circuit, 0, &mut branches, opts, self.nb_qubits())?;
         Ok(Simulation {
             nb_qubits: self.nb_qubits(),
             branches,
@@ -263,10 +290,10 @@ impl QCircuit {
     }
 }
 
-fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, backend: Backend) {
-    match backend {
+fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
+    match opts.backend {
         Backend::Kron => kron::apply_gate(gate, state, n),
-        Backend::Kernel => kernel::apply_gate(gate, state, n),
+        Backend::Kernel => kernel::apply_gate_with(gate, state, n, &opts.kernel),
     }
 }
 
@@ -288,7 +315,7 @@ fn run_items(
                     g.shifted(offset)
                 };
                 for b in branches.iter_mut() {
-                    apply_backend(&g, &mut b.state, n, opts.backend);
+                    apply_backend(&g, &mut b.state, n, opts);
                 }
             }
             CircuitItem::Barrier(_) => {}
@@ -334,7 +361,7 @@ fn measure_branches(
                 qubits: vec![q],
                 matrix: v.dagger(),
             };
-            apply_backend(&vdg, &mut pre, n, opts.backend);
+            apply_backend(&vdg, &mut pre, n, opts);
         }
         let (p0, p1) = collapse::measure_probabilities(&pre, n, q);
         for (bit, p) in [(0usize, p0), (1usize, p1)] {
@@ -350,7 +377,7 @@ fn measure_branches(
                     qubits: vec![q],
                     matrix: v.clone(),
                 };
-                apply_backend(&vg, &mut post, n, opts.backend);
+                apply_backend(&vg, &mut post, n, opts);
             }
             let mut measured = b.measured.clone();
             measured.insert(q, (v.col(bit), bit as u8));
@@ -379,7 +406,7 @@ fn reset_branches(branches: &[Branch], q: usize, opts: &SimOptions, n: usize) ->
             }
             let mut post = collapse::collapse(&b.state, n, q, bit, p);
             if bit == 1 {
-                apply_backend(&Gate::PauliX(q), &mut post, n, opts.backend);
+                apply_backend(&Gate::PauliX(q), &mut post, n, opts);
             }
             out.push(Branch {
                 result: b.result.clone(),

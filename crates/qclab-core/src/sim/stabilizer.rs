@@ -30,8 +30,8 @@
 //! assert_eq!(first.bit, second.bit);
 //! ```
 
-use crate::gates::Gate;
 use crate::error::QclabError;
+use crate::gates::Gate;
 use rand::Rng;
 
 /// A Pauli row of the tableau: `x`/`z` bit vectors plus a sign.
@@ -372,17 +372,17 @@ mod tests {
     #[test]
     fn initial_state_stabilized_by_z() {
         let s = StabilizerState::new(3);
-        assert_eq!(
-            s.stabilizer_strings(),
-            vec!["+ZII", "+IZI", "+IIZ"]
-        );
+        assert_eq!(s.stabilizer_strings(), vec!["+ZII", "+IZI", "+IIZ"]);
     }
 
     #[test]
     fn hadamard_turns_z_into_x() {
         let mut s = StabilizerState::new(2);
         s.h(0);
-        assert_eq!(s.stabilizer_strings(), vec!["+XII".replace("II", "I"), "+IZ".into()]);
+        assert_eq!(
+            s.stabilizer_strings(),
+            vec!["+XII".replace("II", "I"), "+IZ".into()]
+        );
     }
 
     #[test]

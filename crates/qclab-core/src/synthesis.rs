@@ -260,12 +260,7 @@ mod tests {
         let rotations = c
             .items()
             .iter()
-            .filter(|i| {
-                matches!(
-                    i,
-                    crate::circuit::CircuitItem::Gate(Gate::RotationZ { .. })
-                )
-            })
+            .filter(|i| matches!(i, crate::circuit::CircuitItem::Gate(Gate::RotationZ { .. })))
             .count();
         assert_eq!(rotations, 1);
     }

@@ -241,7 +241,10 @@ mod tests {
         let lines: Vec<&str> = art.lines().collect();
         let dot_x = lines[1].chars().position(|c| c == '●').unwrap();
         let mid_wire: Vec<char> = lines[4].chars().collect();
-        assert_eq!(mid_wire[dot_x], '┼', "middle wire should be crossed:\n{art}");
+        assert_eq!(
+            mid_wire[dot_x], '┼',
+            "middle wire should be crossed:\n{art}"
+        );
     }
 
     #[test]
@@ -276,10 +279,7 @@ mod tests {
         assert!(art.contains("oracle"), "missing block label:\n{art}");
         // block box spans both wires: left edge appears on both wire rows
         let lines: Vec<&str> = art.lines().collect();
-        let label_x = lines
-            .iter()
-            .find_map(|l| l.find("oracle"))
-            .unwrap();
+        let label_x = lines.iter().find_map(|l| l.find("oracle")).unwrap();
         let _ = label_x;
         assert!(art.matches('┤').count() >= 3); // H box + both block wire entries
     }

@@ -35,8 +35,7 @@ pub fn render_body(l: &Layout) -> String {
         let col = item.column;
         if let Some(label) = &item.big_box {
             let wires = item.span.1 - item.span.0 + 1;
-            grid[item.span.0][col] =
-                format!("\\gate[wires={wires}]{{{}}}", escape(label));
+            grid[item.span.0][col] = format!("\\gate[wires={wires}]{{{}}}", escape(label));
             for q in item.span.0 + 1..=item.span.1 {
                 // cells covered by a multi-wire gate stay empty
                 grid[q][col] = String::new();

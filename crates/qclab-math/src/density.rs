@@ -105,9 +105,7 @@ impl DensityMatrix {
         if (self.trace().re - 1.0).abs() > tol || self.trace().im.abs() > tol {
             return false;
         }
-        hermitian_eigenvalues(&self.mat)
-            .iter()
-            .all(|&l| l >= -tol)
+        hermitian_eigenvalues(&self.mat).iter().all(|&l| l >= -tol)
     }
 
     /// Trace distance `D(ρ, σ) = ||ρ - σ||_1 / 2`, the paper's tomography

@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn eval_arithmetic() {
-        let e = Expr::Bin(
-            BinOp::Div,
-            Box::new(Expr::Pi),
-            Box::new(Expr::Num(2.0)),
-        );
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Num(2.0)));
         let v = e.eval(&HashMap::new()).unwrap();
         assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
     }

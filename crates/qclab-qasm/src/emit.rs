@@ -86,9 +86,7 @@ impl Emitter {
             Gate::RotationY { qubit, theta } => self.emit_simple("ry", &[*theta], &[*qubit]),
             Gate::RotationZ { qubit, theta } => self.emit_simple("rz", &[*theta], &[*qubit]),
             Gate::Phase { qubit, theta } => self.emit_simple("u1", &[*theta], &[*qubit]),
-            Gate::U2 { qubit, phi, lambda } => {
-                self.emit_simple("u2", &[*phi, *lambda], &[*qubit])
-            }
+            Gate::U2 { qubit, phi, lambda } => self.emit_simple("u2", &[*phi, *lambda], &[*qubit]),
             Gate::U3 {
                 qubit,
                 theta,
@@ -106,11 +104,13 @@ impl Emitter {
             Gate::RotationZZ { qubits, theta } => {
                 self.emit_simple("rzz", &[*theta], &[qubits[0], qubits[1]])
             }
-            Gate::Custom { name, qubits, matrix } => {
+            Gate::Custom {
+                name,
+                qubits,
+                matrix,
+            } => {
                 if qubits.len() != 1 {
-                    return Err(unsupported(format!(
-                        "custom multi-qubit gate '{name}'"
-                    )));
+                    return Err(unsupported(format!("custom multi-qubit gate '{name}'")));
                 }
                 // exact up to an unobservable global phase
                 let a = zyz(matrix);
@@ -181,9 +181,7 @@ impl Emitter {
                     self.emit_gate(&g)?;
                 }
             }
-            (2, Gate::PauliX(t)) => {
-                self.emit_simple("ccx", &[], &[controls[0], controls[1], *t])
-            }
+            (2, Gate::PauliX(t)) => self.emit_simple("ccx", &[], &[controls[0], controls[1], *t]),
             (2, Gate::PauliZ(t)) => {
                 // ccz = H(t) ccx H(t)
                 self.emit_simple("h", &[], &[*t]);
@@ -195,9 +193,7 @@ impl Emitter {
                 // only the middle CX needs the extra controls
                 self.emit_simple("cx", &[], &[*b, *a]);
                 let inner = Gate::PauliX(*b).controlled(*a, 1);
-                let inner = controls
-                    .iter()
-                    .fold(inner, |g, &cq| g.controlled(cq, 1));
+                let inner = controls.iter().fold(inner, |g, &cq| g.controlled(cq, 1));
                 self.emit_gate(&inner)?;
                 self.emit_simple("cx", &[], &[*b, *a]);
             }
@@ -362,10 +358,7 @@ mod tests {
         c.push_back(Measurement::x(0));
         let qasm = circuit_to_qasm(&c).unwrap();
         let body: Vec<&str> = qasm.lines().skip(4).collect();
-        assert_eq!(
-            body,
-            vec!["h q[0];", "measure q[0] -> c[0];", "h q[0];"]
-        );
+        assert_eq!(body, vec!["h q[0];", "measure q[0] -> c[0];", "h q[0];"]);
     }
 
     #[test]
@@ -385,10 +378,7 @@ mod tests {
         c.push_back(MCX::new(&[3, 4], 2, &[0, 1]));
         let qasm = circuit_to_qasm(&c).unwrap();
         let body: Vec<&str> = qasm.lines().skip(4).collect();
-        assert_eq!(
-            body,
-            vec!["x q[3];", "ccx q[3], q[4], q[2];", "x q[3];"]
-        );
+        assert_eq!(body, vec!["x q[3];", "ccx q[3], q[4], q[2];", "x q[3];"]);
     }
 
     #[test]
@@ -424,9 +414,7 @@ mod tests {
     #[test]
     fn controlled_swap_with_two_controls_is_lowered() {
         let mut c = QCircuit::new(4);
-        c.push_back(
-            Gate::Swap(2, 3).controlled(0, 1).controlled(1, 1),
-        );
+        c.push_back(Gate::Swap(2, 3).controlled(0, 1).controlled(1, 1));
         assert!(circuit_to_qasm(&c).is_ok());
     }
 

@@ -153,8 +153,7 @@ fn expand_call(
         }
         Ok(())
     } else {
-        let g = gate_from_mnemonic(name, params, qubits)
-            .map_err(|e| perr(line, format!("{e}")))?;
+        let g = gate_from_mnemonic(name, params, qubits).map_err(|e| perr(line, format!("{e}")))?;
         out.push(g);
         Ok(())
     }
@@ -359,7 +358,8 @@ measure q[1] -> c[1];
 
     #[test]
     fn reset_and_barrier_import() {
-        let c = import("qreg q[2]; creg c[2]; h q[0]; reset q[0]; barrier q; measure q[0] -> c[0];");
+        let c =
+            import("qreg q[2]; creg c[2]; h q[0]; reset q[0]; barrier q; measure q[0] -> c[0];");
         assert_eq!(c.len(), 4);
         let sim = c.simulate_bitstring("00").unwrap();
         // reset forces outcome 0 on both branches

@@ -163,7 +163,10 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, QclabError> {
                 chars.next();
                 if chars.peek() == Some(&'=') {
                     chars.next();
-                    out.push(SpannedTok { tok: Tok::EqEq, line });
+                    out.push(SpannedTok {
+                        tok: Tok::EqEq,
+                        line,
+                    });
                 } else {
                     return Err(err(line, "unexpected '='".into()));
                 }

@@ -148,8 +148,7 @@ mod tests {
 
     #[test]
     fn round_trip_custom_gate_up_to_phase() {
-        let u = qclab_core::gates::matrices::u3(0.7, 0.3, -1.1)
-            .scale(qclab_math::scalar::cis(0.4));
+        let u = qclab_core::gates::matrices::u3(0.7, 0.3, -1.1).scale(qclab_math::scalar::cis(0.4));
         let mut c = QCircuit::new(1);
         c.push_back(CustomGate::new("G", &[0], u).unwrap());
         let qasm = to_qasm(&c).unwrap();

@@ -184,14 +184,13 @@ impl Parser {
     /// A gate call after its name has been consumed.
     fn parse_gate_call(&mut self, name: String, line: usize) -> Result<GateCall, QclabError> {
         let mut params = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            params.push(self.parse_expr()?);
+            while self.eat(&Tok::Comma) {
                 params.push(self.parse_expr()?);
-                while self.eat(&Tok::Comma) {
-                    params.push(self.parse_expr()?);
-                }
-                self.expect(&Tok::RParen, "closing ')' after parameters")?;
             }
+            self.expect(&Tok::RParen, "closing ')' after parameters")?;
+        }
         let args = self.parse_args()?;
         self.expect(&Tok::Semicolon, "';' after gate application")?;
         Ok(GateCall {
@@ -216,14 +215,13 @@ impl Parser {
     fn parse_gate_def(&mut self) -> Result<GateDef, QclabError> {
         let name = self.expect_ident("gate name")?;
         let mut params = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            params.push(self.expect_ident("parameter name")?);
+            while self.eat(&Tok::Comma) {
                 params.push(self.expect_ident("parameter name")?);
-                while self.eat(&Tok::Comma) {
-                    params.push(self.expect_ident("parameter name")?);
-                }
-                self.expect(&Tok::RParen, "')' after gate parameters")?;
             }
+            self.expect(&Tok::RParen, "')' after gate parameters")?;
+        }
         let mut qargs = vec![self.expect_ident("qubit argument")?];
         while self.eat(&Tok::Comma) {
             qargs.push(self.expect_ident("qubit argument")?);

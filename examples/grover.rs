@@ -5,9 +5,7 @@
 //! Run with `cargo run --example grover`.
 
 use qclab::prelude::*;
-use qclab_algorithms::grover::{
-    grover_circuit, optimal_iterations, success_probability,
-};
+use qclab_algorithms::grover::{grover_circuit, optimal_iterations, success_probability};
 
 fn main() {
     // ---- the paper's 2-qubit search for |11> --------------------------

@@ -27,7 +27,10 @@ fn main() {
 
     // ---- the repetition code fights back ------------------------------
     println!("\nbit-flip code vs bare qubit (infidelity, exact):");
-    println!("  {:>6}  {:>12}  {:>12}  {:>8}", "p", "bare", "encoded", "gain");
+    println!(
+        "  {:>6}  {:>12}  {:>12}  {:>8}",
+        "p", "bare", "encoded", "gain"
+    );
     for p in [0.001, 0.01, 0.05, 0.1, 0.25] {
         let (bare, protected) = memory_error_experiment(p, &v);
         println!(

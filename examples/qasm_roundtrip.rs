@@ -36,5 +36,9 @@ measure q -> c;
     println!("hand-written program imported:\n");
     println!("{}", draw_circuit(&bell));
     let sim = bell.simulate_bitstring("00").unwrap();
-    println!("results: {:?} probabilities: {:?}", sim.results(), sim.probabilities());
+    println!(
+        "results: {:?} probabilities: {:?}",
+        sim.results(),
+        sim.probabilities()
+    );
 }

@@ -5,9 +5,7 @@
 //! Run with `cargo run --example qec`.
 
 use qclab::prelude::*;
-use qclab_algorithms::qec::{
-    bit_flip_circuit, logical_fidelity, protect, InjectedError,
-};
+use qclab_algorithms::qec::{bit_flip_circuit, logical_fidelity, protect, InjectedError};
 use qclab_math::scalar::{c, cr};
 
 fn main() {

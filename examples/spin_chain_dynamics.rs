@@ -19,7 +19,10 @@ fn main() {
 
     println!("TFIM quench, n = {n}, J = h = 1 (critical point)");
     println!("⟨Z_0⟩(t): Trotter-2 with 20 steps vs exact diagonalization\n");
-    println!("  {:>5}  {:>12}  {:>12}  {:>10}", "t", "trotter", "exact", "|error|");
+    println!(
+        "  {:>5}  {:>12}  {:>12}  {:>10}",
+        "t", "trotter", "exact", "|error|"
+    );
 
     for k in 0..=10 {
         let t = 0.3 * k as f64;

@@ -36,7 +36,10 @@ fn main() {
             injected.push((b, q % per_block));
         }
     }
-    println!("injected X errors in {} of {logical} blocks", injected.len());
+    println!(
+        "injected X errors in {} of {logical} blocks",
+        injected.len()
+    );
 
     // syndrome extraction + decoding per block
     let mut detected = Vec::new();

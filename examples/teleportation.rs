@@ -26,8 +26,7 @@ fn main() {
 
     // verify the receiver's qubit for every branch
     for branch in simulation.branches() {
-        let received =
-            reduced_statevector(branch.state(), &[0, 1], branch.result()).unwrap();
+        let received = reduced_statevector(branch.state(), &[0, 1], branch.result()).unwrap();
         println!(
             "branch '{}': q2 = ({}, {})  |<v|q2>|^2 = {:.6}",
             branch.result(),

@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("\nfinal VQE energy: {:.8}", result.energy);
-    println!("relative error:   {:.2e}", (result.energy - exact).abs() / exact.abs());
+    println!(
+        "relative error:   {:.2e}",
+        (result.energy - exact).abs() / exact.abs()
+    );
 
     // show the optimized circuit for the curious
     let circuit = ansatz(n, layers, &result.params);

@@ -1,15 +1,47 @@
-//! Property tests: the sparse-Kronecker backend (MATLAB QCLAB) and the
-//! in-place kernel backend (QCLAB++) must be indistinguishable, and both
-//! must satisfy the invariants of unitary evolution.
+//! Property tests: the sparse-Kronecker backend (MATLAB QCLAB), the
+//! in-place kernel backend (QCLAB++) and the kernel backend behind the
+//! gate-fusion pre-pass must be indistinguishable — a three-way
+//! differential oracle over random circuits with measurements, barriers
+//! and resets — and all must satisfy the invariants of unitary evolution.
 
 mod common;
 
-use common::{circuit, state};
+use common::{circuit, measured_circuit, state};
 use proptest::prelude::*;
 use qclab::prelude::*;
+use qclab_core::sim::kernel::{KernelConfig, PARALLEL_THRESHOLD_QUBITS};
 use qclab_core::sim::{kernel, kron};
 
 const N: usize = 4;
+
+/// [`SimOptions`] for one corner of the differential triangle.
+fn opts(backend: Backend, fuse: bool, max_fused: usize, parallel: bool) -> SimOptions {
+    SimOptions {
+        backend,
+        kernel: KernelConfig {
+            fuse,
+            max_fused_qubits: max_fused,
+            allow_parallel: parallel,
+            ..KernelConfig::default()
+        },
+        ..SimOptions::default()
+    }
+}
+
+/// Asserts two simulations have the same branch structure (measurement
+/// records, probabilities) and the same per-branch states.
+fn assert_sims_agree(a: &Simulation, b: &Simulation, what: &str) {
+    assert_eq!(a.results(), b.results(), "{what}: branch records diverged");
+    for (pa, pb) in a.probabilities().iter().zip(b.probabilities()) {
+        assert!(
+            (pa - pb).abs() < 1e-10,
+            "{what}: branch probabilities diverged ({pa} vs {pb})"
+        );
+    }
+    for (sa, sb) in a.states().iter().zip(b.states()) {
+        assert!(sa.approx_eq(sb, 1e-9), "{what}: branch states diverged");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -68,4 +100,83 @@ proptest! {
         let u = kron::extended_unitary(&g, N);
         prop_assert!(u.to_dense().is_unitary(1e-9));
     }
+
+    /// Three-way differential oracle: sparse Kronecker, unfused kernels
+    /// and the fusion pre-pass must produce identical branch structures,
+    /// probabilities and states on random circuits that interleave
+    /// unitary gates with barriers, measurements and resets.
+    #[test]
+    fn three_way_differential(c in measured_circuit(N, 12), init in state(N)) {
+        let kron_sim = c.simulate_with(&init, &opts(Backend::Kron, false, 2, false)).unwrap();
+        let unfused = c.simulate_with(&init, &opts(Backend::Kernel, false, 2, false)).unwrap();
+        let fused = c.simulate_with(&init, &opts(Backend::Kernel, true, 2, false)).unwrap();
+        assert_sims_agree(&kron_sim, &unfused, "kron vs unfused kernel");
+        assert_sims_agree(&unfused, &fused, "unfused vs fused kernel");
+    }
+
+    /// Every legal fusion cap (1..=4 qubits per block) is semantically
+    /// neutral relative to the unfused kernel backend.
+    #[test]
+    fn fusion_cap_is_semantically_neutral(
+        c in measured_circuit(N, 12),
+        init in state(N),
+        cap in 1usize..=4,
+    ) {
+        let unfused = c.simulate_with(&init, &opts(Backend::Kernel, false, 2, false)).unwrap();
+        let fused = c.simulate_with(&init, &opts(Backend::Kernel, true, cap, false)).unwrap();
+        assert_sims_agree(&unfused, &fused, "unfused vs fused at random cap");
+    }
+}
+
+/// Deterministic pseudo-random layered circuit for the boundary tests:
+/// a Hadamard/rotation layer, an entangling brick pattern, and a few
+/// long-range gates so both the 1q, diagonal, swap and k-qubit kernels
+/// all run.
+fn boundary_circuit(n: usize) -> QCircuit {
+    let mut c = QCircuit::new(n);
+    for q in 0..n {
+        c.push_back(Hadamard::new(q));
+        c.push_back(RotationZ::new(q, 0.1 + 0.05 * q as f64));
+    }
+    for q in (0..n - 1).step_by(2) {
+        c.push_back(CNOT::new(q, q + 1));
+    }
+    for q in (1..n - 1).step_by(2) {
+        c.push_back(CZ::new(q, q + 1));
+    }
+    c.push_back(SwapGate::new(0, n - 1));
+    c.push_back(RotationZZ::new(1, n - 2, 0.7));
+    c.push_back(ISwapGate::new(2, n - 3));
+    c.push_back(Toffoli::new(0, 1, 2));
+    c.push_back(CRY::new(n - 1, 0, 1.3));
+    c
+}
+
+/// Serial, parallel, and fused-parallel kernel runs agree on registers
+/// one qubit below and one above the parallel threshold, where the
+/// dispatch decision flips.
+fn check_parallel_boundary(n: usize) {
+    let c = boundary_circuit(n);
+    let init = CVec::basis_state(1 << n, 0);
+    let serial = c
+        .simulate_with(&init, &opts(Backend::Kernel, false, 2, false))
+        .unwrap();
+    let parallel = c
+        .simulate_with(&init, &opts(Backend::Kernel, false, 2, true))
+        .unwrap();
+    let fused = c
+        .simulate_with(&init, &opts(Backend::Kernel, true, 2, true))
+        .unwrap();
+    assert_sims_agree(&serial, &parallel, "serial vs parallel kernel");
+    assert_sims_agree(&parallel, &fused, "parallel vs fused-parallel kernel");
+}
+
+#[test]
+fn kernels_agree_one_below_parallel_threshold() {
+    check_parallel_boundary(PARALLEL_THRESHOLD_QUBITS - 1);
+}
+
+#[test]
+fn kernels_agree_one_above_parallel_threshold() {
+    check_parallel_boundary(PARALLEL_THRESHOLD_QUBITS + 1);
 }

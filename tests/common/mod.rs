@@ -45,8 +45,7 @@ pub fn gate(n: usize) -> impl Strategy<Value = Gate> {
         (q.clone(), angle()).prop_map(|(q, t)| RotationY::new(q, t)),
         (q.clone(), angle()).prop_map(|(q, t)| RotationZ::new(q, t)),
         (q.clone(), angle()).prop_map(|(q, t)| PhaseGate::new(q, t)),
-        (q.clone(), angle(), angle(), angle())
-            .prop_map(|(q, a, b, cc)| U3Gate::new(q, a, b, cc)),
+        (q.clone(), angle(), angle(), angle()).prop_map(|(q, a, b, cc)| U3Gate::new(q, a, b, cc)),
         qq.clone().prop_map(|(a, b)| SwapGate::new(a, b)),
         qq.clone().prop_map(|(a, b)| ISwapGate::new(a, b)),
         (qq.clone(), angle()).prop_map(|((a, b), t)| RotationZZ::new(a, b, t)),
@@ -56,8 +55,11 @@ pub fn gate(n: usize) -> impl Strategy<Value = Gate> {
         (qq.clone(), 0u8..2).prop_map(|((a, b), s)| CNOT::with_control_state(a, b, s)),
         (qq.clone(), angle()).prop_map(|((a, b), t)| CRY::new(a, b, t)),
         (qq, angle()).prop_map(|((a, b), t)| CPhase::new(a, b, t)),
-        (qqq.clone(), 0u8..2, 0u8..2)
-            .prop_map(|((a, b, cc), s1, s2)| MCX::new(&[a, b], cc, &[s1, s2])),
+        (qqq.clone(), 0u8..2, 0u8..2).prop_map(|((a, b, cc), s1, s2)| MCX::new(
+            &[a, b],
+            cc,
+            &[s1, s2]
+        )),
         qqq.prop_map(|(a, b, cc)| Toffoli::new(a, b, cc)),
     ]
 }
@@ -69,6 +71,38 @@ pub fn circuit(n: usize, max_gates: usize) -> impl Strategy<Value = QCircuit> {
         let mut c = QCircuit::new(n);
         for g in gates {
             c.push_back(g);
+        }
+        c
+    })
+}
+
+/// Strategy over a circuit of up to `max_items` items on `n` qubits that
+/// mixes barriers, mid-circuit measurements (all three bases) and resets
+/// in with the unitary gates — the full item vocabulary the simulator and
+/// the fusion pre-pass must agree on. Gate arms are repeated so roughly
+/// three quarters of the items are unitary.
+pub fn measured_circuit(n: usize, max_items: usize) -> impl Strategy<Value = QCircuit> {
+    let item = prop_oneof![
+        gate(n).prop_map(CircuitItem::Gate),
+        gate(n).prop_map(CircuitItem::Gate),
+        gate(n).prop_map(CircuitItem::Gate),
+        gate(n).prop_map(CircuitItem::Gate),
+        gate(n).prop_map(CircuitItem::Gate),
+        gate(n).prop_map(CircuitItem::Gate),
+        (0..n).prop_map(|q| CircuitItem::Barrier(vec![q])),
+        (0..n, 0u8..3).prop_map(|(q, b)| {
+            CircuitItem::Measurement(match b {
+                0 => Measurement::z(q),
+                1 => Measurement::x(q),
+                _ => Measurement::y(q),
+            })
+        }),
+        (0..n).prop_map(CircuitItem::Reset),
+    ];
+    prop::collection::vec(item, 1..=max_items).prop_map(move |items| {
+        let mut c = QCircuit::new(n);
+        for it in items {
+            c.push_back(it);
         }
         c
     })

@@ -109,7 +109,11 @@ fn toffoli_truth_table() {
         let mut s = CVec::basis_state(8, basis);
         qclab_core::sim::kernel::apply_gate(&g, &mut s, 3);
         let out = s.iter().position(|z| z.norm() > 0.5).unwrap();
-        let expected = if basis & 0b110 == 0b110 { basis ^ 1 } else { basis };
+        let expected = if basis & 0b110 == 0b110 {
+            basis ^ 1
+        } else {
+            basis
+        };
         assert_eq!(out, expected, "Toffoli wrong on basis {basis:03b}");
     }
 }

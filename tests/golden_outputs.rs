@@ -60,7 +60,7 @@ fn golden_teleportation_rendering() {
     let art = draw_circuit(&qclab_algorithms::teleportation_circuit());
     let lines: Vec<&str> = art.lines().collect();
     assert_eq!(lines.len(), 9); // 3 qubits × 3 rows
-    // q0 carries H, a control dot, M, and the CZ control
+                                // q0 carries H, a control dot, M, and the CZ control
     assert!(lines[1].contains("┤ H ├"));
     assert!(lines[1].matches('●').count() >= 2);
     // q2 carries the X and Z corrections

@@ -19,7 +19,10 @@ fn trotter_optimize_qasm_pipeline() {
     let reference = circuit.to_matrix().unwrap();
 
     let (optimized, stats) = optimize(&circuit);
-    assert!(optimized.nb_gates() < circuit.nb_gates(), "no fusion happened");
+    assert!(
+        optimized.nb_gates() < circuit.nb_gates(),
+        "no fusion happened"
+    );
     assert!(stats.rotations_fused > 0);
     assert!(optimized.to_matrix().unwrap().approx_eq(&reference, 1e-9));
 

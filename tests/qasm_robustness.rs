@@ -65,14 +65,14 @@ proptest! {
 #[test]
 fn specific_malformed_programs_error_cleanly() {
     let cases = [
-        "qreg q[0];",                       // empty register is useless but parses; gate fails
-        "qreg q[2]; h q[5];",               // out of range
-        "qreg q[2]; cx q[0], q[0];",        // duplicate qubit
+        "qreg q[0];",                        // empty register is useless but parses; gate fails
+        "qreg q[2]; h q[5];",                // out of range
+        "qreg q[2]; cx q[0], q[0];",         // duplicate qubit
         "qreg q[2]; gate g a { h a; } g q;", // broadcast through gate def
-        "qreg q[1]; rz() q[0];",            // empty params
-        "qreg q[1]; rz(1,2) q[0];",         // too many params
-        "qreg q[1]; measure q[0] -> ;",     // missing cbit
-        "OPENQASM 3.0; qreg q[1];",         // unsupported version
+        "qreg q[1]; rz() q[0];",             // empty params
+        "qreg q[1]; rz(1,2) q[0];",          // too many params
+        "qreg q[1]; measure q[0] -> ;",      // missing cbit
+        "OPENQASM 3.0; qreg q[1];",          // unsupported version
         "qreg q[1]; gate loop a { loop a; } loop q[0];", // infinite recursion
     ];
     for src in cases {

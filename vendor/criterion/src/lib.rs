@@ -1,0 +1,346 @@
+//! Offline subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the benchmarking surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple compared to upstream: per benchmark
+//! we warm up for ~0.2 s, pick an iteration count targeting ~10 ms per
+//! sample, collect `sample_size` samples and report the median, mean and
+//! minimum time per iteration. No statistical regression analysis, no
+//! HTML reports. When the binary is invoked without `--bench` (e.g. by
+//! `cargo test --benches`) every benchmark runs exactly once as a smoke
+//! test, mirroring upstream's test mode.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export convenience; same as `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            bench_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Reads CLI arguments (`--bench` toggles full measurement; bare
+    /// arguments are substring filters on benchmark names). Called by
+    /// [`criterion_main!`].
+    pub fn configure_from_args(mut self) -> Self {
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" | "--test" => self.bench_mode = arg == "--bench",
+                // common harness flags that take a value
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => skip_value = true,
+                a if a.starts_with("--") => {}
+                a => self.filters.push(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            None => println!("{id:<40} (no Bencher::iter call)"),
+            Some(r) if !self.bench_mode => {
+                let _ = r;
+                println!("{id:<40} ok (test mode, 1 iteration)");
+            }
+            Some(r) => println!(
+                "{id:<40} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+                fmt_duration(r.median),
+                fmt_duration(r.mean),
+                fmt_duration(r.min),
+                sample_size,
+                r.iters_per_sample,
+            ),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let n = self.sample_size;
+        self.run_one(id, n, f);
+        self
+    }
+
+    /// Prints the end-of-run footer. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if self.bench_mode {
+            println!("benchmark run complete");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("kron", 14)` displays as `kron/14`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+struct Report {
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    iters_per_sample: u64,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly. In test mode (no
+    /// `--bench` argument) the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            self.report = Some(Report {
+                median: Duration::ZERO,
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                iters_per_sample: 1,
+            });
+            return;
+        }
+        // warm up and estimate the per-iteration cost
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().div_f64(warm_iters as f64);
+        let iters =
+            (TARGET_SAMPLE.as_secs_f64() / per_iter.as_secs_f64().max(1e-9)).clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().div_f64(iters as f64));
+        }
+        samples.sort_unstable();
+        let mean = samples
+            .iter()
+            .sum::<Duration>()
+            .div_f64(samples.len() as f64);
+        self.report = Some(Report {
+            median: samples[samples.len() / 2],
+            mean,
+            min: samples[0],
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function. Supports both the simple
+/// `criterion_group!(benches, f1, f2)` form and the configured
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut count = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("once", |b| b.iter(|| count += 1));
+            group.finish();
+        }
+        assert_eq!(count, 1, "test mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            sample_size: 3,
+            bench_mode: true,
+            filters: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            sample_size: 2,
+            bench_mode: false,
+            filters: vec!["keep".into()],
+        };
+        let mut ran = Vec::new();
+        c.bench_function("group/keep_this", |b| {
+            ran.push("kept");
+            b.iter(|| ())
+        });
+        c.bench_function("group/skip_this", |b| {
+            ran.push("skipped");
+            b.iter(|| ())
+        });
+        assert_eq!(ran, vec!["kept"]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Offline subset of the `num-complex` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small part of the `num-complex` API it actually uses: the
+//! double-precision complex scalar with field access, arithmetic in both
+//! `Complex ∘ Complex` and `Complex ∘ f64` forms, and the norm/conjugate
+//! helpers. Semantics match the upstream crate so the real dependency can
+//! be swapped back in without source changes.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `T`.
+///
+/// Only `T = f64` carries inherent methods here; that is the only
+/// instantiation the workspace uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Double-precision complex number (the `num-complex` alias).
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit `i`.
+    #[inline]
+    pub fn i() -> Self {
+        Complex::new(0.0, 1.0)
+    }
+
+    /// Modulus `|z| = sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by the real scalar `t`.
+    #[inline]
+    pub fn scale(self, t: f64) -> Self {
+        Complex::new(self.re * t, self.im * t)
+    }
+
+    /// Divides by the real scalar `t`.
+    #[inline]
+    pub fn unscale(self, t: f64) -> Self {
+        Complex::new(self.re / t, self.im / t)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let r = self.norm();
+        let theta = self.arg();
+        let s = r.sqrt();
+        Complex::new(s * (theta / 2.0).cos(), s * (theta / 2.0).sin())
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ by definition
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+// by-reference forwarding (upstream derives these via macros too)
+macro_rules! forward_ref_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait<&Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl $trait<Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, *rhs)
+            }
+        }
+    )*};
+}
+
+forward_ref_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Complex<f64> {
+        -*self
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.unscale(rhs)
+    }
+}
+
+impl Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs + self
+    }
+}
+
+impl Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign<f64> for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = self.unscale(rhs);
+    }
+}
+
+macro_rules! forward_ref_assign {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait<&Complex<f64>> for Complex<f64> {
+            #[inline]
+            fn $method(&mut self, rhs: &Complex<f64>) {
+                $trait::$method(self, *rhs)
+            }
+        }
+    )*};
+}
+
+forward_ref_assign!(
+    AddAssign::add_assign,
+    SubAssign::sub_assign,
+    MulAssign::mul_assign,
+    DivAssign::div_assign
+);
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        let w = z * z.inv();
+        assert!((w.re - 1.0).abs() < 1e-14 && w.im.abs() < 1e-14);
+        // (a+bi)(c+di) cross terms
+        let p = Complex64::new(1.0, 2.0) * Complex64::new(3.0, 4.0);
+        assert_eq!(p, Complex64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn exp_and_sqrt() {
+        // e^{iπ} = -1
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-14 && z.im.abs() < 1e-14);
+        let r = Complex64::new(-1.0, 0.0).sqrt();
+        assert!(r.re.abs() < 1e-14 && (r.im - 1.0).abs() < 1e-14);
+    }
+}

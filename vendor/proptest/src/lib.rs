@@ -1,0 +1,640 @@
+//! Offline subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the property-testing surface its test suite uses: the [`proptest!`]
+//! macro, `prop_assert*`/`prop_assume!`, [`strategy::Strategy`] with the
+//! `prop_map`/`prop_filter`/`prop_filter_map` combinators, [`prop_oneof!`],
+//! [`strategy::Just`], ranges and tuples as strategies, a `.{a,b}`-style
+//! string pattern strategy, [`collection::vec`] and [`arbitrary::any`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (everything is `Debug`), which the deterministic RNG reproduces on
+//!   the next run; minimization is a convenience, not a correctness need.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test path, so failures reproduce without a regression file. The
+//!   `.proptest-regressions` files upstream writes are ignored.
+//! * **Local rejection for filters.** `prop_filter`/`prop_filter_map`
+//!   retry locally (bounded) instead of discarding the whole case.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration (`cases` is the only knob the suite uses).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted test cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — generate a fresh one.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    /// The RNG driving generation — deterministic per test path.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates a generator seeded from the test's module path + name.
+        pub fn deterministic(test_path: &str) -> Self {
+            // FNV-1a: stable across runs and platforms, unlike `DefaultHasher`
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (bounded local retry).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Maps through `f`, retrying (bounded) while `f` returns `None`.
+        fn prop_filter_map<T: Debug, F: Fn(Self::Value) -> Option<T>>(
+            self,
+            whence: impl Into<String>,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                source: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    const FILTER_RETRIES: usize = 256;
+
+    /// Output of [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_RETRIES {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.whence);
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter_map`].
+    #[derive(Clone)]
+    pub struct FilterMap<S, F> {
+        source: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = (self.f)(self.source.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map exhausted retries: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice between several strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u8, i64, i32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `&str` patterns as string strategies. Supports the subset the test
+    /// suite uses: `.{a,b}` (random chars, length in `[a, b]`) and plain
+    /// literals without regex metacharacters. Anything else is a loud
+    /// error rather than a silently wrong generator.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            if let Some(spec) = self.strip_prefix(".{").and_then(|s| s.strip_suffix('}')) {
+                let (lo, hi) = spec
+                    .split_once(',')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+                let len: usize = rng.gen_range(lo..=hi);
+                return (0..len).map(|_| random_char(rng)).collect();
+            }
+            assert!(
+                !self.contains(['.', '*', '+', '?', '[', '(', '\\', '{']),
+                "unsupported string pattern {self:?} (vendored proptest \
+                 supports `.{{a,b}}` and literals)"
+            );
+            (*self).to_string()
+        }
+    }
+
+    fn random_char(rng: &mut TestRng) -> char {
+        // mostly printable ASCII with occasional arbitrary unicode and
+        // control characters, to stress parsers the way `.` would
+        match rng.gen_range(0..10usize) {
+            0 => char::from_u32(rng.gen_range(1u32..0xD800)).unwrap_or('\u{FFFD}'),
+            1 => ['\n', '\t', '\r', '\0', '"', '\\'][rng.gen_range(0..6usize)],
+            _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap(),
+        }
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    #[derive(Clone)]
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::AnyStrategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u64, u32, u16, u8, usize, i64, i32);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower and upper (inclusive) bounds of the size.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body until the
+/// configured number of cases is accepted.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(16).max(1024),
+                    "proptest: too many rejected cases ({} accepted of {} wanted)",
+                    accepted,
+                    config.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let repr = || {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!("\n  ", stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}", &$arg));
+                    )+
+                    s
+                };
+                let inputs = repr();
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        accepted + 1,
+                        config.cases,
+                        msg,
+                        inputs,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking so
+/// the harness can attach the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($a), stringify!($b), lhs, rhs,
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            stringify!($a), stringify!($b), lhs, rhs, format!($($fmt)*),
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($a),
+            stringify!($b),
+            lhs,
+        );
+    }};
+}
+
+/// Rejects the current case (a fresh one is generated) when `cond` fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..500 {
+            let v = (0usize..7).generate(&mut rng);
+            assert!(v < 7);
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let (a, b) = ((0usize..3), (10usize..13)).generate(&mut rng);
+            assert!(a < 3 && (10..13).contains(&b));
+            let s = ".{0,5}".generate(&mut rng);
+            assert!(s.chars().count() <= 5);
+            let xs = prop::collection::vec(0u8..2, 1..4).generate(&mut rng);
+            assert!(!xs.is_empty() && xs.len() < 4 && xs.iter().all(|&x| x < 2));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_filter_compose() {
+        let strat = prop_oneof![
+            (0usize..5).prop_map(|x| x * 2),
+            (10usize..15).prop_filter("even only", |x| x % 2 == 0),
+        ];
+        let mut rng = TestRng::deterministic("compose");
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0);
+            if v < 10 {
+                seen_low = true;
+            } else {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high, "union not mixing arms");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0usize..100, y in any::<u64>()) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + (y % 2) as usize >= x, true);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline subset of the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the parallel-iterator surface it uses: `par_iter_mut`, `par_chunks_mut`,
+//! `into_par_iter` on ranges, the `enumerate`/`zip`/`for_each` adapters,
+//! and `ThreadPoolBuilder::num_threads(..).build().install(..)`.
+//!
+//! Unlike a mock, this implementation is genuinely parallel: a source is
+//! split into one contiguous piece per available core and driven by scoped
+//! `std::thread` workers. There is no work stealing — the simulator's
+//! kernels are uniform streaming loops over equal-sized pieces, so static
+//! partitioning loses nothing. `ThreadPool::install` bounds the worker
+//! count for the dynamic extent of the closure (enough for the thread
+//! scaling experiment), instead of pinning a dedicated pool.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations fan out to.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| {
+        o.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (building cannot fail here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A bounded-width scope for parallel operations.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with parallel operations capped at this pool's width.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let out = op();
+        THREAD_OVERRIDE.with(|o| o.set(prev));
+        out
+    }
+}
+
+/// A splittable source of items that can be driven in parallel.
+///
+/// This is the (much simplified) analogue of rayon's producer: a source
+/// knows its length, can split at an index, and can drain itself serially.
+pub trait ParallelSource: Send + Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Number of items remaining.
+    fn length(&self) -> usize;
+
+    /// Splits into `[0, index)` and `[index, len)` pieces.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drains all items serially through `f`.
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F);
+}
+
+/// Parallel iterator adapters and consumers (mirrors `rayon::iter`).
+pub trait ParallelIterator: ParallelSource {
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: 0,
+            inner: self,
+        }
+    }
+
+    /// Iterates two sources in lockstep (truncates to the shorter).
+    fn zip<B: IntoParallelIterator>(self, other: B) -> Zip<Self, B::Iter> {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Consumes the source, calling `f` on every item from worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let len = self.length();
+        let pieces = current_num_threads().min(len.max(1));
+        if pieces <= 1 {
+            self.drain(&mut |item| f(item));
+            return;
+        }
+        let mut parts = Vec::with_capacity(pieces);
+        let mut rest = self;
+        let mut remaining = len;
+        for i in 0..pieces - 1 {
+            let share = remaining / (pieces - i);
+            let (head, tail) = rest.split_at(share);
+            parts.push(head);
+            rest = tail;
+            remaining -= share;
+        }
+        parts.push(rest);
+        let f = &f;
+        std::thread::scope(|scope| {
+            // drive the first piece on the calling thread; spawn the rest
+            let mut iter = parts.into_iter();
+            let first = iter.next().expect("at least one piece");
+            for part in iter {
+                scope.spawn(move || part.drain(&mut |item| f(item)));
+            }
+            first.drain(&mut |item| f(item));
+        });
+    }
+}
+
+impl<P: ParallelSource> ParallelIterator for P {}
+
+/// Conversion into a parallel iterator (mirrors `rayon::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The resulting source type.
+    type Iter: ParallelSource<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into a parallel source.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<P: ParallelSource> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Parallel source over a `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelSource for RangeParIter {
+    type Item = usize;
+
+    fn length(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeParIter {
+                range: self.range.start..mid,
+            },
+            RangeParIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for i in self.range {
+            f(i);
+        }
+    }
+}
+
+/// Parallel source over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSource for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceParIter { slice: a }, SliceParIter { slice: b })
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for item in self.slice {
+            f(item);
+        }
+    }
+}
+
+/// Parallel source over `&mut [T]`.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelSource for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (SliceParIterMut { slice: a }, SliceParIterMut { slice: b })
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for item in self.slice.iter_mut() {
+            f(item);
+        }
+    }
+}
+
+/// Parallel source over non-overlapping mutable chunks of a slice.
+pub struct ChunksParIterMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelSource for ChunksParIterMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn length(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksParIterMut {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            ChunksParIterMut {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for chunk in self.slice.chunks_mut(self.chunk_size) {
+            f(chunk);
+        }
+    }
+}
+
+/// Index-tracking adapter (mirrors `rayon`'s `Enumerate`).
+pub struct Enumerate<P> {
+    base: usize,
+    inner: P,
+}
+
+impl<P: ParallelSource> ParallelSource for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn length(&self) -> usize {
+        self.inner.length()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Enumerate {
+                base: self.base,
+                inner: a,
+            },
+            Enumerate {
+                base: self.base + index,
+                inner: b,
+            },
+        )
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        let mut i = self.base;
+        self.inner.drain(&mut |item| {
+            f((i, item));
+            i += 1;
+        });
+    }
+}
+
+/// Lockstep adapter (mirrors `rayon`'s `Zip`).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelSource, B: ParallelSource> ParallelSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn length(&self) -> usize {
+        self.a.length().min(self.b.length())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn drain<F: FnMut(Self::Item)>(self, f: &mut F) {
+        let len = self.length();
+        let (a, _) = self.a.split_at(len);
+        let (b, _) = self.b.split_at(len);
+        let mut bs: Vec<B::Item> = Vec::with_capacity(len);
+        b.drain(&mut |item| bs.push(item));
+        let mut bi = bs.into_iter();
+        a.drain(&mut |item| {
+            if let Some(other) = bi.next() {
+                f((item, other));
+            }
+        });
+    }
+}
+
+/// `par_iter` on shared slices (mirrors `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices (mirrors
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksParIterMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_matches_serial() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk {
+                *x = ci;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 64);
+        }
+    }
+
+    #[test]
+    fn zip_is_lockstep() {
+        let mut a = vec![0usize; 500];
+        let mut b: Vec<usize> = (0..500).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = *y + i;
+            });
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x, 2 * i);
+        }
+    }
+
+    #[test]
+    fn range_par_iter_covers_range() {
+        let seen = Mutex::new(HashSet::new());
+        (100..1100usize).into_par_iter().for_each(|i| {
+            seen.lock().unwrap().insert(i);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1000);
+        assert!(seen.contains(&100) && seen.contains(&1099));
+    }
+
+    #[test]
+    fn thread_pool_install_bounds_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        // serial fallback still processes everything
+        let mut v = [0u8; 100];
+        pool1.install(|| v.par_iter_mut().for_each(|x| *x = 7));
+        assert!(v.iter().all(|&x| x == 7));
+    }
+}
