@@ -35,8 +35,9 @@ pub use ghz::{bell_circuit, ghz_circuit};
 pub use grover::{grover_circuit, grover_diffuser, grover_oracle, optimal_iterations};
 pub use phase_estimation::{estimate_phase, phase_estimation_circuit};
 pub use qec::{
-    bit_flip_circuit, bit_flip_circuit_ancilla_reuse, correct_by_pauli_frame, phase_flip_circuit,
-    shor_code_circuit, shor_code_fidelity, InjectedError, PauliError,
+    analytic_logical_error_rate, bit_flip_circuit, bit_flip_circuit_ancilla_reuse,
+    correct_by_pauli_frame, logical_error_rate, majority_decode, phase_flip_circuit,
+    repetition_code_circuit, shor_code_circuit, shor_code_fidelity, InjectedError, PauliError,
 };
 pub use qft::{iqft, qft};
 pub use state_preparation::{prepare_and_verify, prepare_state};

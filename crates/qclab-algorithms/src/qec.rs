@@ -158,6 +158,102 @@ pub fn protect(circuit: &QCircuit, v: &CVec) -> Result<qclab_core::Simulation, Q
     circuit.simulate(&initial)
 }
 
+/// Distance-`d` bit-flip repetition code as a sampling workload for the
+/// trajectory engine: encode `|0⟩` into `|0…0⟩ + noise`, optionally
+/// inject one deterministic fault, and measure every data qubit in Z.
+/// The measurement record is decoded classically by [`majority_decode`].
+///
+/// `distance` must be odd (ties are undecodable) and `error`, when not
+/// [`InjectedError::None`], must hit a qubit `< distance`.
+pub fn repetition_code_circuit(distance: usize, error: InjectedError) -> QCircuit {
+    assert!(distance >= 1, "distance must be at least 1");
+    assert!(distance % 2 == 1, "distance must be odd");
+    let mut c = QCircuit::new(distance);
+    // encode |0> -> |0...0>: the CNOT fan-out is the identity on |0...0>
+    // but keeps the circuit shape faithful to the encoded memory
+    for q in 1..distance {
+        c.push_back(CNOT::new(0, q));
+    }
+    match error {
+        InjectedError::None => {}
+        InjectedError::BitFlip(q) => {
+            assert!(q < distance, "error must hit a data qubit");
+            c.push_back(PauliX::new(q));
+        }
+        InjectedError::PhaseFlip(q) => {
+            assert!(q < distance, "error must hit a data qubit");
+            c.push_back(PauliZ::new(q));
+        }
+    }
+    for q in 0..distance {
+        c.push_back(Measurement::z(q));
+    }
+    c
+}
+
+/// Majority-vote decoder for a repetition-code measurement record:
+/// returns the logical bit (`0` or `1`) carried by the record.
+pub fn majority_decode(record: &str) -> u8 {
+    let ones = record.chars().filter(|&c| c == '1').count();
+    u8::from(2 * ones > record.len())
+}
+
+/// Monte-Carlo logical error rate of the distance-`d` repetition code
+/// under independent bit-flip noise of strength `p` before each
+/// measurement, estimated with `shots` trajectories of the fault
+/// injection engine ([`qclab_core::sim::trajectory`]). The logical
+/// qubit starts in `|0⟩`, so any record that majority-decodes to `1`
+/// is a logical failure.
+///
+/// Deterministic in `(distance, p, shots, seed)`. Converges to
+/// [`analytic_logical_error_rate`] as `O(1/√shots)`; for `p < 1/2` the
+/// rate falls with growing distance.
+pub fn logical_error_rate(
+    distance: usize,
+    p: f64,
+    shots: u64,
+    seed: u64,
+) -> Result<f64, QclabError> {
+    use qclab_core::sim::trajectory::{
+        run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig,
+    };
+    let circuit = repetition_code_circuit(distance, InjectedError::None);
+    let config = TrajectoryConfig {
+        seed,
+        shots,
+        noise: NoiseSpec {
+            before_measure: Some(PauliChannel::BitFlip(p)),
+            ..NoiseSpec::default()
+        },
+        ..TrajectoryConfig::default()
+    };
+    let result = run_trajectories(&circuit, &config)?;
+    let failures: u64 = result
+        .counts()
+        .iter()
+        .filter(|(record, _)| majority_decode(record) == 1)
+        .map(|(_, &count)| count)
+        .sum();
+    Ok(failures as f64 / result.shots() as f64)
+}
+
+/// Exact logical error rate of the distance-`d` repetition code under
+/// i.i.d. bit-flip noise of strength `p`:
+/// `Σ_{k > d/2} C(d, k) · p^k · (1−p)^{d−k}`.
+pub fn analytic_logical_error_rate(distance: usize, p: f64) -> f64 {
+    let d = distance;
+    let mut rate = 0.0;
+    for k in (d / 2 + 1)..=d {
+        // C(d, k) built incrementally to stay exact for small d
+        let mut binom = 1.0;
+        for i in 0..k {
+            binom *= (d - i) as f64 / (k - i) as f64;
+        }
+        rate += binom * p.powi(k as i32) * (1.0 - p).powi((d - k) as i32);
+    }
+    rate
+}
+
 /// A single-qubit Pauli error for [`shor_code_circuit`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PauliError {
@@ -501,6 +597,66 @@ mod tests {
         // and loses above the pseudo-threshold p = 1/2
         let (bare, protected) = memory_error_experiment(0.6, &paper_v());
         assert!(protected < bare);
+    }
+
+    #[test]
+    fn majority_decoder_votes_correctly() {
+        assert_eq!(majority_decode("000"), 0);
+        assert_eq!(majority_decode("010"), 0);
+        assert_eq!(majority_decode("110"), 1);
+        assert_eq!(majority_decode("11011"), 1);
+        assert_eq!(majority_decode("10010"), 0);
+    }
+
+    #[test]
+    fn repetition_code_corrects_single_injected_flip() {
+        // a lone deterministic X is always outvoted at any distance
+        for d in [3usize, 5] {
+            for q in 0..d {
+                let c = repetition_code_circuit(d, InjectedError::BitFlip(q));
+                let sim = c.simulate(&CVec::basis_state(1 << d, 0)).unwrap();
+                assert_eq!(sim.results().len(), 1);
+                assert_eq!(majority_decode(sim.results()[0]), 0, "d={d}, flip on q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_error_rate_is_zero_without_noise() {
+        let rate = logical_error_rate(3, 0.0, 200, 7).unwrap();
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn logical_error_rate_falls_with_distance() {
+        // p = 0.1: analytic rates are 0.1 (bare), 0.028 (d=3), 0.00856
+        // (d=5) — the gaps dwarf the 4000-shot sampling error
+        let p = 0.1;
+        let r3 = logical_error_rate(3, p, 4000, 11).unwrap();
+        let r5 = logical_error_rate(5, p, 4000, 11).unwrap();
+        assert!(r3 < p, "d=3 rate {r3} should beat the bare error rate {p}");
+        assert!(r5 < r3, "d=5 rate {r5} should beat d=3 rate {r3}");
+    }
+
+    #[test]
+    fn logical_error_rate_matches_analytic_formula() {
+        let (d, p) = (3, 0.2);
+        let rate = logical_error_rate(d, p, 8000, 3).unwrap();
+        let analytic = analytic_logical_error_rate(d, p);
+        assert!((analytic - 0.104).abs() < 1e-12, "analytic formula sanity");
+        assert!(
+            (rate - analytic).abs() < 0.015,
+            "sampled {rate} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn logical_error_rate_is_deterministic_in_the_seed() {
+        let a = logical_error_rate(3, 0.15, 500, 42).unwrap();
+        let b = logical_error_rate(3, 0.15, 500, 42).unwrap();
+        let c = logical_error_rate(3, 0.15, 500, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should sample different noise");
     }
 
     #[test]

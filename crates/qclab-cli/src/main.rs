@@ -4,21 +4,122 @@
 //! qclab draw     circuit.qasm              terminal rendering
 //! qclab tex      circuit.qasm              quantikz LaTeX to stdout
 //! qclab simulate circuit.qasm [BITSTRING]  branch results/probabilities
-//! qclab counts   circuit.qasm SHOTS [SEED] sampled outcome frequencies
+//! qclab counts   circuit.qasm SHOTS        sampled outcome frequencies
+//! qclab sample   circuit.qasm SHOTS        trajectory sampling (noise!)
 //! qclab stats    circuit.qasm              gate/depth/measurement counts
 //! ```
 //!
-//! `simulate` and `counts` accept `--no-fuse` to disable the gate-fusion
-//! pre-pass (useful for timing comparisons and for debugging the fused
-//! execution path).
+//! Engine flags (position-independent after the command name):
+//!
+//! * `--no-fuse` — disable the gate-fusion pre-pass (`simulate`,
+//!   `counts`, `sample`),
+//! * `--no-simd` — force the scalar kernels (`simulate`, `counts`,
+//!   `sample`),
+//! * `--max-qubits N` — refuse registers above `N` qubits instead of
+//!   relying on the 4 GiB default memory cap (any command that
+//!   simulates),
+//! * `--seed N` — RNG seed for `counts` and `sample`,
+//! * `--shots N` — alternative to the positional shot count,
+//! * `--noise CH:P` / `--idle-noise CH:P` / `--measure-noise CH:P` —
+//!   Pauli noise for `sample`, where `CH` is `bitflip`, `phaseflip` or
+//!   `depolarizing` and `P` the error probability per location.
+//!
+//! Errors go to stderr with a distinct exit code per failure class:
+//! `2` usage, `3` I/O, `4` QASM parse, `5` simulation, `6` resource
+//! limits.
 //!
 //! Mirrors the workflow of the paper: construct (or import) a circuit,
 //! inspect it, simulate it, and sample repeated experiments.
 
+use qclab_core::sim::guard::ResourceLimits;
 use qclab_core::sim::kernel::KernelConfig;
+use qclab_core::sim::trajectory::{run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig};
 use qclab_core::sim::SimOptions;
 use qclab_core::{QCircuit, QclabError};
 use std::process::ExitCode;
+
+/// Exit code for command-line misuse (bad flags, bad noise specs).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for file-system failures.
+const EXIT_IO: u8 = 3;
+/// Exit code for OpenQASM parse/import failures.
+const EXIT_PARSE: u8 = 4;
+/// Exit code for simulation failures (bad state, bad observable, …).
+const EXIT_SIM: u8 = 5;
+/// Exit code for resource-limit refusals.
+const EXIT_RESOURCE: u8 = 6;
+
+/// A failure carrying its exit code; the message goes to stderr.
+#[derive(Debug, PartialEq)]
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        code: EXIT_USAGE,
+        msg: format!("{}\n{}", msg.into(), usage()),
+    }
+}
+
+impl From<QclabError> for CliError {
+    fn from(e: QclabError) -> Self {
+        let code = match &e {
+            QclabError::QasmParse { .. } => EXIT_PARSE,
+            QclabError::ResourceExhausted { .. } => EXIT_RESOURCE,
+            QclabError::InvalidNoiseSpec(_) => EXIT_USAGE,
+            _ => EXIT_SIM,
+        };
+        CliError {
+            code,
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// Engine options shared by the simulating commands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct EngineOpts {
+    fuse: bool,
+    simd: bool,
+    max_qubits: Option<usize>,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            fuse: true,
+            simd: true,
+            max_qubits: None,
+        }
+    }
+}
+
+impl EngineOpts {
+    fn kernel(&self) -> KernelConfig {
+        KernelConfig {
+            fuse: self.fuse,
+            allow_simd: self.simd,
+            ..KernelConfig::default()
+        }
+    }
+
+    fn limits(&self) -> ResourceLimits {
+        match self.max_qubits {
+            Some(n) => ResourceLimits::with_max_qubits(n),
+            None => ResourceLimits::default(),
+        }
+    }
+
+    fn sim_opts(&self) -> SimOptions {
+        SimOptions {
+            kernel: self.kernel(),
+            limits: self.limits(),
+            ..SimOptions::default()
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, PartialEq)]
@@ -32,13 +133,20 @@ enum Command {
     Simulate {
         path: String,
         init: Option<String>,
-        fuse: bool,
+        opts: EngineOpts,
     },
     Counts {
         path: String,
         shots: u64,
         seed: u64,
-        fuse: bool,
+        opts: EngineOpts,
+    },
+    Sample {
+        path: String,
+        shots: u64,
+        seed: u64,
+        noise: NoiseSpec,
+        opts: EngineOpts,
     },
     Stats {
         path: String,
@@ -47,95 +155,204 @@ enum Command {
 
 fn usage() -> String {
     "usage:\n  qclab draw     <file.qasm>\n  qclab tex      <file.qasm>\n  \
-     qclab simulate [--no-fuse] <file.qasm> [initial-bitstring]\n  \
-     qclab counts   [--no-fuse] <file.qasm> <shots> [seed]\n  qclab stats    <file.qasm>"
+     qclab simulate [flags] <file.qasm> [initial-bitstring]\n  \
+     qclab counts   [flags] <file.qasm> <shots>\n  \
+     qclab sample   [flags] <file.qasm> <shots>\n  qclab stats    <file.qasm>\n\
+     flags:\n  --no-fuse               disable gate fusion\n  \
+     --no-simd               force scalar kernels\n  \
+     --max-qubits <n>        refuse larger registers\n  \
+     --seed <n>              RNG seed (counts/sample)\n  \
+     --shots <n>             shot count (counts/sample)\n  \
+     --noise <ch:p>          after-gate noise (sample); ch = bitflip|phaseflip|depolarizing\n  \
+     --idle-noise <ch:p>     idle-qubit noise (sample)\n  \
+     --measure-noise <ch:p>  pre-measurement noise (sample)"
         .to_string()
 }
 
-/// Parses the argument vector (without the program name). The
-/// `--no-fuse` flag may appear anywhere after the command name; the
-/// remaining arguments are positional.
-fn parse_args(args: &[String]) -> Result<Command, String> {
-    let cmd = args.first().ok_or_else(usage)?.clone();
-    let mut fuse = true;
-    let rest: Vec<String> = args[1..]
-        .iter()
-        .filter(|a| {
-            if *a == "--no-fuse" {
-                fuse = false;
-                false
-            } else {
-                true
+/// Parses `bitflip:0.01`-style channel specs.
+fn parse_channel(spec: &str) -> Result<PauliChannel, CliError> {
+    let (name, prob) = spec
+        .split_once(':')
+        .ok_or_else(|| usage_err(format!("noise spec '{spec}' must look like 'bitflip:0.01'")))?;
+    let p: f64 = prob
+        .parse()
+        .map_err(|_| usage_err(format!("noise probability '{prob}' is not a number")))?;
+    let channel = match name {
+        "bitflip" | "x" => PauliChannel::BitFlip(p),
+        "phaseflip" | "z" => PauliChannel::PhaseFlip(p),
+        "depolarizing" | "dep" => PauliChannel::Depolarizing(p),
+        other => {
+            return Err(usage_err(format!(
+                "unknown noise channel '{other}' (expected bitflip, phaseflip or depolarizing)"
+            )))
+        }
+    };
+    channel.validate()?;
+    Ok(channel)
+}
+
+/// Flag values accumulated while scanning the argument vector.
+#[derive(Default)]
+struct Flags {
+    opts: EngineOpts,
+    seed: Option<u64>,
+    shots: Option<u64>,
+    noise: NoiseSpec,
+    used: Vec<&'static str>,
+}
+
+/// Parses the argument vector (without the program name). Flags may
+/// appear anywhere after the command name; the remaining arguments are
+/// positional.
+fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| usage_err("missing command"))?
+        .clone();
+    let mut flags = Flags::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage_err(format!("{a} requires a {what}")))
+        };
+        match a.as_str() {
+            "--no-fuse" => {
+                flags.opts.fuse = false;
+                flags.used.push("--no-fuse");
             }
-        })
-        .cloned()
-        .collect();
-    if !fuse && !matches!(cmd.as_str(), "simulate" | "counts") {
-        return Err(format!(
-            "--no-fuse only applies to simulate/counts\n{}",
-            usage()
-        ));
+            "--no-simd" => {
+                flags.opts.simd = false;
+                flags.used.push("--no-simd");
+            }
+            "--max-qubits" => {
+                let v = value("qubit count")?;
+                flags.opts.max_qubits = Some(v.parse().map_err(|_| {
+                    usage_err(format!("--max-qubits value '{v}' is not a qubit count"))
+                })?);
+                flags.used.push("--max-qubits");
+            }
+            "--seed" => {
+                let v = value("seed")?;
+                flags.seed = Some(
+                    v.parse()
+                        .map_err(|_| usage_err(format!("--seed value '{v}' is not an integer")))?,
+                );
+                flags.used.push("--seed");
+            }
+            "--shots" => {
+                let v = value("shot count")?;
+                flags.shots =
+                    Some(v.parse().map_err(|_| {
+                        usage_err(format!("--shots value '{v}' is not an integer"))
+                    })?);
+                flags.used.push("--shots");
+            }
+            "--noise" => {
+                flags.noise.after_gate = Some(parse_channel(&value("channel spec")?)?);
+                flags.used.push("--noise");
+            }
+            "--idle-noise" => {
+                flags.noise.idle = Some(parse_channel(&value("channel spec")?)?);
+                flags.used.push("--idle-noise");
+            }
+            "--measure-noise" => {
+                flags.noise.before_measure = Some(parse_channel(&value("channel spec")?)?);
+                flags.used.push("--measure-noise");
+            }
+            other if other.starts_with("--") => {
+                return Err(usage_err(format!("unknown option '{other}'")));
+            }
+            _ => rest.push(a.clone()),
+        }
     }
-    if let Some(opt) = rest.iter().find(|a| a.starts_with("--")) {
-        return Err(format!("unknown option '{opt}'\n{}", usage()));
+
+    // flag/command compatibility
+    let allowed: &[&str] = match cmd.as_str() {
+        "simulate" => &["--no-fuse", "--no-simd", "--max-qubits"],
+        "counts" => &[
+            "--no-fuse",
+            "--no-simd",
+            "--max-qubits",
+            "--seed",
+            "--shots",
+        ],
+        "sample" => &[
+            "--no-fuse",
+            "--no-simd",
+            "--max-qubits",
+            "--seed",
+            "--shots",
+            "--noise",
+            "--idle-noise",
+            "--measure-noise",
+        ],
+        _ => &[],
+    };
+    if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
+        return Err(usage_err(format!("{bad} does not apply to '{cmd}'")));
     }
+
     let path = rest
         .first()
-        .ok_or_else(|| format!("missing .qasm file\n{}", usage()))?
-        .clone();
+        .cloned()
+        .ok_or_else(|| usage_err("missing .qasm file"))?;
+    let shots_at = |idx: usize| -> Result<u64, CliError> {
+        match (flags.shots, rest.get(idx)) {
+            (Some(n), None) => Ok(n),
+            (None, Some(s)) => s
+                .parse()
+                .map_err(|_| usage_err(format!("shot count '{s}' is not an integer"))),
+            (Some(_), Some(_)) => Err(usage_err(
+                "shot count given both positionally and via --shots",
+            )),
+            (None, None) => Err(usage_err("missing shot count")),
+        }
+    };
     match cmd.as_str() {
         "draw" => Ok(Command::Draw { path }),
         "tex" => Ok(Command::Tex { path }),
+        "stats" => Ok(Command::Stats { path }),
         "simulate" => Ok(Command::Simulate {
             path,
             init: rest.get(1).cloned(),
-            fuse,
+            opts: flags.opts,
         }),
-        "counts" => {
-            let shots = rest
-                .get(1)
-                .ok_or_else(|| format!("missing shot count\n{}", usage()))?
-                .parse::<u64>()
-                .map_err(|_| "shots must be a non-negative integer".to_string())?;
-            let seed = match rest.get(2) {
-                Some(s) => s
-                    .parse::<u64>()
-                    .map_err(|_| "seed must be a non-negative integer".to_string())?,
-                None => 1,
-            };
-            Ok(Command::Counts {
-                path,
-                shots,
-                seed,
-                fuse,
-            })
-        }
-        "stats" => Ok(Command::Stats { path }),
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        "counts" => Ok(Command::Counts {
+            path,
+            shots: shots_at(1)?,
+            seed: flags.seed.unwrap_or(1),
+            opts: flags.opts,
+        }),
+        "sample" => Ok(Command::Sample {
+            path,
+            shots: shots_at(1)?,
+            seed: flags.seed.unwrap_or(1),
+            noise: flags.noise,
+            opts: flags.opts,
+        }),
+        other => Err(usage_err(format!("unknown command '{other}'"))),
     }
 }
 
-/// Simulation options for the CLI: defaults everywhere except the
-/// fusion switch.
-fn sim_opts(fuse: bool) -> SimOptions {
-    SimOptions {
-        kernel: KernelConfig {
-            fuse,
-            ..KernelConfig::default()
-        },
-        ..SimOptions::default()
-    }
+fn load(path: &str) -> Result<QCircuit, CliError> {
+    let src = std::fs::read_to_string(path).map_err(|e| CliError {
+        code: EXIT_IO,
+        msg: format!("cannot read {path}: {e}"),
+    })?;
+    qclab_qasm::from_qasm(&src).map_err(|e| {
+        let mut c = CliError::from(e);
+        c.msg = format!("{path}: {}", c.msg);
+        c
+    })
 }
 
-fn load(path: &str) -> Result<QCircuit, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    qclab_qasm::from_qasm(&src).map_err(|e| format!("{path}: {e}"))
-}
-
-fn simulate(circuit: &QCircuit, init: Option<&str>, fuse: bool) -> Result<String, QclabError> {
+fn simulate(circuit: &QCircuit, init: Option<&str>, opts: &EngineOpts) -> Result<String, CliError> {
     let zeros = "0".repeat(circuit.nb_qubits());
     let bits = init.unwrap_or(&zeros);
-    let sim = circuit.simulate_bitstring_with(bits, &sim_opts(fuse))?;
+    let sim = circuit.simulate_bitstring_with(bits, &opts.sim_opts())?;
     let mut out = String::new();
     out.push_str(&format!(
         "simulated {} qubits from |{}>: {} branch(es)\n",
@@ -156,12 +373,58 @@ fn simulate(circuit: &QCircuit, init: Option<&str>, fuse: bool) -> Result<String
     Ok(out)
 }
 
-fn counts(circuit: &QCircuit, shots: u64, seed: u64, fuse: bool) -> Result<String, QclabError> {
+fn counts(
+    circuit: &QCircuit,
+    shots: u64,
+    seed: u64,
+    opts: &EngineOpts,
+) -> Result<String, CliError> {
     let zeros = "0".repeat(circuit.nb_qubits());
-    let sim = circuit.simulate_bitstring_with(&zeros, &sim_opts(fuse))?;
+    let sim = circuit.simulate_bitstring_with(&zeros, &opts.sim_opts())?;
     let mut out = format!("counts over {shots} shots (seed {seed}):\n");
     for (result, n) in sim.counts(shots, seed) {
         out.push_str(&format!("  '{result}': {n}\n"));
+    }
+    Ok(out)
+}
+
+fn sample(
+    circuit: &QCircuit,
+    shots: u64,
+    seed: u64,
+    noise: NoiseSpec,
+    opts: &EngineOpts,
+) -> Result<String, CliError> {
+    let config = TrajectoryConfig {
+        seed,
+        shots,
+        noise,
+        kernel: opts.kernel(),
+        limits: opts.limits(),
+        ..TrajectoryConfig::default()
+    };
+    let result = run_trajectories(circuit, &config)?;
+    let mut out = format!(
+        "sampled {shots} trajectories (seed {seed}, {} injected error(s)):\n",
+        result.injected_errors()
+    );
+    for (record, n) in result.counts() {
+        let label = if record.is_empty() {
+            "(no measurements)".to_string()
+        } else {
+            format!("'{record}'")
+        };
+        out.push_str(&format!(
+            "  {label}: {n}  ({:.4})\n",
+            *n as f64 / shots.max(1) as f64
+        ));
+    }
+    let stats = result.norm_stats();
+    if stats.renormalizations > 0 {
+        out.push_str(&format!(
+            "norm watchdog: {} renormalization(s), max drift {:.3e}\n",
+            stats.renormalizations, stats.max_drift
+        ));
     }
     Ok(out)
 }
@@ -176,19 +439,24 @@ fn stats(circuit: &QCircuit) -> String {
     )
 }
 
-fn run(cmd: Command) -> Result<String, String> {
+fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Draw { path } => Ok(qclab_draw::draw_circuit(&load(&path)?)),
         Command::Tex { path } => Ok(qclab_draw::to_tex(&load(&path)?)),
-        Command::Simulate { path, init, fuse } => {
-            simulate(&load(&path)?, init.as_deref(), fuse).map_err(|e| e.to_string())
-        }
+        Command::Simulate { path, init, opts } => simulate(&load(&path)?, init.as_deref(), &opts),
         Command::Counts {
             path,
             shots,
             seed,
-            fuse,
-        } => counts(&load(&path)?, shots, seed, fuse).map_err(|e| e.to_string()),
+            opts,
+        } => counts(&load(&path)?, shots, seed, &opts),
+        Command::Sample {
+            path,
+            shots,
+            seed,
+            noise,
+            opts,
+        } => sample(&load(&path)?, shots, seed, noise, &opts),
         Command::Stats { path } => Ok(stats(&load(&path)?)),
     }
 }
@@ -200,9 +468,9 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("qclab: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -237,12 +505,12 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_args(&args(&["counts", "f.qasm", "100", "7"])).unwrap(),
+            parse_args(&args(&["counts", "f.qasm", "100", "--seed", "7"])).unwrap(),
             Command::Counts {
                 path: "f.qasm".into(),
                 shots: 100,
                 seed: 7,
-                fuse: true
+                opts: EngineOpts::default(),
             }
         );
         assert_eq!(
@@ -250,7 +518,7 @@ mod tests {
             Command::Simulate {
                 path: "f.qasm".into(),
                 init: Some("01".into()),
-                fuse: true
+                opts: EngineOpts::default(),
             }
         );
         assert!(parse_args(&args(&[])).is_err());
@@ -260,30 +528,88 @@ mod tests {
     }
 
     #[test]
-    fn parse_no_fuse_flag() {
-        // the flag is position-independent within simulate/counts
+    fn parse_engine_flags() {
+        // flags are position-independent within simulate/counts/sample
         assert_eq!(
             parse_args(&args(&["simulate", "--no-fuse", "f.qasm"])).unwrap(),
             Command::Simulate {
                 path: "f.qasm".into(),
                 init: None,
-                fuse: false
+                opts: EngineOpts {
+                    fuse: false,
+                    ..EngineOpts::default()
+                },
             }
         );
         assert_eq!(
-            parse_args(&args(&["counts", "f.qasm", "50", "--no-fuse"])).unwrap(),
+            parse_args(&args(&[
+                "counts",
+                "f.qasm",
+                "50",
+                "--no-fuse",
+                "--no-simd",
+                "--max-qubits",
+                "20"
+            ]))
+            .unwrap(),
             Command::Counts {
                 path: "f.qasm".into(),
                 shots: 50,
                 seed: 1,
-                fuse: false
+                opts: EngineOpts {
+                    fuse: false,
+                    simd: false,
+                    max_qubits: Some(20),
+                },
             }
         );
-        // rejected where it has no meaning
+        // rejected where they have no meaning
         assert!(parse_args(&args(&["draw", "--no-fuse", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["simulate", "--seed", "3", "f.qasm"])).is_err());
         // typo'd options are named in the error, not taken as file paths
         let e = parse_args(&args(&["simulate", "--nofuse", "f.qasm"])).unwrap_err();
-        assert!(e.contains("unknown option '--nofuse'"));
+        assert!(e.msg.contains("unknown option '--nofuse'"));
+        assert_eq!(e.code, EXIT_USAGE);
+        // flags that need a value fail cleanly without one
+        assert!(parse_args(&args(&["counts", "f.qasm", "50", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn parse_sample_command_and_noise_specs() {
+        let cmd = parse_args(&args(&[
+            "sample",
+            "f.qasm",
+            "--shots",
+            "500",
+            "--seed",
+            "9",
+            "--noise",
+            "depolarizing:0.01",
+            "--measure-noise",
+            "bitflip:0.05",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sample {
+                path: "f.qasm".into(),
+                shots: 500,
+                seed: 9,
+                noise: NoiseSpec {
+                    after_gate: Some(PauliChannel::Depolarizing(0.01)),
+                    idle: None,
+                    before_measure: Some(PauliChannel::BitFlip(0.05)),
+                },
+                opts: EngineOpts::default(),
+            }
+        );
+        // malformed specs are usage errors
+        for bad in ["bitflip", "bitflip:x", "frob:0.1", "bitflip:1.5"] {
+            let e = parse_args(&args(&["sample", "f.qasm", "10", "--noise", bad])).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "spec '{bad}' should be a usage error");
+        }
+        // shots given twice is ambiguous
+        assert!(parse_args(&args(&["sample", "f.qasm", "10", "--shots", "20"])).is_err());
     }
 
     #[test]
@@ -304,35 +630,93 @@ mod tests {
         let sim = run(Command::Simulate {
             path: p.clone(),
             init: None,
-            fuse: true,
+            opts: EngineOpts::default(),
         })
         .unwrap();
         assert!(sim.contains("'00'"));
         assert!(sim.contains("'11'"));
-        // disabling fusion must not change the reported branches
-        let unfused = run(Command::Simulate {
+        // disabling fusion and SIMD must not change the reported branches
+        let scalar = run(Command::Simulate {
             path: p.clone(),
             init: None,
-            fuse: false,
+            opts: EngineOpts {
+                fuse: false,
+                simd: false,
+                max_qubits: None,
+            },
         })
         .unwrap();
-        assert_eq!(sim, unfused);
+        assert_eq!(sim, scalar);
         let cts = run(Command::Counts {
             path: p,
             shots: 100,
             seed: 1,
-            fuse: true,
+            opts: EngineOpts::default(),
         })
         .unwrap();
         assert!(cts.contains("counts over 100 shots"));
     }
 
     #[test]
-    fn missing_file_and_bad_qasm_error_cleanly() {
-        assert!(run(Command::Draw {
-            path: "/nonexistent/x.qasm".into()
+    fn end_to_end_sample_noiseless_and_noisy() {
+        let path = write_bell();
+        let p = path.to_str().unwrap().to_string();
+        let clean = run(Command::Sample {
+            path: p.clone(),
+            shots: 200,
+            seed: 5,
+            noise: NoiseSpec::default(),
+            opts: EngineOpts::default(),
         })
-        .is_err());
+        .unwrap();
+        assert!(clean.contains("sampled 200 trajectories"));
+        assert!(clean.contains("'00'") && clean.contains("'11'"));
+        assert!(!clean.contains("'01'") && !clean.contains("'10'"));
+        // a certain bit-flip before the only measurement flips |0> to '1'
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        let one = dir.join("one.qasm");
+        std::fs::write(&one, "qreg q[1];\ncreg c[1];\nmeasure q -> c;\n").unwrap();
+        let flipped = run(Command::Sample {
+            path: one.to_str().unwrap().into(),
+            shots: 50,
+            seed: 5,
+            noise: NoiseSpec {
+                before_measure: Some(PauliChannel::BitFlip(1.0)),
+                ..NoiseSpec::default()
+            },
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        assert!(flipped.contains("'1': 50"), "output: {flipped}");
+        assert!(
+            flipped.contains("50 injected error(s)"),
+            "output: {flipped}"
+        );
+    }
+
+    #[test]
+    fn max_qubits_flag_is_enforced() {
+        let path = write_bell();
+        let e = run(Command::Simulate {
+            path: path.to_str().unwrap().into(),
+            init: None,
+            opts: EngineOpts {
+                max_qubits: Some(1),
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        assert!(e.msg.contains("--max-qubits"), "message: {}", e.msg);
+    }
+
+    #[test]
+    fn missing_file_and_bad_qasm_error_cleanly() {
+        let e = run(Command::Draw {
+            path: "/nonexistent/x.qasm".into(),
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_IO);
         let dir = std::env::temp_dir().join("qclab_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let bad = dir.join("bad.qasm");
@@ -341,6 +725,7 @@ mod tests {
             path: bad.to_str().unwrap().into(),
         })
         .unwrap_err();
-        assert!(e.contains("frobnicate"));
+        assert_eq!(e.code, EXIT_PARSE);
+        assert!(e.msg.contains("frobnicate"));
     }
 }

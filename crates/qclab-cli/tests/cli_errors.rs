@@ -1,0 +1,209 @@
+//! Drives the built `qclab` binary with bad (and good) inputs and pins
+//! down the error contract: messages on stderr, nothing on stdout, and
+//! one distinct exit code per failure class.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const EXIT_USAGE: i32 = 2;
+const EXIT_IO: i32 = 3;
+const EXIT_PARSE: i32 = 4;
+const EXIT_SIM: i32 = 5;
+const EXIT_RESOURCE: i32 = 6;
+
+fn qclab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qclab"))
+        .args(args)
+        .output()
+        .expect("binary must spawn")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn write_qasm(name: &str, src: &str) -> String {
+    let dir = std::env::temp_dir().join("qclab_cli_errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+fn bell() -> String {
+    write_qasm(
+        "bell.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+         h q[0];\ncx q[0], q[1];\nmeasure q -> c;\n",
+    )
+}
+
+/// Asserts the error contract: the given exit code, a stderr message
+/// containing `needle`, and an empty stdout.
+fn assert_fails(args: &[&str], code: i32, needle: &str) {
+    let out = qclab(args);
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "args {args:?}: stderr was: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains(needle), "args {args:?}: stderr was: {err}");
+    assert_eq!(stdout(&out), "", "errors must not pollute stdout");
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    assert_fails(&[], EXIT_USAGE, "usage:");
+}
+
+#[test]
+fn unknown_command_and_options_are_usage_errors() {
+    assert_fails(&["frobnicate", "f.qasm"], EXIT_USAGE, "unknown command");
+    assert_fails(
+        &["simulate", "--bogus", "f.qasm"],
+        EXIT_USAGE,
+        "unknown option '--bogus'",
+    );
+    assert_fails(&["counts", "f.qasm"], EXIT_USAGE, "missing shot count");
+    assert_fails(
+        &["draw", "--seed", "1", "f.qasm"],
+        EXIT_USAGE,
+        "does not apply",
+    );
+}
+
+#[test]
+fn bad_noise_specs_are_usage_errors() {
+    let bell = bell();
+    assert_fails(
+        &["sample", &bell, "10", "--noise", "gamma:0.1"],
+        EXIT_USAGE,
+        "unknown noise channel",
+    );
+    assert_fails(
+        &["sample", &bell, "10", "--noise", "bitflip"],
+        EXIT_USAGE,
+        "must look like",
+    );
+    // a probability outside [0, 1] is structurally valid but rejected
+    // by channel validation
+    assert_fails(
+        &["sample", &bell, "10", "--noise", "bitflip:1.5"],
+        EXIT_USAGE,
+        "invalid noise spec",
+    );
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    assert_fails(
+        &["stats", "/nonexistent/no_such.qasm"],
+        EXIT_IO,
+        "cannot read",
+    );
+}
+
+#[test]
+fn malformed_qasm_is_a_parse_error() {
+    let bad = write_qasm("bad.qasm", "qreg q[1]; frobnicate q[0];");
+    assert_fails(&["stats", &bad], EXIT_PARSE, "frobnicate");
+    // pathological nesting must error, not crash the process
+    let deep = write_qasm(
+        "deep.qasm",
+        &format!(
+            "qreg q[1];\nrx({}0.5{}) q[0];\n",
+            "(".repeat(20_000),
+            ")".repeat(20_000)
+        ),
+    );
+    assert_fails(&["stats", &deep], EXIT_PARSE, "nesting too deep");
+}
+
+#[test]
+fn bad_initial_bitstring_is_a_simulation_error() {
+    let bell = bell();
+    assert_fails(&["simulate", &bell, "01x"], EXIT_SIM, "bitstring");
+}
+
+#[test]
+fn oversized_register_is_a_resource_error() {
+    // 80 qubits can never be allocated; the guard must refuse before
+    // touching memory, quickly and with a helpful message
+    let big = write_qasm("big.qasm", "qreg q[80];\nh q[0];\n");
+    assert_fails(&["simulate", &big], EXIT_RESOURCE, "80-qubit");
+    // and the explicit cap rejects circuits above it
+    assert_fails(
+        &["simulate", "--max-qubits", "1", &bell()],
+        EXIT_RESOURCE,
+        "--max-qubits",
+    );
+}
+
+#[test]
+fn successful_runs_exit_zero_with_clean_stderr() {
+    let bell = bell();
+    for args in [
+        vec!["stats", bell.as_str()],
+        vec!["simulate", "--no-fuse", "--no-simd", bell.as_str()],
+        vec!["counts", bell.as_str(), "25", "--seed", "3"],
+        vec![
+            "sample",
+            bell.as_str(),
+            "25",
+            "--seed",
+            "3",
+            "--noise",
+            "depolarizing:0.02",
+        ],
+    ] {
+        let out = qclab(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+        assert_eq!(stderr(&out), "", "success must not write to stderr");
+        assert!(!stdout(&out).is_empty());
+    }
+}
+
+#[test]
+fn sample_is_deterministic_in_the_seed() {
+    let bell = bell();
+    let a = qclab(&[
+        "sample",
+        &bell,
+        "100",
+        "--seed",
+        "7",
+        "--noise",
+        "bitflip:0.1",
+    ]);
+    let b = qclab(&[
+        "sample",
+        &bell,
+        "100",
+        "--seed",
+        "7",
+        "--noise",
+        "bitflip:0.1",
+    ]);
+    let c = qclab(&[
+        "sample",
+        &bell,
+        "100",
+        "--seed",
+        "8",
+        "--noise",
+        "bitflip:0.1",
+    ]);
+    assert_eq!(stdout(&a), stdout(&b));
+    assert_ne!(stdout(&a), stdout(&c));
+}

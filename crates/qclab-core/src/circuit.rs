@@ -306,7 +306,7 @@ impl QCircuit {
         if !self.is_unitary_circuit() {
             return Err(QclabError::NonUnitaryCircuit("to_matrix".into()));
         }
-        let dim = 1usize << self.nb_qubits;
+        let dim = crate::sim::guard::ResourceLimits::default().check_matrix(self.nb_qubits)?;
         let mut out = CMat::zeros(dim, dim);
         for j in 0..dim {
             let mut col = qclab_math::CVec::basis_state(dim, j);

@@ -36,6 +36,21 @@ pub enum QclabError {
     /// Requested data is unavailable (e.g. reduced states when every qubit
     /// was measured).
     Unavailable(String),
+    /// An operation would allocate more state memory than the configured
+    /// resource limits allow (or than the address space can index). Raised
+    /// *before* the allocation is attempted, so callers get an error
+    /// instead of an abort.
+    ResourceExhausted {
+        /// Register size the operation asked for.
+        qubits: usize,
+        /// Bytes the state would need (`None` if `2^qubits` overflows).
+        bytes_needed: Option<u128>,
+        /// The limit that was exceeded, in bytes.
+        limit_bytes: u128,
+    },
+    /// A noise-channel specification is malformed (probability outside
+    /// `[0, 1]`, NaN strength, …).
+    InvalidNoiseSpec(String),
 }
 
 impl fmt::Display for QclabError {
@@ -76,6 +91,24 @@ impl fmt::Display for QclabError {
                 write!(f, "QASM parse error at line {line}: {message}")
             }
             QclabError::Unavailable(msg) => write!(f, "{msg}"),
+            QclabError::ResourceExhausted {
+                qubits,
+                bytes_needed,
+                limit_bytes,
+            } => match bytes_needed {
+                Some(bytes) => write!(
+                    f,
+                    "a {qubits}-qubit state needs {bytes} bytes, exceeding the \
+                     {limit_bytes}-byte resource limit (raise it via ResourceLimits \
+                     or --max-qubits)"
+                ),
+                None => write!(
+                    f,
+                    "a {qubits}-qubit state cannot be indexed on this machine \
+                     (resource limit {limit_bytes} bytes)"
+                ),
+            },
+            QclabError::InvalidNoiseSpec(msg) => write!(f, "invalid noise spec: {msg}"),
         }
     }
 }

@@ -17,6 +17,7 @@
 //! assert!((obs.expectation(&bell) - 1.0).abs() < 1e-12);
 //! ```
 
+use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::sim::kernel;
 use qclab_math::scalar::cr;
@@ -185,11 +186,27 @@ impl Observable {
         self
     }
 
-    /// Convenience: adds `coeff · <parsed string>`.
+    /// Convenience: adds `coeff · <parsed string>`. Panics on a malformed
+    /// string — use [`try_term`](Self::try_term) for user-supplied input.
     pub fn term(mut self, coeff: f64, s: &str) -> Self {
         let string = PauliString::parse(s).expect("invalid Pauli string");
         self.add_term(coeff, string);
         self
+    }
+
+    /// Fallible [`term`](Self::term): reports malformed or mismatched
+    /// Pauli strings as errors instead of panicking.
+    pub fn try_term(mut self, coeff: f64, s: &str) -> Result<Self, QclabError> {
+        let string = PauliString::parse(s)
+            .ok_or_else(|| QclabError::InvalidGateSpec(format!("invalid Pauli string '{s}'")))?;
+        if string.nb_qubits() != self.nb_qubits {
+            return Err(QclabError::DimensionMismatch {
+                expected: self.nb_qubits,
+                actual: string.nb_qubits(),
+            });
+        }
+        self.terms.push((coeff, string));
+        Ok(self)
     }
 
     /// The terms of the observable.

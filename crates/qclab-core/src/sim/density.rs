@@ -43,6 +43,29 @@ pub enum NoiseChannel {
 }
 
 impl NoiseChannel {
+    /// The error probability (or damping rate) of the channel.
+    pub fn probability(&self) -> f64 {
+        match *self {
+            NoiseChannel::BitFlip(p)
+            | NoiseChannel::PhaseFlip(p)
+            | NoiseChannel::Depolarizing(p)
+            | NoiseChannel::AmplitudeDamping(p) => p,
+        }
+    }
+
+    /// Checks that the probability lies in `[0, 1]` — [`kraus`](Self::kraus)
+    /// requires this, so validate before building channels from user input.
+    pub fn validate(&self) -> Result<(), QclabError> {
+        let p = self.probability();
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(())
+        } else {
+            Err(QclabError::InvalidNoiseSpec(format!(
+                "channel probability {p} outside [0, 1]"
+            )))
+        }
+    }
+
     /// The Kraus operators of the channel (`Σ K_i† K_i = I`).
     pub fn kraus(&self) -> Vec<CMat> {
         use crate::gates::matrices as m;
@@ -92,6 +115,18 @@ pub struct DensityState {
 }
 
 impl DensityState {
+    /// Initializes `ρ = |ψ⟩⟨ψ|` after checking the `4^n` allocation
+    /// against `limits` (the density matrix lives on a doubled register,
+    /// so under the default limits this refuses registers the trajectory
+    /// backend still handles comfortably).
+    pub fn try_from_pure(
+        psi: &CVec,
+        limits: &crate::sim::guard::ResourceLimits,
+    ) -> Result<Self, QclabError> {
+        limits.check_matrix(psi.nb_qubits())?;
+        Ok(Self::from_pure(psi))
+    }
+
     /// Initializes `ρ = |ψ⟩⟨ψ|`.
     pub fn from_pure(psi: &CVec) -> Self {
         let n = psi.nb_qubits();
@@ -271,6 +306,9 @@ pub fn run_noisy(
     initial: &DensityState,
     noise: &NoiseModel,
 ) -> Result<DensityState, QclabError> {
+    if let Some(ch) = noise.after_gate {
+        ch.validate()?;
+    }
     let mut state = initial.clone();
     run_items(circuit, 0, &mut state, noise)?;
     Ok(state)

@@ -1,0 +1,165 @@
+//! Pre-allocation resource guard.
+//!
+//! Every dense simulation path in the workspace eventually allocates a
+//! `1 << n` amplitude buffer (or a `2^n × 2^n` matrix). For large `n` that
+//! allocation aborts the process — or, for `n ≥ 64`, the shift itself
+//! overflows before the allocator is even reached. [`ResourceLimits`]
+//! estimates the memory an operation would need *before* any allocation
+//! and turns oversized requests into [`QclabError::ResourceExhausted`],
+//! so callers always get an error value instead of an abort.
+//!
+//! The default cap is [`DEFAULT_MAX_STATE_BYTES`] (4 GiB ≈ 28 state-vector
+//! qubits). The CLI exposes it as `--max-qubits`; library users set
+//! [`ResourceLimits`] on `SimOptions` / `TrajectoryConfig` directly.
+
+use crate::error::QclabError;
+
+/// Bytes per amplitude (`C64` = two `f64`).
+pub const AMPLITUDE_BYTES: u128 = 16;
+
+/// Default cap on a single state allocation: 4 GiB, i.e. a 28-qubit
+/// state vector (or a 14-qubit density matrix, which lives on a doubled
+/// register).
+pub const DEFAULT_MAX_STATE_BYTES: u128 = 4 << 30;
+
+/// Memory/size limits checked before dense state allocations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Hard cap on the register size in qubits, independent of memory.
+    /// `None` means the register size is limited only by
+    /// [`max_state_bytes`](Self::max_state_bytes).
+    pub max_qubits: Option<usize>,
+    /// Cap on the bytes a single dense state may occupy.
+    pub max_state_bytes: u128,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits {
+            max_qubits: None,
+            max_state_bytes: DEFAULT_MAX_STATE_BYTES,
+        }
+    }
+}
+
+impl ResourceLimits {
+    /// Limits that refuse nothing the address space can index. The
+    /// `n < 64` shift-overflow guard still applies.
+    pub fn unlimited() -> Self {
+        ResourceLimits {
+            max_qubits: None,
+            max_state_bytes: u128::MAX,
+        }
+    }
+
+    /// Default byte cap plus an explicit qubit cap (CLI `--max-qubits`).
+    pub fn with_max_qubits(max_qubits: usize) -> Self {
+        ResourceLimits {
+            max_qubits: Some(max_qubits),
+            ..ResourceLimits::default()
+        }
+    }
+
+    /// Bytes a dense `nb_qubits`-qubit state vector occupies, or `None`
+    /// when `2^n · 16` does not even fit in a `u128`.
+    pub fn state_bytes(nb_qubits: usize) -> Option<u128> {
+        if nb_qubits >= 124 {
+            return None;
+        }
+        Some((1u128 << nb_qubits) * AMPLITUDE_BYTES)
+    }
+
+    /// Checks that a dense `nb_qubits`-qubit state vector may be
+    /// allocated and returns its dimension `1 << nb_qubits`.
+    pub fn check_register(&self, nb_qubits: usize) -> Result<usize, QclabError> {
+        let bytes = Self::state_bytes(nb_qubits);
+        if let Some(max_q) = self.max_qubits {
+            if nb_qubits > max_q {
+                return Err(QclabError::ResourceExhausted {
+                    qubits: nb_qubits,
+                    bytes_needed: bytes,
+                    limit_bytes: Self::state_bytes(max_q).unwrap_or(u128::MAX),
+                });
+            }
+        }
+        // `1usize << n` is only defined for n < 64; checking it here is
+        // what makes the shift below (and in every caller) safe.
+        let indexable = nb_qubits < usize::BITS as usize;
+        match bytes {
+            Some(b) if indexable && b <= self.max_state_bytes => Ok(1usize << nb_qubits),
+            _ => Err(QclabError::ResourceExhausted {
+                qubits: nb_qubits,
+                bytes_needed: bytes,
+                limit_bytes: self.max_state_bytes,
+            }),
+        }
+    }
+
+    /// Checks that a dense `2^n × 2^n` matrix over `nb_qubits` qubits may
+    /// be allocated (it costs as much as a state on a doubled register)
+    /// and returns the side length `1 << nb_qubits`.
+    pub fn check_matrix(&self, nb_qubits: usize) -> Result<usize, QclabError> {
+        let doubled = nb_qubits
+            .checked_mul(2)
+            .ok_or(QclabError::ResourceExhausted {
+                qubits: nb_qubits,
+                bytes_needed: None,
+                limit_bytes: self.max_state_bytes,
+            })?;
+        self.check_register(doubled)?;
+        Ok(1usize << nb_qubits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits_admit_28_qubits_and_refuse_29() {
+        let lim = ResourceLimits::default();
+        assert_eq!(lim.check_register(0), Ok(1));
+        assert_eq!(lim.check_register(28), Ok(1 << 28));
+        match lim.check_register(29) {
+            Err(QclabError::ResourceExhausted {
+                qubits,
+                bytes_needed,
+                limit_bytes,
+            }) => {
+                assert_eq!(qubits, 29);
+                assert_eq!(bytes_needed, Some((1u128 << 29) * 16));
+                assert_eq!(limit_bytes, DEFAULT_MAX_STATE_BYTES);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qubit_cap_overrides_byte_cap_downward() {
+        let lim = ResourceLimits::with_max_qubits(10);
+        assert!(lim.check_register(10).is_ok());
+        assert!(lim.check_register(11).is_err());
+    }
+
+    #[test]
+    fn shift_overflow_region_is_an_error_not_a_panic() {
+        // n ≥ 64 would overflow `1usize << n`; n ≥ 124 even overflows the
+        // u128 byte estimate. Both must come back as clean errors.
+        let lim = ResourceLimits::unlimited();
+        for n in [64, 100, 124, usize::MAX] {
+            assert!(matches!(
+                lim.check_register(n),
+                Err(QclabError::ResourceExhausted { .. })
+            ));
+        }
+        assert!(lim.check_register(30).is_ok());
+    }
+
+    #[test]
+    fn matrix_check_uses_doubled_register() {
+        let lim = ResourceLimits::default();
+        assert_eq!(lim.check_matrix(14), Ok(1 << 14));
+        assert!(lim.check_matrix(15).is_err());
+        assert!(lim.check_matrix(usize::MAX / 2 + 1).is_err());
+    }
+}

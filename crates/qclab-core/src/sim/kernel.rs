@@ -55,6 +55,11 @@ pub struct KernelConfig {
     pub use_swap_kernel: bool,
     /// Allow Rayon parallelism above [`PARALLEL_THRESHOLD_QUBITS`].
     pub allow_parallel: bool,
+    /// Allow the vectorized dense kernels where the CPU supports them.
+    /// Switching this off falls back to the scalar kernels at runtime
+    /// (graceful degradation; CLI `--no-simd`) — results are identical,
+    /// only throughput changes.
+    pub allow_simd: bool,
     /// Run the gate-fusion pre-pass ([`super::fusion`]) before
     /// simulation: causally-adjacent small gates merge into dense blocks,
     /// trading tiny matrix products for whole-state sweeps.
@@ -70,6 +75,7 @@ impl Default for KernelConfig {
             use_diagonal_kernel: true,
             use_swap_kernel: true,
             allow_parallel: true,
+            allow_simd: true,
             fuse: true,
             max_fused_qubits: super::fusion::DEFAULT_MAX_FUSED_QUBITS,
         }
@@ -104,9 +110,9 @@ pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConf
         let diag: Vec<C64> = (0..matrix.rows()).map(|i| matrix[(i, i)]).collect();
         apply_diagonal(state, n, &targets, &diag, cm, parallel);
     } else if targets.len() == 1 {
-        apply_1q(state, n, targets[0], &matrix, cm, parallel);
+        apply_1q(state, n, targets[0], &matrix, cm, parallel, cfg.allow_simd);
     } else {
-        apply_kq(state, n, &targets, &matrix, cm, parallel);
+        apply_kq(state, n, &targets, &matrix, cm, parallel, cfg.allow_simd);
     }
 }
 
@@ -133,16 +139,26 @@ impl SendPtr {
 /// dispatch, or only one worker available anyway).
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn use_simd(parallel: bool) -> bool {
-    super::simd::available() && (!parallel || rayon::current_num_threads() == 1)
+fn use_simd(parallel: bool, allow: bool) -> bool {
+    allow && super::simd::available() && (!parallel || rayon::current_num_threads() == 1)
 }
 
 /// Single-qubit kernel: walks the register in `(i, i + 2^s)` pairs and
 /// applies the 2x2 matrix, skipping pairs whose control bits don't match.
-fn apply_1q(state: &mut [C64], n: usize, q: usize, m: &CMat, cm: CtrlMasks, parallel: bool) {
+fn apply_1q(
+    state: &mut [C64],
+    n: usize,
+    q: usize,
+    m: &CMat,
+    cm: CtrlMasks,
+    parallel: bool,
+    simd: bool,
+) {
     let s = bits::qubit_shift(q, n);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
     #[cfg(target_arch = "x86_64")]
-    if cm.0 == 0 && use_simd(parallel) {
+    if cm.0 == 0 && use_simd(parallel, simd) {
         let m = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
         unsafe {
             if s >= 1 {
@@ -261,11 +277,9 @@ fn apply_diagonal(
 /// streams through in sequential run-sized chunks — no per-amplitude
 /// index arithmetic. This is also the path diagonal fused blocks take.
 fn apply_diag_kq(state: &mut [C64], n: usize, targets: &[usize], diag: &[C64], parallel: bool) {
-    let s_min = targets
-        .iter()
-        .map(|&q| bits::qubit_shift(q, n))
-        .min()
-        .expect("diagonal kernel needs targets");
+    let Some(s_min) = targets.iter().map(|&q| bits::qubit_shift(q, n)).min() else {
+        return; // zero-target diagonal "gate": identity
+    };
     let d_lo = 1usize << s_min;
     let one = C64::new(1.0, 0.0);
     let scale = |ci: usize, chunk: &mut [C64]| {
@@ -439,16 +453,19 @@ fn apply_kq(
     m: &CMat,
     cm: CtrlMasks,
     parallel: bool,
+    simd: bool,
 ) {
     let k = targets.len();
     let dim = 1usize << k;
     debug_assert_eq!(m.rows(), dim);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
 
     // uncontrolled two-qubit gates — in particular the dense blocks the
     // fusion pass emits — take the vectorized path when the innermost
     // stride admits it (neither target on the least significant qubit)
     #[cfg(target_arch = "x86_64")]
-    if cm.0 == 0 && use_simd(parallel) {
+    if cm.0 == 0 && use_simd(parallel, simd) {
         if k == 2 {
             let s0 = bits::qubit_shift(targets[0], n);
             let s1 = bits::qubit_shift(targets[1], n);
@@ -710,11 +727,13 @@ mod tests {
         for diag in [true, false] {
             for swp in [true, false] {
                 for par in [true, false] {
-                    for fuse in [true, false] {
+                    for (fuse, simd) in [(true, true), (true, false), (false, true), (false, false)]
+                    {
                         let cfg = KernelConfig {
                             use_diagonal_kernel: diag,
                             use_swap_kernel: swp,
                             allow_parallel: par,
+                            allow_simd: simd,
                             fuse,
                             max_fused_qubits: super::super::fusion::DEFAULT_MAX_FUSED_QUBITS,
                         };

@@ -18,10 +18,12 @@
 pub mod collapse;
 pub mod density;
 pub mod fusion;
+pub mod guard;
 pub mod kernel;
 pub mod kron;
 pub(crate) mod simd;
 pub mod stabilizer;
+pub mod trajectory;
 
 use crate::circuit::{CircuitItem, QCircuit};
 use crate::error::QclabError;
@@ -56,6 +58,10 @@ pub struct SimOptions {
     /// backends) and the per-gate specialization switches (kernel
     /// backend only).
     pub kernel: kernel::KernelConfig,
+    /// Resource limits checked before the state allocation; oversized
+    /// registers come back as [`QclabError::ResourceExhausted`] instead
+    /// of aborting the process.
+    pub limits: guard::ResourceLimits,
 }
 
 impl Default for SimOptions {
@@ -64,6 +70,7 @@ impl Default for SimOptions {
             backend: Backend::Kernel,
             branch_tol: 1e-12,
             kernel: kernel::KernelConfig::default(),
+            limits: guard::ResourceLimits::default(),
         }
     }
 }
@@ -244,6 +251,8 @@ impl QCircuit {
         if bits.len() != self.nb_qubits() {
             return Err(QclabError::InvalidBitstring(bits.to_string()));
         }
+        // guard before `from_bitstring` allocates its 2^len buffer
+        opts.limits.check_register(bits.len())?;
         let initial = CVec::from_bitstring(bits)
             .ok_or_else(|| QclabError::InvalidBitstring(bits.to_string()))?;
         self.simulate_with(&initial, opts)
@@ -255,7 +264,7 @@ impl QCircuit {
         initial: &CVec,
         opts: &SimOptions,
     ) -> Result<Simulation, QclabError> {
-        let dim = 1usize << self.nb_qubits();
+        let dim = opts.limits.check_register(self.nb_qubits())?;
         if initial.len() != dim {
             return Err(QclabError::DimensionMismatch {
                 expected: dim,

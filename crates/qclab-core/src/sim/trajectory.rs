@@ -1,0 +1,973 @@
+//! Stochastic Pauli-channel fault injection on the state-vector kernels
+//! (quantum trajectories).
+//!
+//! The density-matrix backend ([`super::density`]) represents a noisy
+//! `n`-qubit register exactly but pays `4^n` memory — it caps out around
+//! 13–14 qubits under the default resource limits. Trajectory sampling
+//! keeps noisy workloads on the optimized `2^n` state-vector path
+//! instead: each *shot* runs the circuit once, and at every noise
+//! location a concrete Pauli error (or none) is drawn from the channel
+//! and injected as an ordinary gate. Averaging counts/expectations over
+//! shots converges to the density-matrix result at `O(1/√shots)` —
+//! the standard Monte-Carlo unraveling of a Pauli channel.
+//!
+//! Guarantees this module is tested for:
+//!
+//! - **Determinism** — every shot derives its RNG from
+//!   `(config.seed, shot index)`, so results are independent of thread
+//!   scheduling and reproducible across runs.
+//! - **Exactness at zero noise** — with an empty [`NoiseSpec`] a shot
+//!   performs bit-for-bit the same kernel calls as the baseline
+//!   simulator ([`QCircuit::simulate_with`]).
+//! - **No aborts** — the register is checked against
+//!   [`ResourceLimits`] before any `1 << n` allocation, and malformed
+//!   noise specs come back as [`QclabError::InvalidNoiseSpec`].
+//! - **Norm watchdog** — long gate sequences accumulate rounding drift;
+//!   an optional watchdog monitors the state norm every few gates,
+//!   renormalizes past a tolerance, and reports drift statistics.
+//!
+//! ```
+//! use qclab_core::sim::trajectory::{run_trajectories, NoiseSpec, PauliChannel,
+//!                                   TrajectoryConfig};
+//! use qclab_core::QCircuit;
+//! use qclab_core::gates::factories::*;
+//! use qclab_core::measurement::Measurement;
+//!
+//! let mut bell = QCircuit::new(2);
+//! bell.push_back(Hadamard::new(0));
+//! bell.push_back(CNOT::new(0, 1));
+//! bell.push_back(Measurement::z(0));
+//! bell.push_back(Measurement::z(1));
+//!
+//! let config = TrajectoryConfig {
+//!     shots: 200,
+//!     noise: NoiseSpec {
+//!         after_gate: Some(PauliChannel::Depolarizing(0.01)),
+//!         ..NoiseSpec::default()
+//!     },
+//!     ..TrajectoryConfig::default()
+//! };
+//! let result = run_trajectories(&bell, &config).unwrap();
+//! assert_eq!(result.total_counts(), 200);
+//! ```
+
+use crate::circuit::{CircuitItem, QCircuit};
+use crate::error::QclabError;
+use crate::gates::Gate;
+use crate::measurement::{Basis, Measurement};
+use crate::observable::{Observable, Pauli};
+use crate::sim::guard::ResourceLimits;
+use crate::sim::kernel::KernelConfig;
+use crate::sim::{collapse, fusion, kernel};
+use qclab_math::CVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// A single-qubit Pauli error channel, sampled per noise location.
+///
+/// Unlike [`super::density::NoiseChannel`] this is restricted to Pauli
+/// (probabilistic-unitary) channels — exactly the family that admits
+/// trajectory unraveling by gate injection. Amplitude damping needs the
+/// full Kraus treatment and stays on the density-matrix backend.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PauliChannel {
+    /// X with probability `p`.
+    BitFlip(f64),
+    /// Z with probability `p`.
+    PhaseFlip(f64),
+    /// X, Y or Z each with probability `p/3`.
+    Depolarizing(f64),
+}
+
+impl PauliChannel {
+    /// The total error probability of the channel.
+    pub fn probability(&self) -> f64 {
+        match *self {
+            PauliChannel::BitFlip(p)
+            | PauliChannel::PhaseFlip(p)
+            | PauliChannel::Depolarizing(p) => p,
+        }
+    }
+
+    /// Checks that the probability lies in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), QclabError> {
+        let p = self.probability();
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(())
+        } else {
+            Err(QclabError::InvalidNoiseSpec(format!(
+                "channel probability {p} outside [0, 1]"
+            )))
+        }
+    }
+
+    /// The equivalent density-matrix channel (used by the
+    /// trajectory-vs-density cross-validation).
+    pub fn to_density_channel(&self) -> super::density::NoiseChannel {
+        match *self {
+            PauliChannel::BitFlip(p) => super::density::NoiseChannel::BitFlip(p),
+            PauliChannel::PhaseFlip(p) => super::density::NoiseChannel::PhaseFlip(p),
+            PauliChannel::Depolarizing(p) => super::density::NoiseChannel::Depolarizing(p),
+        }
+    }
+
+    /// Draws the Pauli to inject at one location (`None` = no error).
+    fn sample(&self, rng: &mut StdRng) -> Option<Pauli> {
+        let r: f64 = rng.gen();
+        match *self {
+            PauliChannel::BitFlip(p) => (r < p).then_some(Pauli::X),
+            PauliChannel::PhaseFlip(p) => (r < p).then_some(Pauli::Z),
+            PauliChannel::Depolarizing(p) => {
+                if r >= p {
+                    None
+                } else if r < p / 3.0 {
+                    Some(Pauli::X)
+                } else if r < 2.0 * p / 3.0 {
+                    Some(Pauli::Y)
+                } else {
+                    Some(Pauli::Z)
+                }
+            }
+        }
+    }
+}
+
+/// Where noise strikes during a trajectory. All fields default to `None`
+/// (noiseless); each one is sampled independently per qubit per location.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NoiseSpec {
+    /// Applied to every qubit a gate touches, right after the gate —
+    /// the per-gate counterpart of
+    /// [`super::density::NoiseModel::after_gate`].
+    pub after_gate: Option<PauliChannel>,
+    /// Applied to every qubit a gate does *not* touch, at the same
+    /// location (idle/memory noise while the gate executes elsewhere).
+    pub idle: Option<PauliChannel>,
+    /// Applied to the measured qubit right before each measurement or
+    /// reset (readout noise).
+    pub before_measure: Option<PauliChannel>,
+}
+
+impl NoiseSpec {
+    /// True when no channel is configured — the trajectory then follows
+    /// the baseline simulator bit for bit.
+    pub fn is_noiseless(&self) -> bool {
+        self.after_gate.is_none() && self.idle.is_none() && self.before_measure.is_none()
+    }
+
+    /// Validates every configured channel.
+    pub fn validate(&self) -> Result<(), QclabError> {
+        for ch in [self.after_gate, self.idle, self.before_measure]
+            .into_iter()
+            .flatten()
+        {
+            ch.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Norm-drift watchdog configuration. Floating-point rounding makes the
+/// state norm drift over long gate sequences; the watchdog measures the
+/// norm every [`check_every`](Self::check_every) gate applications (plus
+/// once at the end of each shot), renormalizes when the drift exceeds
+/// [`tol`](Self::tol), and reports [`NormStats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchdogConfig {
+    /// Gate applications between norm checks; `0` disables the watchdog.
+    pub check_every: usize,
+    /// Renormalize when `|norm − 1| > tol`. The default is far above
+    /// per-gate rounding noise, so short circuits are never touched and
+    /// zero-noise runs stay bit-identical to the baseline.
+    pub tol: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            check_every: 64,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Drift statistics accumulated by the norm watchdog.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NormStats {
+    /// Norm checks performed.
+    pub checks: u64,
+    /// Renormalizations triggered.
+    pub renormalizations: u64,
+    /// Largest observed `|norm − 1|`.
+    pub max_drift: f64,
+}
+
+impl NormStats {
+    fn merge(&mut self, other: &NormStats) {
+        self.checks += other.checks;
+        self.renormalizations += other.renormalizations;
+        self.max_drift = self.max_drift.max(other.max_drift);
+    }
+}
+
+/// Configuration of a trajectory run.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Master seed; shot `i` runs on an RNG derived from `(seed, i)`, so
+    /// results do not depend on thread scheduling.
+    pub seed: u64,
+    /// Number of trajectories to sample.
+    pub shots: u64,
+    /// Noise locations and channels.
+    pub noise: NoiseSpec,
+    /// Kernel dispatch configuration (fusion, SIMD, parallel kernels).
+    /// Fusion only applies to noiseless runs — noise locations are
+    /// defined on the original gates, so a noisy run always executes the
+    /// unfused circuit.
+    pub kernel: KernelConfig,
+    /// Resource limits checked before the per-shot state allocation.
+    pub limits: ResourceLimits,
+    /// Norm-drift watchdog.
+    pub watchdog: WatchdogConfig,
+    /// Sample trajectories in parallel (one Rayon task per shot). The
+    /// per-shot kernels then run single-threaded to avoid nested
+    /// parallelism.
+    pub parallel: bool,
+    /// Observables whose expectations are averaged over the final states
+    /// of all shots (must match the circuit's register size).
+    pub observables: Vec<Observable>,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            seed: 1,
+            shots: 1024,
+            noise: NoiseSpec::default(),
+            kernel: KernelConfig::default(),
+            limits: ResourceLimits::default(),
+            watchdog: WatchdogConfig::default(),
+            parallel: true,
+            observables: Vec::new(),
+        }
+    }
+}
+
+/// A Pauli error injected during one trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InjectedPauli {
+    /// Index of the flattened circuit operation the error followed
+    /// (gates, measurements and resets count).
+    pub op_index: usize,
+    /// Qubit the error hit.
+    pub qubit: usize,
+    /// Which Pauli was injected.
+    pub pauli: Pauli,
+}
+
+/// The outcome of a single trajectory ([`run_single_trajectory`]).
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// Final state vector of this shot.
+    pub state: CVec,
+    /// Concatenated measurement outcomes, in execution order.
+    pub record: String,
+    /// Every Pauli error injected during the shot.
+    pub injected: Vec<InjectedPauli>,
+    /// Watchdog statistics for this shot.
+    pub norm: NormStats,
+}
+
+/// Aggregated results of [`run_trajectories`].
+#[derive(Clone, Debug)]
+pub struct TrajectoryResult {
+    nb_qubits: usize,
+    shots: u64,
+    counts: BTreeMap<String, u64>,
+    injected_errors: u64,
+    expectations: Vec<f64>,
+    norm: NormStats,
+}
+
+impl TrajectoryResult {
+    /// Number of register qubits.
+    pub fn nb_qubits(&self) -> usize {
+        self.nb_qubits
+    }
+
+    /// Number of trajectories sampled.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Measurement-record frequencies (circuits without measurements
+    /// produce a single empty-record entry).
+    pub fn counts(&self) -> &BTreeMap<String, u64> {
+        &self.counts
+    }
+
+    /// Sum of all record frequencies (equals [`shots`](Self::shots)).
+    pub fn total_counts(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The observed frequency of `record`, as a fraction of shots.
+    pub fn frequency(&self, record: &str) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(record).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// Total number of Pauli errors injected across all shots.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors
+    }
+
+    /// Mean expectation of each configured observable over the final
+    /// states of all shots (same order as `config.observables`).
+    pub fn expectations(&self) -> &[f64] {
+        &self.expectations
+    }
+
+    /// Merged watchdog statistics over all shots.
+    pub fn norm_stats(&self) -> &NormStats {
+        &self.norm
+    }
+}
+
+/// A flattened circuit operation (sub-circuits inlined, qubits shifted).
+enum Op {
+    Gate(Gate),
+    Measure(Measurement),
+    Reset(usize),
+}
+
+fn flatten_into(circuit: &QCircuit, offset: usize, out: &mut Vec<Op>) {
+    for item in circuit.items() {
+        match item {
+            CircuitItem::Gate(g) => out.push(Op::Gate(if offset == 0 {
+                g.clone()
+            } else {
+                g.shifted(offset)
+            })),
+            CircuitItem::Barrier(_) => {}
+            CircuitItem::Measurement(m) => out.push(Op::Measure(if offset == 0 {
+                m.clone()
+            } else {
+                m.shifted(offset)
+            })),
+            CircuitItem::Reset(q) => out.push(Op::Reset(q + offset)),
+            CircuitItem::SubCircuit {
+                offset: sub_off,
+                circuit: sub,
+            } => flatten_into(sub, offset + sub_off, out),
+        }
+    }
+}
+
+/// Flattens the circuit to an op list, fusing first when the run is
+/// noiseless and fusion is enabled (noise locations are defined on the
+/// original gates, so noisy runs degrade gracefully to the unfused
+/// sequence).
+fn flatten(circuit: &QCircuit, config: &TrajectoryConfig) -> Vec<Op> {
+    let mut ops = Vec::new();
+    if config.kernel.fuse && config.noise.is_noiseless() {
+        let fused = fusion::fuse_circuit(circuit, config.kernel.max_fused_qubits).0;
+        flatten_into(&fused, 0, &mut ops);
+    } else {
+        flatten_into(circuit, 0, &mut ops);
+    }
+    ops
+}
+
+/// Derives the per-shot RNG: a SplitMix64-style avalanche of the
+/// `(seed, shot)` pair, so consecutive shots get uncorrelated streams and
+/// results are independent of execution order.
+fn shot_rng(seed: u64, shot: u64) -> StdRng {
+    let mut z = seed ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+fn pauli_gate(p: Pauli, q: usize) -> Option<Gate> {
+    match p {
+        Pauli::I => None,
+        Pauli::X => Some(Gate::PauliX(q)),
+        Pauli::Y => Some(Gate::PauliY(q)),
+        Pauli::Z => Some(Gate::PauliZ(q)),
+    }
+}
+
+/// Validates the register, initial state, noise spec and observables of a
+/// run; returns the state dimension.
+fn validate(
+    circuit: &QCircuit,
+    initial: &CVec,
+    config: &TrajectoryConfig,
+) -> Result<usize, QclabError> {
+    let n = circuit.nb_qubits();
+    let dim = config.limits.check_register(n)?;
+    if initial.len() != dim {
+        return Err(QclabError::DimensionMismatch {
+            expected: dim,
+            actual: initial.len(),
+        });
+    }
+    let norm = initial.norm();
+    if (norm - 1.0).abs() > 1e-6 {
+        return Err(QclabError::NotNormalized { norm });
+    }
+    config.noise.validate()?;
+    for obs in &config.observables {
+        if obs.nb_qubits() != n {
+            return Err(QclabError::DimensionMismatch {
+                expected: n,
+                actual: obs.nb_qubits(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// State of one in-flight shot: the vector plus watchdog bookkeeping.
+struct ShotState<'a> {
+    state: CVec,
+    n: usize,
+    kernel: KernelConfig,
+    watchdog: WatchdogConfig,
+    stats: NormStats,
+    gates_since_check: usize,
+    injected: Vec<InjectedPauli>,
+    noise: &'a NoiseSpec,
+}
+
+impl ShotState<'_> {
+    fn apply(&mut self, gate: &Gate) {
+        kernel::apply_gate_with(gate, &mut self.state, self.n, &self.kernel);
+        if self.watchdog.check_every > 0 {
+            self.gates_since_check += 1;
+            if self.gates_since_check >= self.watchdog.check_every {
+                self.check_norm();
+            }
+        }
+    }
+
+    /// Watchdog step: measure the norm, record the drift, renormalize
+    /// past the tolerance.
+    fn check_norm(&mut self) {
+        self.gates_since_check = 0;
+        self.stats.checks += 1;
+        let norm = self.state.norm();
+        let drift = (norm - 1.0).abs();
+        self.stats.max_drift = self.stats.max_drift.max(drift);
+        if drift > self.watchdog.tol && norm > 0.0 {
+            let inv = 1.0 / norm;
+            for z in self.state.iter_mut() {
+                *z *= inv;
+            }
+            self.stats.renormalizations += 1;
+        }
+    }
+
+    /// Samples `channel` on `qubit` and injects the drawn Pauli (if any).
+    fn inject(&mut self, channel: &PauliChannel, qubit: usize, op_index: usize, rng: &mut StdRng) {
+        if let Some(p) = channel.sample(rng) {
+            if let Some(g) = pauli_gate(p, qubit) {
+                kernel::apply_gate_with(&g, &mut self.state, self.n, &self.kernel);
+                self.injected.push(InjectedPauli {
+                    op_index,
+                    qubit,
+                    pauli: p,
+                });
+            }
+        }
+    }
+
+    /// Applies the configured noise for a gate location: `after_gate` on
+    /// the touched qubits, `idle` on everything else.
+    fn gate_noise(&mut self, touched: &[usize], op_index: usize, rng: &mut StdRng) {
+        if let Some(ch) = self.noise.after_gate {
+            for &q in touched {
+                self.inject(&ch, q, op_index, rng);
+            }
+        }
+        if let Some(ch) = self.noise.idle {
+            for q in 0..self.n {
+                if !touched.contains(&q) {
+                    self.inject(&ch, q, op_index, rng);
+                }
+            }
+        }
+    }
+
+    /// Samples a Z measurement of `q`, collapses, returns the bit.
+    fn sample_z(&mut self, q: usize, rng: &mut StdRng) -> usize {
+        let (p0, p1) = collapse::measure_probabilities(&self.state, self.n, q);
+        let r: f64 = rng.gen();
+        // degenerate outcomes never collapse onto a zero-probability half
+        let bit = if p1 <= 0.0 {
+            0
+        } else if p0 <= 0.0 {
+            1
+        } else if r < p0 / (p0 + p1) {
+            0
+        } else {
+            1
+        };
+        let p = if bit == 0 { p0 } else { p1 };
+        self.state = collapse::collapse(&self.state, self.n, q, bit, p);
+        bit
+    }
+
+    /// Samples a measurement in its basis (rotate in, Z-sample, rotate
+    /// back), mirroring the branching simulator's basis handling.
+    fn sample_measurement(&mut self, m: &Measurement, rng: &mut StdRng) -> usize {
+        let q = m.qubit();
+        let needs_change = !matches!(m.basis(), Basis::Z);
+        if needs_change {
+            let v = m.basis().change_matrix();
+            let vdg = Gate::Custom {
+                name: "V†".into(),
+                qubits: vec![q],
+                matrix: v.dagger(),
+            };
+            kernel::apply_gate_with(&vdg, &mut self.state, self.n, &self.kernel);
+            let bit = self.sample_z(q, rng);
+            let vg = Gate::Custom {
+                name: "V".into(),
+                qubits: vec![q],
+                matrix: v,
+            };
+            kernel::apply_gate_with(&vg, &mut self.state, self.n, &self.kernel);
+            bit
+        } else {
+            self.sample_z(q, rng)
+        }
+    }
+}
+
+/// Runs one trajectory over the pre-flattened op list.
+fn run_shot(
+    ops: &[Op],
+    initial: &CVec,
+    n: usize,
+    config: &TrajectoryConfig,
+    kernel_cfg: KernelConfig,
+    shot: u64,
+) -> Trajectory {
+    let mut rng = shot_rng(config.seed, shot);
+    let mut s = ShotState {
+        state: initial.clone(),
+        n,
+        kernel: kernel_cfg,
+        watchdog: config.watchdog,
+        stats: NormStats::default(),
+        gates_since_check: 0,
+        injected: Vec::new(),
+        noise: &config.noise,
+    };
+    let mut record = String::new();
+    for (idx, op) in ops.iter().enumerate() {
+        match op {
+            Op::Gate(g) => {
+                s.apply(g);
+                if !s.noise.is_noiseless() {
+                    s.gate_noise(&g.qubits(), idx, &mut rng);
+                }
+            }
+            Op::Measure(m) => {
+                if let Some(ch) = s.noise.before_measure {
+                    s.inject(&ch, m.qubit(), idx, &mut rng);
+                }
+                let bit = s.sample_measurement(m, &mut rng);
+                record.push(if bit == 0 { '0' } else { '1' });
+            }
+            Op::Reset(q) => {
+                if let Some(ch) = s.noise.before_measure {
+                    s.inject(&ch, *q, idx, &mut rng);
+                }
+                let bit = s.sample_z(*q, &mut rng);
+                if bit == 1 {
+                    s.apply(&Gate::PauliX(*q));
+                }
+            }
+        }
+    }
+    if s.watchdog.check_every > 0 && s.gates_since_check > 0 {
+        s.check_norm();
+    }
+    Trajectory {
+        state: s.state,
+        record,
+        injected: s.injected,
+        norm: s.stats,
+    }
+}
+
+/// The kernel configuration a shot actually runs with: when shots are
+/// sampled in parallel the per-shot kernels stay single-threaded (no
+/// nested parallelism — the trajectory fan-out already saturates the
+/// cores).
+fn shot_kernel_config(config: &TrajectoryConfig) -> KernelConfig {
+    KernelConfig {
+        allow_parallel: config.kernel.allow_parallel && !config.parallel,
+        ..config.kernel
+    }
+}
+
+/// Runs a single trajectory (shot index `shot`) and returns its final
+/// state, measurement record and injected errors. Deterministic in
+/// `(config.seed, shot)`.
+pub fn run_single_trajectory(
+    circuit: &QCircuit,
+    initial: &CVec,
+    config: &TrajectoryConfig,
+    shot: u64,
+) -> Result<Trajectory, QclabError> {
+    let n = circuit.nb_qubits();
+    validate(circuit, initial, config)?;
+    let ops = flatten(circuit, config);
+    Ok(run_shot(&ops, initial, n, config, config.kernel, shot))
+}
+
+/// Samples `config.shots` trajectories of `circuit` from `|0…0⟩` and
+/// aggregates counts, expectations and watchdog statistics.
+pub fn run_trajectories(
+    circuit: &QCircuit,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    let dim = config.limits.check_register(circuit.nb_qubits())?;
+    run_trajectories_from(circuit, &CVec::basis_state(dim, 0), config)
+}
+
+/// [`run_trajectories`] from an explicit initial state.
+pub fn run_trajectories_from(
+    circuit: &QCircuit,
+    initial: &CVec,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    let n = circuit.nb_qubits();
+    validate(circuit, initial, config)?;
+    let ops = flatten(circuit, config);
+    let kernel_cfg = shot_kernel_config(config);
+
+    /// Per-shot summary kept after the state is dropped.
+    struct ShotSummary {
+        record: String,
+        injected: u64,
+        expectations: Vec<f64>,
+        norm: NormStats,
+    }
+
+    let summarize = |shot: u64| -> ShotSummary {
+        let t = run_shot(&ops, initial, n, config, kernel_cfg, shot);
+        ShotSummary {
+            expectations: config
+                .observables
+                .iter()
+                .map(|o| o.expectation(&t.state))
+                .collect(),
+            record: t.record,
+            injected: t.injected.len() as u64,
+            norm: t.norm,
+        }
+    };
+
+    let shots = config.shots;
+    let mut slots: Vec<Option<ShotSummary>> = Vec::new();
+    slots.resize_with(shots as usize, || None);
+    if config.parallel && shots > 1 {
+        slots
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = Some(summarize(i as u64)));
+    } else {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(summarize(i as u64));
+        }
+    }
+
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut injected_errors = 0u64;
+    let mut expectations = vec![0.0; config.observables.len()];
+    let mut norm = NormStats::default();
+    for summary in slots.into_iter().flatten() {
+        *counts.entry(summary.record).or_insert(0) += 1;
+        injected_errors += summary.injected;
+        for (acc, e) in expectations.iter_mut().zip(&summary.expectations) {
+            *acc += e;
+        }
+        norm.merge(&summary.norm);
+    }
+    if shots > 0 {
+        for e in expectations.iter_mut() {
+            *e /= shots as f64;
+        }
+    }
+    Ok(TrajectoryResult {
+        nb_qubits: n,
+        shots,
+        counts,
+        injected_errors,
+        expectations,
+        norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::factories::*;
+    use crate::observable::PauliString;
+
+    fn bell_measured() -> QCircuit {
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        c
+    }
+
+    #[test]
+    fn noiseless_bell_counts_are_correlated_and_near_half() {
+        let config = TrajectoryConfig {
+            shots: 2000,
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&bell_measured(), &config).unwrap();
+        assert_eq!(r.total_counts(), 2000);
+        // only the correlated outcomes occur
+        assert!(r.counts().keys().all(|k| k == "00" || k == "11"));
+        assert!((r.frequency("00") - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_independent_of_parallelism() {
+        let mk = |parallel| TrajectoryConfig {
+            shots: 300,
+            seed: 7,
+            parallel,
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::Depolarizing(0.05)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let a = run_trajectories(&bell_measured(), &mk(true)).unwrap();
+        let b = run_trajectories(&bell_measured(), &mk(true)).unwrap();
+        let c = run_trajectories(&bell_measured(), &mk(false)).unwrap();
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.counts(), c.counts());
+        assert_eq!(a.injected_errors(), c.injected_errors());
+        // a different seed gives a different sample
+        let mut other = mk(true);
+        other.seed = 8;
+        let d = run_trajectories(&bell_measured(), &other).unwrap();
+        assert_ne!(a.counts(), d.counts());
+    }
+
+    #[test]
+    fn zero_noise_single_shot_matches_baseline_simulator_exactly() {
+        // unitary circuit: the single branch must agree bit for bit
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(RotationY::new(2, 0.4321));
+        c.push_back(CZ::new(1, 2));
+        let init = CVec::basis_state(8, 0);
+        let config = TrajectoryConfig::default();
+        let t = run_single_trajectory(&c, &init, &config, 0).unwrap();
+        let sim = c.simulate(&init).unwrap();
+        let base = sim.states()[0];
+        assert_eq!(t.state.len(), base.len());
+        for (a, b) in t.state.iter().zip(base.iter()) {
+            assert_eq!(a, b, "zero-noise trajectory diverged from baseline");
+        }
+        assert!(t.injected.is_empty());
+    }
+
+    #[test]
+    fn bit_flip_before_measure_flips_deterministic_outcome() {
+        // |0> measured with certain readout error: always reads 1
+        let mut c = QCircuit::new(1);
+        c.push_back(Measurement::z(0));
+        let config = TrajectoryConfig {
+            shots: 50,
+            noise: NoiseSpec {
+                before_measure: Some(PauliChannel::BitFlip(1.0)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        assert_eq!(r.frequency("1"), 1.0);
+        assert_eq!(r.injected_errors(), 50);
+    }
+
+    #[test]
+    fn depolarizing_noise_depolarizes_expectations() {
+        // <Z> of |0> under depolarizing after a single gate layer:
+        // E[Z] = 1 - 4p/3 (X and Y flip the sign, Z and I keep it)
+        let mut c = QCircuit::new(1);
+        c.push_back(Gate::PauliX(0)); // go to |1>, <Z> = -1
+        let p = 0.3;
+        let config = TrajectoryConfig {
+            shots: 8000,
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::Depolarizing(p)),
+                ..NoiseSpec::default()
+            },
+            observables: vec![Observable::new(1).term(1.0, "Z")],
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        let expected = -(1.0 - 4.0 * p / 3.0);
+        assert!(
+            (r.expectations()[0] - expected).abs() < 0.03,
+            "<Z> = {} vs {expected}",
+            r.expectations()[0]
+        );
+    }
+
+    #[test]
+    fn idle_noise_hits_untouched_qubits() {
+        // gate on q0 only; idle bit-flip with p = 1 must flip q1 and q2
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Measurement::z(1));
+        c.push_back(Measurement::z(2));
+        let config = TrajectoryConfig {
+            shots: 20,
+            noise: NoiseSpec {
+                idle: Some(PauliChannel::BitFlip(1.0)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        assert_eq!(r.frequency("11"), 1.0);
+    }
+
+    #[test]
+    fn invalid_specs_and_oversized_registers_error_cleanly() {
+        let c = bell_measured();
+        let bad = TrajectoryConfig {
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::BitFlip(1.5)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        assert!(matches!(
+            run_trajectories(&c, &bad),
+            Err(QclabError::InvalidNoiseSpec(_))
+        ));
+        let tiny = TrajectoryConfig {
+            limits: ResourceLimits::with_max_qubits(1),
+            ..TrajectoryConfig::default()
+        };
+        assert!(matches!(
+            run_trajectories(&c, &tiny),
+            Err(QclabError::ResourceExhausted { .. })
+        ));
+        let wrong_obs = TrajectoryConfig {
+            observables: vec![Observable::new(3).term(1.0, "ZZZ")],
+            ..TrajectoryConfig::default()
+        };
+        assert!(matches!(
+            run_trajectories(&c, &wrong_obs),
+            Err(QclabError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_reports_checks_and_renormalizes_forced_drift() {
+        // many rotations accumulate (tiny) drift; force the watchdog to
+        // act by setting an absurdly small tolerance
+        let mut c = QCircuit::new(2);
+        for i in 0..200 {
+            c.push_back(RotationX::new(i % 2, 0.1));
+        }
+        let config = TrajectoryConfig {
+            shots: 1,
+            watchdog: WatchdogConfig {
+                check_every: 8,
+                tol: 0.0,
+            },
+            // unfused so each rotation counts as one watchdog step
+            kernel: KernelConfig {
+                fuse: false,
+                ..KernelConfig::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        assert!(r.norm_stats().checks >= 25);
+        assert!(r.norm_stats().renormalizations >= 1);
+        assert!(r.norm_stats().max_drift < 1e-12);
+        // disabled watchdog performs no checks
+        let off = TrajectoryConfig {
+            shots: 1,
+            watchdog: WatchdogConfig {
+                check_every: 0,
+                tol: 0.0,
+            },
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &off).unwrap();
+        assert_eq!(r.norm_stats().checks, 0);
+    }
+
+    #[test]
+    fn resets_and_x_basis_measurements_sample_correctly() {
+        // H|0> = |+>: X-basis measurement is deterministic 0; then reset
+        // and Z-measure must read 0
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Measurement::x(0));
+        c.push_back(CircuitItem::Reset(0));
+        c.push_back(Measurement::z(0));
+        let config = TrajectoryConfig {
+            shots: 40,
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        assert_eq!(r.frequency("00"), 1.0);
+    }
+
+    #[test]
+    fn pauli_string_support_matches_injection() {
+        // phase flips commute with Z measurement: outcome distribution
+        // of a Z-basis-only circuit is unchanged by PhaseFlip noise
+        let config = |noise| TrajectoryConfig {
+            shots: 500,
+            seed: 3,
+            noise,
+            ..TrajectoryConfig::default()
+        };
+        let mut c = QCircuit::new(1);
+        c.push_back(Gate::PauliX(0));
+        c.push_back(Measurement::z(0));
+        let clean = run_trajectories(&c, &config(NoiseSpec::default())).unwrap();
+        let flipped = run_trajectories(
+            &c,
+            &config(NoiseSpec {
+                after_gate: Some(PauliChannel::PhaseFlip(0.5)),
+                ..NoiseSpec::default()
+            }),
+        )
+        .unwrap();
+        assert_eq!(clean.counts(), flipped.counts());
+        assert!(flipped.injected_errors() > 0);
+        // sanity: PauliString helper agrees on what Z does to |1>
+        let s = PauliString::parse("Z").unwrap();
+        let mut v = CVec::basis_state(2, 1);
+        s.apply(&mut v);
+        assert!((v[1].re + 1.0).abs() < 1e-15);
+    }
+}

@@ -81,8 +81,11 @@ impl Builder {
                 glyphs.insert(*b, Glyph::Cross);
             }
             Gate::Custom { name, qubits, .. } => {
-                let lo = *qubits.iter().min().unwrap();
-                let hi = *qubits.iter().max().unwrap();
+                // a qubit-less custom gate (degenerate but constructible)
+                // has nothing to draw
+                let (Some(&lo), Some(&hi)) = (qubits.iter().min(), qubits.iter().max()) else {
+                    return;
+                };
                 if qubits.len() > 1 && hi - lo + 1 == qubits.len() {
                     // contiguous multi-qubit custom gate: one spanning box
                     self.place((lo, hi), BTreeMap::new(), Some(name.clone()));
@@ -118,8 +121,9 @@ impl Builder {
                 }
             }
         }
-        let lo = *glyphs.keys().min().unwrap();
-        let hi = *glyphs.keys().max().unwrap();
+        let (Some(&lo), Some(&hi)) = (glyphs.keys().min(), glyphs.keys().max()) else {
+            return; // no glyphs — nothing to place
+        };
         self.place((lo, hi), glyphs, None);
     }
 

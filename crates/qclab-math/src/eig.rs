@@ -124,7 +124,7 @@ pub fn hermitian_eig(a: &CMat) -> HermitianEig {
 
     // sort ascending, permuting eigenvector columns alongside
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].re.partial_cmp(&m[(j, j)].re).unwrap());
+    order.sort_by(|&i, &j| m[(i, i)].re.total_cmp(&m[(j, j)].re));
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)].re).collect();
     let vectors = CMat::from_fn(n, n, |r, cl| v[(r, order[cl])]);
 

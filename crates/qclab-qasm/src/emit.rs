@@ -61,10 +61,11 @@ impl Emitter {
         let mut s = String::from(mnemonic);
         if !params.is_empty() {
             let ps: Vec<String> = params.iter().map(|&p| fmt_angle(p)).collect();
-            write!(s, "({})", ps.join(", ")).unwrap();
+            // write! to a String is infallible
+            let _ = write!(s, "({})", ps.join(", "));
         }
         let qs: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
-        write!(s, " {};", qs.join(", ")).unwrap();
+        let _ = write!(s, " {};", qs.join(", "));
         self.line(&s);
     }
 

@@ -20,6 +20,12 @@ fn perr(line: usize, message: impl Into<String>) -> QclabError {
     }
 }
 
+/// Cap on the combined size of all quantum registers. Far beyond anything
+/// simulable (the state-vector guard kicks in near 30 qubits), but low
+/// enough that broadcasting over a declared register can never exhaust
+/// memory.
+pub const MAX_IMPORT_QUBITS: usize = 1 << 20;
+
 struct RegTable {
     /// name -> (offset, size)
     qregs: HashMap<String, (usize, usize)>,
@@ -175,7 +181,19 @@ pub fn program_to_circuit(program: &Program) -> Result<QCircuit, QclabError> {
                     return Err(perr(0, format!("duplicate qreg '{name}'")));
                 }
                 table.qregs.insert(name.clone(), (table.nb_qubits, *size));
-                table.nb_qubits += size;
+                // checked: a hostile `qreg q[huge]` must error, not
+                // overflow (debug) or wrap (release) — and registers past
+                // MAX_IMPORT_QUBITS would only die later in broadcasting
+                // or simulation, so refuse them with a clear message here
+                table.nb_qubits = match table.nb_qubits.checked_add(*size) {
+                    Some(total) if total <= MAX_IMPORT_QUBITS => total,
+                    _ => {
+                        return Err(perr(
+                            0,
+                            format!("quantum registers exceed {MAX_IMPORT_QUBITS} qubits in total"),
+                        ))
+                    }
+                };
             }
             Stmt::Creg { name, size } => {
                 table.cregs.insert(name.clone(), *size);

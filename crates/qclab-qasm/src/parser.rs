@@ -13,7 +13,20 @@ use qclab_core::QclabError;
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    /// Current expression-nesting depth; bounded by [`MAX_EXPR_DEPTH`] so
+    /// pathological inputs like `((((…` error out instead of overflowing
+    /// the stack.
+    depth: usize,
 }
+
+/// Maximum expression nesting (parentheses, unary signs, function calls).
+/// Far above anything a real program needs, far below stack exhaustion.
+const MAX_EXPR_DEPTH: usize = 128;
+
+/// Largest integer literal accepted for register sizes and indices.
+/// Keeps `v as usize` exact and leaves headroom for the importer's own
+/// register-size checks.
+const MAX_UINT: f64 = u32::MAX as f64;
 
 fn perr(line: usize, message: impl Into<String>) -> QclabError {
     QclabError::QasmParse {
@@ -61,7 +74,10 @@ impl Parser {
     fn expect_uint(&mut self, what: &str) -> Result<usize, QclabError> {
         let line = self.line();
         match self.next() {
-            Some(Tok::Number(v)) if v >= 0.0 && v.fract() == 0.0 => Ok(v as usize),
+            Some(Tok::Number(v)) if v >= 0.0 && v.fract() == 0.0 && v <= MAX_UINT => Ok(v as usize),
+            Some(Tok::Number(v)) if v > MAX_UINT => {
+                Err(perr(line, format!("{what} {v} is too large")))
+            }
             Some(t) => Err(perr(line, format!("expected {what}, found {t:?}"))),
             None => Err(perr(line, format!("expected {what}, found end of input"))),
         }
@@ -124,6 +140,16 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, QclabError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(perr(self.line(), "expression nesting too deep"));
+        }
+        self.depth += 1;
+        let result = self.parse_unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, QclabError> {
         if self.eat(&Tok::Minus) {
             return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
         }
@@ -336,7 +362,12 @@ impl Parser {
 /// Parses OpenQASM 2.0 source into a [`Program`].
 pub fn parse(src: &str) -> Result<Program, QclabError> {
     let toks = tokenize(src)?;
-    Parser { toks, pos: 0 }.parse_program()
+    Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    }
+    .parse_program()
 }
 
 #[cfg(test)]
@@ -438,6 +469,37 @@ measure q[1] -> c[1];
             QclabError::QasmParse { line, .. } => assert_eq!(line, 3),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_expression_nesting_errors_instead_of_overflowing() {
+        for pathological in [
+            format!(
+                "qreg q[1]; rz({}1{}) q[0];",
+                "(".repeat(5000),
+                ")".repeat(5000)
+            ),
+            format!("qreg q[1]; rz({}1) q[0];", "-".repeat(5000)),
+            format!("qreg q[1]; rz({}", "(".repeat(100_000)),
+            format!(
+                "qreg q[1]; rz({}pi(1{}) q[0];",
+                "cos(".repeat(5000),
+                ")".repeat(5000)
+            ),
+        ] {
+            let e = parse(&pathological).unwrap_err();
+            assert!(matches!(e, QclabError::QasmParse { .. }));
+        }
+        // moderately nested expressions still parse
+        let ok = format!("qreg q[1]; rz({}1{}) q[0];", "(".repeat(60), ")".repeat(60));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_integer_literals_are_rejected() {
+        assert!(parse("qreg q[99999999999999999999];").is_err());
+        assert!(parse("qreg q[1e300];").is_err());
+        assert!(parse("qreg q[2]; h q[18446744073709551616];").is_err());
     }
 
     #[test]

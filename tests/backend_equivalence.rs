@@ -1,8 +1,9 @@
 //! Property tests: the sparse-Kronecker backend (MATLAB QCLAB), the
-//! in-place kernel backend (QCLAB++) and the kernel backend behind the
-//! gate-fusion pre-pass must be indistinguishable — a three-way
-//! differential oracle over random circuits with measurements, barriers
-//! and resets — and all must satisfy the invariants of unitary evolution.
+//! in-place kernel backend (QCLAB++), the kernel backend behind the
+//! gate-fusion pre-pass and the zero-noise trajectory sampler must be
+//! indistinguishable — a four-way differential oracle over random
+//! circuits with measurements, barriers and resets — and all must
+//! satisfy the invariants of unitary evolution.
 
 mod common;
 
@@ -10,6 +11,7 @@ use common::{circuit, measured_circuit, state};
 use proptest::prelude::*;
 use qclab::prelude::*;
 use qclab_core::sim::kernel::{KernelConfig, PARALLEL_THRESHOLD_QUBITS};
+use qclab_core::sim::trajectory::{self, TrajectoryConfig};
 use qclab_core::sim::{kernel, kron};
 
 const N: usize = 4;
@@ -101,17 +103,51 @@ proptest! {
         prop_assert!(u.to_dense().is_unitary(1e-9));
     }
 
-    /// Three-way differential oracle: sparse Kronecker, unfused kernels
-    /// and the fusion pre-pass must produce identical branch structures,
-    /// probabilities and states on random circuits that interleave
-    /// unitary gates with barriers, measurements and resets.
+    /// Four-way differential oracle: sparse Kronecker, unfused kernels,
+    /// the fusion pre-pass and a zero-noise trajectory must agree on
+    /// random circuits that interleave unitary gates with barriers,
+    /// measurements and resets. The first three enumerate every branch;
+    /// the trajectory samples one, so its record must name an existing
+    /// branch and its state must match that branch's state.
     #[test]
-    fn three_way_differential(c in measured_circuit(N, 12), init in state(N)) {
+    fn four_way_differential(c in measured_circuit(N, 12), init in state(N)) {
         let kron_sim = c.simulate_with(&init, &opts(Backend::Kron, false, 2, false)).unwrap();
         let unfused = c.simulate_with(&init, &opts(Backend::Kernel, false, 2, false)).unwrap();
         let fused = c.simulate_with(&init, &opts(Backend::Kernel, true, 2, false)).unwrap();
         assert_sims_agree(&kron_sim, &unfused, "kron vs unfused kernel");
         assert_sims_agree(&unfused, &fused, "unfused vs fused kernel");
+
+        let tcfg = TrajectoryConfig {
+            kernel: KernelConfig {
+                fuse: false,
+                max_fused_qubits: 2,
+                allow_parallel: false,
+                ..KernelConfig::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let t = trajectory::run_single_trajectory(&c, &init, &tcfg, 0).unwrap();
+        prop_assert!(t.injected.is_empty(), "zero noise must inject nothing");
+        // resets split branches without extending the record, so the
+        // record can be shared by several branches: the trajectory must
+        // match one of them
+        let candidates: Vec<usize> = unfused
+            .results()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == t.record)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(
+            !candidates.is_empty(),
+            "trajectory record '{}' must name a simulation branch", t.record
+        );
+        prop_assert!(
+            candidates
+                .iter()
+                .any(|&i| t.state.approx_eq(unfused.states()[i], 1e-9)),
+            "trajectory state diverged from every branch with record '{}'", t.record
+        );
     }
 
     /// Every legal fusion cap (1..=4 qubits per block) is semantically
