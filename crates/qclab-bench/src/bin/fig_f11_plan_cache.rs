@@ -1,0 +1,144 @@
+//! Figure F11 — compile/execute split ablation.
+//!
+//! Two questions, one per section of the table:
+//!
+//! 1. **Plan cache** — what does the lowering pipeline (flatten + fusion
+//!    \+ scheduling) cost per execution, and how much of it does the
+//!    fingerprint-keyed cache recover? Compares relowering on every call
+//!    (`program::lower`) with cached compilation (`program::compile`,
+//!    hit after the first call) — exactly the difference between
+//!    relower-every-shot and lower-once-execute-many for
+//!    `counts`/tomography/QEC-style repeated execution.
+//! 2. **Scratch arena** — what do the per-shot `2^n` allocations cost in
+//!    the trajectory engine? Runs the same noisy ensemble with
+//!    `reuse_buffers` off (fresh state + per-measurement collapse
+//!    allocation) and on (per-thread buffer pair, zero steady-state
+//!    allocation).
+//!
+//! `--smoke` shrinks sizes for CI: the point there is that the bin runs
+//! and the JSON exists, not the absolute numbers.
+
+use qclab_bench::{fmt_seconds, median_time, random_circuit, Table};
+use qclab_core::prelude::*;
+use qclab_core::program::{self, PlanOptions};
+use qclab_core::sim::trajectory::{run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig};
+use std::hint::black_box;
+
+fn trajectory_config(shots: u64, reuse_buffers: bool) -> TrajectoryConfig {
+    TrajectoryConfig {
+        shots,
+        seed: 11,
+        noise: NoiseSpec {
+            after_gate: Some(PauliChannel::Depolarizing(0.002)),
+            ..NoiseSpec::default()
+        },
+        reuse_buffers,
+        ..TrajectoryConfig::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[8, 10] } else { &[12, 16, 20] };
+    let layers = if smoke { 4 } else { 12 };
+    let reps = if smoke { 20 } else { 200 };
+    let runs = if smoke { 3 } else { 9 };
+    let shots = if smoke { 16 } else { 64 };
+
+    let mut t = Table::new(
+        "F11: plan cache + trajectory arena ablation",
+        &["section", "qubits", "config", "time", "speedup"],
+    );
+    let mut plan_ratios: Vec<f64> = Vec::new();
+    let mut arena_ratios: Vec<f64> = Vec::new();
+
+    for &n in sizes {
+        let circuit = {
+            let mut c = random_circuit(n, layers, 7);
+            for q in 0..n {
+                c.push_back(Measurement::z(q));
+            }
+            c
+        };
+        let popts = PlanOptions::default();
+
+        // -- section 1: plan acquisition, relower vs cached ------------
+        let t_lower = median_time(runs, || {
+            for _ in 0..reps {
+                black_box(program::lower(&circuit, &popts));
+            }
+        }) / reps as f64;
+        program::clear_plan_cache();
+        black_box(program::compile(&circuit, &popts)); // prime the cache
+        let t_cached = median_time(runs, || {
+            for _ in 0..reps {
+                black_box(program::compile(&circuit, &popts));
+            }
+        }) / reps as f64;
+        let plan_ratio = t_lower / t_cached;
+        plan_ratios.push(plan_ratio);
+        t.row(&[
+            "plan".into(),
+            n.to_string(),
+            "relower every run".into(),
+            fmt_seconds(t_lower),
+            "1.0x".into(),
+        ]);
+        t.row(&[
+            "plan".into(),
+            n.to_string(),
+            "cached plan".into(),
+            fmt_seconds(t_cached),
+            format!("{plan_ratio:.1}x"),
+        ]);
+
+        // -- section 2: trajectory ensemble, per-shot alloc vs arena ---
+        // interleave the two configs so machine drift hits both alike
+        let traj_runs = if smoke { 1 } else { 5 };
+        let mut alloc_samples = Vec::with_capacity(traj_runs);
+        let mut arena_samples = Vec::with_capacity(traj_runs);
+        for _ in 0..traj_runs {
+            for (samples, reuse) in [(&mut alloc_samples, false), (&mut arena_samples, true)] {
+                let config = trajectory_config(shots, reuse);
+                let start = std::time::Instant::now();
+                black_box(run_trajectories(&circuit, &config).unwrap());
+                samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let median = |mut s: Vec<f64>| -> f64 {
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        let t_alloc = median(alloc_samples);
+        let t_arena = median(arena_samples);
+        let arena_ratio = t_alloc / t_arena;
+        arena_ratios.push(arena_ratio);
+        t.row(&[
+            "arena".into(),
+            n.to_string(),
+            format!("per-shot alloc ({shots} shots)"),
+            fmt_seconds(t_alloc),
+            "1.0x".into(),
+        ]);
+        t.row(&[
+            "arena".into(),
+            n.to_string(),
+            format!("reused buffers ({shots} shots)"),
+            fmt_seconds(t_arena),
+            format!("{arena_ratio:.2}x"),
+        ]);
+    }
+
+    t.emit("BENCH_f11_plan_cache");
+    let stats = program::plan_cache_stats();
+    println!(
+        "plan-cache counters: {} hit(s), {} miss(es), {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+    println!(
+        "cached plans are {:.0}-{:.0}x cheaper to acquire than relowering;\n\
+         the arena matters most when 2^n allocations rival the gate work",
+        plan_ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+        plan_ratios.iter().cloned().fold(0.0f64, f64::max),
+    );
+}

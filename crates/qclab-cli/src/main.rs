@@ -6,13 +6,14 @@
 //! qclab simulate circuit.qasm [BITSTRING]  branch results/probabilities
 //! qclab counts   circuit.qasm SHOTS        sampled outcome frequencies
 //! qclab sample   circuit.qasm SHOTS        trajectory sampling (noise!)
+//! qclab compile  circuit.qasm              lowered op schedule + plan stats
 //! qclab stats    circuit.qasm              gate/depth/measurement counts
 //! ```
 //!
 //! Engine flags (position-independent after the command name):
 //!
 //! * `--no-fuse` — disable the gate-fusion pre-pass (`simulate`,
-//!   `counts`, `sample`),
+//!   `counts`, `sample`, `compile`),
 //! * `--no-simd` — force the scalar kernels (`simulate`, `counts`,
 //!   `sample`),
 //! * `--max-qubits N` — refuse registers above `N` qubits instead of
@@ -148,6 +149,10 @@ enum Command {
         noise: NoiseSpec,
         opts: EngineOpts,
     },
+    Compile {
+        path: String,
+        opts: EngineOpts,
+    },
     Stats {
         path: String,
     },
@@ -157,7 +162,8 @@ fn usage() -> String {
     "usage:\n  qclab draw     <file.qasm>\n  qclab tex      <file.qasm>\n  \
      qclab simulate [flags] <file.qasm> [initial-bitstring]\n  \
      qclab counts   [flags] <file.qasm> <shots>\n  \
-     qclab sample   [flags] <file.qasm> <shots>\n  qclab stats    <file.qasm>\n\
+     qclab sample   [flags] <file.qasm> <shots>\n  \
+     qclab compile  [flags] <file.qasm>\n  qclab stats    <file.qasm>\n\
      flags:\n  --no-fuse               disable gate fusion\n  \
      --no-simd               force scalar kernels\n  \
      --max-qubits <n>        refuse larger registers\n  \
@@ -289,6 +295,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--idle-noise",
             "--measure-noise",
         ],
+        "compile" => &["--no-fuse", "--max-qubits"],
         _ => &[],
     };
     if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
@@ -331,6 +338,10 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             shots: shots_at(1)?,
             seed: flags.seed.unwrap_or(1),
             noise: flags.noise,
+            opts: flags.opts,
+        }),
+        "compile" => Ok(Command::Compile {
+            path,
             opts: flags.opts,
         }),
         other => Err(usage_err(format!("unknown command '{other}'"))),
@@ -429,6 +440,60 @@ fn sample(
     Ok(out)
 }
 
+/// Renders a byte count like `64 B` / `16.0 MiB`; `None` means the
+/// register is too wide for a dense state vector at all.
+fn fmt_bytes(bytes: Option<u128>) -> String {
+    let Some(b) = bytes else {
+        return "beyond addressable memory".to_string();
+    };
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if b < 1024 {
+        return format!("{b} B");
+    }
+    let mut value = b as f64 / 1024.0;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
+}
+
+/// `qclab compile`: lowers the circuit through the shared pipeline and
+/// prints the plan — op counts before/after fusion, fences, the guard's
+/// state-byte estimate, and the op schedule itself. The same resource
+/// limits the simulating commands enforce gate the report (exit 6), so
+/// "compiles here" means "would simulate here".
+fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliError> {
+    opts.limits().check_register(circuit.nb_qubits())?;
+    let kernel = opts.kernel();
+    let program = circuit.compile_with(&qclab_core::PlanOptions::from(&kernel));
+    let stats = program.stats();
+    let mut out = format!(
+        "compiled {} qubits (fingerprint {:016x}, fusion {}):\n",
+        program.nb_qubits(),
+        program.fingerprint(),
+        if program.options().fuse { "on" } else { "off" },
+    );
+    out.push_str(&format!(
+        "  gates:        {} -> {} ({} fused block(s))\n",
+        stats.gates_in, stats.gates_out, stats.fused_blocks
+    ));
+    out.push_str(&format!(
+        "  fences:       {}\n  measurements: {}\n  resets:       {}\n",
+        stats.fences, stats.measurements, stats.resets
+    ));
+    out.push_str(&format!(
+        "  state bytes:  {}\n",
+        fmt_bytes(stats.state_bytes)
+    ));
+    out.push_str("schedule:\n");
+    for (i, op) in program.ops().iter().enumerate() {
+        out.push_str(&format!("  {i:>4}  {op}\n"));
+    }
+    Ok(out)
+}
+
 fn stats(circuit: &QCircuit) -> String {
     format!(
         "qubits:       {}\ngates:        {}\nmeasurements: {}\ndepth:        {}\n",
@@ -457,6 +522,7 @@ fn run(cmd: Command) -> Result<String, CliError> {
             noise,
             opts,
         } => sample(&load(&path)?, shots, seed, noise, &opts),
+        Command::Compile { path, opts } => compile_report(&load(&path)?, &opts),
         Command::Stats { path } => Ok(stats(&load(&path)?)),
     }
 }
@@ -692,6 +758,72 @@ mod tests {
             flipped.contains("50 injected error(s)"),
             "output: {flipped}"
         );
+    }
+
+    #[test]
+    fn parse_and_run_compile_command() {
+        assert_eq!(
+            parse_args(&args(&["compile", "--no-fuse", "f.qasm"])).unwrap(),
+            Command::Compile {
+                path: "f.qasm".into(),
+                opts: EngineOpts {
+                    fuse: false,
+                    ..EngineOpts::default()
+                },
+            }
+        );
+        // sampling flags have no meaning here
+        assert!(parse_args(&args(&["compile", "--seed", "3", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["compile", "--noise", "bitflip:0.1", "f.qasm"])).is_err());
+
+        let path = write_bell();
+        let p = path.to_str().unwrap().to_string();
+        let fused = run(Command::Compile {
+            path: p.clone(),
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        // h+cx fuse into one block; the two measurements stay
+        assert!(
+            fused.contains("gates:        2 -> 1 (1 fused block(s))"),
+            "{fused}"
+        );
+        assert!(fused.contains("measurements: 2"), "{fused}");
+        assert!(fused.contains("state bytes:  64 B"), "{fused}");
+        assert!(fused.contains("fingerprint"), "{fused}");
+        let unfused = run(Command::Compile {
+            path: p.clone(),
+            opts: EngineOpts {
+                fuse: false,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(
+            unfused.contains("gates:        2 -> 2 (0 fused block(s))"),
+            "{unfused}"
+        );
+        // the fingerprint is structural: identical with and without fusion
+        let fp = |s: &str| {
+            s.split("fingerprint ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(fp(&fused), fp(&unfused));
+        // guard refusal surfaces as the resource exit code
+        let e = run(Command::Compile {
+            path: p,
+            opts: EngineOpts {
+                max_qubits: Some(1),
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
     }
 
     #[test]

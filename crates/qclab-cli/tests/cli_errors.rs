@@ -175,6 +175,43 @@ fn successful_runs_exit_zero_with_clean_stderr() {
 }
 
 #[test]
+fn compile_honors_the_full_exit_code_contract() {
+    // 2 — usage: a sampling flag has no meaning for compile
+    assert_fails(
+        &["compile", "--seed", "1", &bell()],
+        EXIT_USAGE,
+        "does not apply",
+    );
+    // 3 — io: missing file
+    assert_fails(
+        &["compile", "/nonexistent/no_such.qasm"],
+        EXIT_IO,
+        "cannot read",
+    );
+    // 4 — parse: malformed QASM
+    let bad = write_qasm("bad_compile.qasm", "qreg q[1]; frobnicate q[0];");
+    assert_fails(&["compile", &bad], EXIT_PARSE, "frobnicate");
+    // 6 — resource: the guard refuses before reporting a plan
+    assert_fails(
+        &["compile", "--max-qubits", "1", &bell()],
+        EXIT_RESOURCE,
+        "--max-qubits",
+    );
+    // and the happy path prints the plan on stdout only
+    let out = qclab(&["compile", &bell()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stderr(&out), "");
+    let text = stdout(&out);
+    assert!(text.contains("fingerprint"), "{text}");
+    assert!(text.contains("fused block"), "{text}");
+    assert!(text.contains("schedule:"), "{text}");
+    // --no-fuse changes the schedule but not the fingerprint line count
+    let unfused = qclab(&["compile", "--no-fuse", &bell()]);
+    assert_eq!(unfused.status.code(), Some(0));
+    assert!(stdout(&unfused).contains("fusion off"));
+}
+
+#[test]
 fn sample_is_deterministic_in_the_seed() {
     let bell = bell();
     let a = qclab(&[

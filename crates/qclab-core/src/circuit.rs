@@ -307,10 +307,13 @@ impl QCircuit {
             return Err(QclabError::NonUnitaryCircuit("to_matrix".into()));
         }
         let dim = crate::sim::guard::ResourceLimits::default().check_matrix(self.nb_qubits)?;
+        // lower unfused so the matrix reflects the original gate list —
+        // the fusion tests use `to_matrix` as their semantic oracle
+        let program = self.compile_with(&crate::program::PlanOptions::unfused());
         let mut out = CMat::zeros(dim, dim);
         for j in 0..dim {
             let mut col = qclab_math::CVec::basis_state(dim, j);
-            self.apply_unitary_items(&mut col, 0);
+            program.apply_unitary(&mut col);
             for i in 0..dim {
                 out[(i, j)] = col[i];
             }
@@ -318,32 +321,27 @@ impl QCircuit {
         Ok(out)
     }
 
-    /// Applies all (unitary) items to `state` in place, shifting qubits by
-    /// `offset`. Used by `to_matrix` and by the simulator for
-    /// sub-circuits. Panics on measurements/resets — callers must check
-    /// [`is_unitary_circuit`](Self::is_unitary_circuit) first.
-    pub(crate) fn apply_unitary_items(&self, state: &mut qclab_math::CVec, offset: usize) {
-        let n = state.nb_qubits();
-        for item in &self.items {
-            match item {
-                CircuitItem::Gate(g) => {
-                    let g = if offset == 0 {
-                        g.clone()
-                    } else {
-                        g.shifted(offset)
-                    };
-                    crate::sim::kernel::apply_gate(&g, state, n);
-                }
-                CircuitItem::Barrier(_) => {}
-                CircuitItem::SubCircuit {
-                    offset: sub_off,
-                    circuit,
-                } => circuit.apply_unitary_items(state, offset + sub_off),
-                CircuitItem::Measurement(_) | CircuitItem::Reset(_) => {
-                    panic!("apply_unitary_items on a non-unitary circuit")
-                }
-            }
-        }
+    /// Structural content hash of the circuit: register size plus the
+    /// flattened item stream (gate targets/controls/parameter bits,
+    /// measurement bases, resets, barriers). Equal circuits hash equal;
+    /// a nested sub-circuit hashes like its manual inlining. This is the
+    /// plan-cache key — see [`crate::program`].
+    pub fn fingerprint(&self) -> u64 {
+        crate::program::fingerprint(self)
+    }
+
+    /// Lowers the circuit to a [`CompiledProgram`](crate::program::CompiledProgram)
+    /// through the global plan cache, with default [`crate::program::PlanOptions`].
+    pub fn compile(&self) -> std::sync::Arc<crate::program::CompiledProgram> {
+        crate::program::compile(self, &crate::program::PlanOptions::default())
+    }
+
+    /// Lowers the circuit with explicit plan options (cached).
+    pub fn compile_with(
+        &self,
+        options: &crate::program::PlanOptions,
+    ) -> std::sync::Arc<crate::program::CompiledProgram> {
+        crate::program::compile(self, options)
     }
 }
 

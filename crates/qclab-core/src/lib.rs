@@ -7,6 +7,9 @@
 //! * [`measurement`] — single-qubit measurements in Z/X/Y/custom bases,
 //! * [`circuit`] — [`QCircuit`](circuit::QCircuit) with `push_back`,
 //!   sub-circuits/blocks, adjoints and `to_matrix`,
+//! * [`program`] — the compile/execute split: circuits lower once to a
+//!   flat [`CompiledProgram`](program::CompiledProgram) IR (plan-cached
+//!   by structural fingerprint) that every backend executes,
 //! * [`sim`] — branching state-vector simulation with two backends
 //!   (sparse Kronecker à la QCLAB, in-place kernels à la QCLAB++),
 //! * [`reduced`] — reduced state vectors of partially measured registers.
@@ -18,6 +21,7 @@ pub mod gates;
 pub mod measurement;
 pub mod observable;
 pub mod optimize;
+pub mod program;
 pub mod reduced;
 pub mod sim;
 pub mod synthesis;
@@ -29,9 +33,10 @@ pub use gates::Gate;
 pub use measurement::{Basis, Measurement};
 pub use observable::{Observable, Pauli, PauliString};
 pub use optimize::{optimize, OptimizeStats};
+pub use program::{CompiledProgram, PlanCacheStats, PlanOptions, PlanStats, ProgramOp};
 pub use reduced::{contract_qubit, reduced_statevector};
 pub use sim::density::{DensityState, NoiseChannel, NoiseModel};
-pub use sim::stabilizer::{MeasureOutcome, StabilizerState};
+pub use sim::stabilizer::{run_stabilizer, MeasureOutcome, StabilizerRun, StabilizerState};
 pub use sim::{Backend, Branch, SimOptions, Simulation};
 
 /// Everything needed to write paper-style circuit code.

@@ -1,0 +1,796 @@
+//! The compile/execute split: a shared lowered-program IR.
+//!
+//! Every backend in the workspace walks the same circuit semantics the
+//! paper describes in Sec. 3 — gates evolve the state, measurements
+//! branch or sample, resets re-initialize — yet historically each
+//! executor re-implemented the `CircuitItem` traversal (sub-circuit
+//! inlining, qubit-offset shifting, fusion flushing). This module is the
+//! single lowering pipeline that replaces those duplicate walkers,
+//! following the representation/execution separation of QCLAB++ and the
+//! compile-once/execute-many architecture of the MQT tools:
+//!
+//! ```text
+//!   QCircuit
+//!      │  validate (items were validated on push; offsets re-checked)
+//!      ▼
+//!   flatten      sub-circuits inlined, qubit offsets resolved,
+//!      │         barriers kept as explicit fence ops
+//!      ▼
+//!   fingerprint  structural FNV-1a hash of the flat, unfused op stream
+//!      │
+//!      ▼
+//!   fuse         optional gate-fusion pre-pass (the plan cache key
+//!      │         includes the fusion options)
+//!      ▼
+//!   plan         op schedule with measurement/reset fences + the
+//!                resource-guard byte estimate → CompiledProgram
+//! ```
+//!
+//! The result is a [`CompiledProgram`]: a flat list of [`ProgramOp`]s
+//! with **no** sub-circuits and **no** unresolved offsets, which every
+//! executor (`simulate_with`, `to_matrix`, `density::run_noisy`,
+//! `trajectory::run_*`, the stabilizer runner) consumes directly.
+//!
+//! # Plan cache
+//!
+//! Repeated executions — `counts(shots)`, tomography sweeps, trajectory
+//! ensembles, QEC threshold scans — lower the same circuit over and
+//! over. [`compile`] memoizes plans in a bounded global cache keyed by
+//! `(fingerprint, nb_qubits, fusion options)`; cache hits skip
+//! flattening and fusion entirely and share one [`Arc`] across callers.
+//! The fingerprint is a 64-bit content hash, so two *different* circuits
+//! colliding is astronomically unlikely but not impossible; the hash
+//! covers every gate matrix bit pattern, so a collision requires two
+//! structurally different circuits with identical semantics-bearing
+//! bits. Resource limits are **not** baked into plans: executors
+//! re-check [`ResourceLimits`] before allocating, so one cached plan
+//! serves callers with different limits.
+
+use crate::circuit::{CircuitItem, QCircuit};
+use crate::gates::Gate;
+use crate::measurement::Measurement;
+use crate::sim::fusion::{self, FusionStats, MAX_FUSED_QUBITS_LIMIT};
+use crate::sim::guard::ResourceLimits;
+use crate::sim::kernel::KernelConfig;
+use qclab_math::CVec;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One operation of a lowered program. Qubit indices are absolute
+/// (register-relative); there are no nested structures left.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgramOp {
+    /// A unitary gate (possibly a fused block).
+    Gate(Gate),
+    /// A single-qubit measurement in its basis.
+    Measure(Measurement),
+    /// Reset of a qubit to `|0⟩`.
+    Reset(usize),
+    /// An explicit fence: a no-op at execution time, but a wall for the
+    /// fusion pre-pass and any later reordering pass. Lowering keeps
+    /// barriers as fences so every backend sees the same op stream —
+    /// dropping them silently (as the old trajectory flattener did)
+    /// risks cross-backend drift the moment a pass keys on them.
+    Fence(Vec<usize>),
+}
+
+impl ProgramOp {
+    /// The qubits the op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            ProgramOp::Gate(g) => g.qubits(),
+            ProgramOp::Measure(m) => vec![m.qubit()],
+            ProgramOp::Reset(q) => vec![*q],
+            ProgramOp::Fence(qs) => qs.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ProgramOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qubits = |qs: &[usize]| {
+            qs.iter()
+                .map(|q| format!("q{q}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        match self {
+            ProgramOp::Gate(g) => write!(f, "gate    {:<8} {}", g.name(), qubits(&g.qubits())),
+            ProgramOp::Measure(m) => {
+                write!(f, "measure {:<8} q{}", m.basis().label(), m.qubit())
+            }
+            ProgramOp::Reset(q) => write!(f, "reset            q{q}"),
+            ProgramOp::Fence(qs) => write!(f, "fence            {}", qubits(qs)),
+        }
+    }
+}
+
+/// Options of the lowering pipeline — exactly the knobs that change the
+/// produced op stream (and therefore part of the plan-cache key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Run the gate-fusion pre-pass on the flattened op stream.
+    pub fuse: bool,
+    /// Qubit-footprint cap for fused blocks, clamped to
+    /// `1..=`[`MAX_FUSED_QUBITS_LIMIT`] like [`fusion::fuse_circuit`].
+    pub max_fused_qubits: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            fuse: true,
+            max_fused_qubits: fusion::DEFAULT_MAX_FUSED_QUBITS,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Lowering without the fusion pass — the right options for backends
+    /// whose semantics are defined on the original gates (density noise
+    /// locations, stabilizer Clifford checks, `to_matrix` oracles).
+    pub fn unfused() -> Self {
+        PlanOptions {
+            fuse: false,
+            ..PlanOptions::default()
+        }
+    }
+
+    /// Clamps the fusion cap so equivalent option sets share one cache
+    /// entry.
+    fn normalized(mut self) -> Self {
+        self.max_fused_qubits = self.max_fused_qubits.clamp(1, MAX_FUSED_QUBITS_LIMIT);
+        self
+    }
+}
+
+impl From<&KernelConfig> for PlanOptions {
+    fn from(cfg: &KernelConfig) -> Self {
+        PlanOptions {
+            fuse: cfg.fuse,
+            max_fused_qubits: cfg.max_fused_qubits,
+        }
+    }
+}
+
+/// Statistics of one lowering run (the "plan" half of the pipeline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Gates in the flattened stream before fusion.
+    pub gates_in: usize,
+    /// Gate ops in the compiled program (after fusion, if enabled).
+    pub gates_out: usize,
+    /// Fused blocks emitted (each replacing ≥ 2 input gates).
+    pub fused_blocks: usize,
+    /// Fence ops kept from barriers.
+    pub fences: usize,
+    /// Measurement ops.
+    pub measurements: usize,
+    /// Reset ops.
+    pub resets: usize,
+    /// Bytes a dense state vector for this register occupies (`None`
+    /// when `2^n · 16` overflows a `u128`) — the guard estimate the CLI
+    /// reports and executors re-check against their [`ResourceLimits`].
+    pub state_bytes: Option<u128>,
+}
+
+/// A circuit lowered to a flat op schedule: the shared IR all simulation
+/// backends execute.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    nb_qubits: usize,
+    fingerprint: u64,
+    options: PlanOptions,
+    ops: Vec<ProgramOp>,
+    stats: PlanStats,
+}
+
+impl CompiledProgram {
+    /// Number of register qubits.
+    pub fn nb_qubits(&self) -> usize {
+        self.nb_qubits
+    }
+
+    /// The structural fingerprint of the *source* circuit (computed on
+    /// the flat, unfused stream — independent of the fusion options).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The options the program was lowered with.
+    pub fn options(&self) -> &PlanOptions {
+        &self.options
+    }
+
+    /// The op schedule.
+    pub fn ops(&self) -> &[ProgramOp] {
+        &self.ops
+    }
+
+    /// Lowering statistics.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// `true` when the program contains no measurements or resets, i.e.
+    /// it implements a unitary.
+    pub fn is_unitary(&self) -> bool {
+        self.stats.measurements == 0 && self.stats.resets == 0
+    }
+
+    /// Applies all ops to `state` in place (fences are no-ops). Panics
+    /// on measurements/resets — callers must check
+    /// [`is_unitary`](Self::is_unitary) first.
+    pub fn apply_unitary(&self, state: &mut CVec) {
+        let n = state.nb_qubits();
+        debug_assert_eq!(n, self.nb_qubits);
+        for op in &self.ops {
+            match op {
+                ProgramOp::Gate(g) => crate::sim::kernel::apply_gate(g, state, n),
+                ProgramOp::Fence(_) => {}
+                ProgramOp::Measure(_) | ProgramOp::Reset(_) => {
+                    panic!("apply_unitary on a non-unitary program")
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// fingerprint
+// ---------------------------------------------------------------------
+
+/// FNV-1a, 64 bit. Hand-rolled so the hash is stable across Rust
+/// versions and needs no external dependency.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Exact bit pattern, so any parameter perturbation — even below
+    /// printing precision — changes the hash.
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn matrix(&mut self, m: &qclab_math::CMat) {
+        self.usize(m.rows());
+        self.usize(m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let z = m[(i, j)];
+                self.f64(z.re);
+                self.f64(z.im);
+            }
+        }
+    }
+}
+
+/// Hashes the items of `circuit` (qubits shifted by `offset`) into `h`.
+/// Sub-circuits are hashed through their *content* at their resolved
+/// offsets, so nesting vs. manual inlining hash equal exactly when the
+/// flattened op streams are equal.
+fn hash_items(circuit: &QCircuit, offset: usize, h: &mut Fnv) {
+    for item in circuit.items() {
+        match item {
+            CircuitItem::Gate(g) => {
+                h.byte(1);
+                let targets = g.targets();
+                h.usize(targets.len());
+                for q in targets {
+                    h.usize(q + offset);
+                }
+                // control order is semantically irrelevant: sort by qubit
+                let mut controls = g.controls();
+                controls.sort_unstable();
+                h.usize(controls.len());
+                for (q, s) in controls {
+                    h.usize(q + offset);
+                    h.byte(s);
+                }
+                // the target matrix carries every parameter bit; custom
+                // gate *names* are display-only and deliberately skipped
+                h.matrix(&g.target_matrix());
+            }
+            CircuitItem::Measurement(m) => {
+                h.byte(2);
+                h.usize(m.qubit() + offset);
+                // the basis-change matrix identifies the basis (Z/X/Y or
+                // custom) without depending on display labels
+                h.matrix(&m.basis().change_matrix());
+            }
+            CircuitItem::Reset(q) => {
+                h.byte(3);
+                h.usize(q + offset);
+            }
+            CircuitItem::Barrier(qs) => {
+                h.byte(4);
+                h.usize(qs.len());
+                for q in qs {
+                    h.usize(q + offset);
+                }
+            }
+            CircuitItem::SubCircuit {
+                offset: sub_off,
+                circuit: sub,
+            } => hash_items(sub, offset + sub_off, h),
+        }
+    }
+}
+
+/// Structural content hash of a circuit: register size plus the flat,
+/// unfused op stream (gates with targets/controls/parameter bits,
+/// measurements with their basis, resets, barriers). Two circuits hash
+/// equal iff their flattened streams are identical — in particular a
+/// nested sub-circuit and its manual inlining hash equal.
+pub fn fingerprint(circuit: &QCircuit) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(circuit.nb_qubits());
+    hash_items(circuit, 0, &mut h);
+    h.0
+}
+
+// ---------------------------------------------------------------------
+// lowering
+// ---------------------------------------------------------------------
+
+/// Flattens a circuit into a single item list with offsets resolved and
+/// barriers kept. This is the **only** `CircuitItem::SubCircuit` walker
+/// in the simulation stack.
+fn flatten_items(circuit: &QCircuit, offset: usize, out: &mut Vec<CircuitItem>) {
+    for item in circuit.items() {
+        match item {
+            CircuitItem::Gate(g) => out.push(CircuitItem::Gate(if offset == 0 {
+                g.clone()
+            } else {
+                g.shifted(offset)
+            })),
+            CircuitItem::Measurement(m) => out.push(CircuitItem::Measurement(if offset == 0 {
+                m.clone()
+            } else {
+                m.shifted(offset)
+            })),
+            CircuitItem::Reset(q) => out.push(CircuitItem::Reset(q + offset)),
+            CircuitItem::Barrier(qs) => out.push(CircuitItem::Barrier(
+                qs.iter().map(|q| q + offset).collect(),
+            )),
+            CircuitItem::SubCircuit {
+                offset: sub_off,
+                circuit: sub,
+            } => flatten_items(sub, offset + sub_off, out),
+        }
+    }
+}
+
+/// Lowers a circuit to a [`CompiledProgram`] without consulting the plan
+/// cache. Use [`compile`] unless you are measuring lowering cost itself
+/// (the F11 ablation) or deliberately want a private plan.
+pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
+    let options = options.normalized();
+    let nb_qubits = circuit.nb_qubits();
+    let fingerprint = fingerprint(circuit);
+
+    let mut flat = Vec::new();
+    flatten_items(circuit, 0, &mut flat);
+
+    let mut stats = PlanStats {
+        state_bytes: ResourceLimits::state_bytes(nb_qubits),
+        ..PlanStats::default()
+    };
+
+    let scheduled = if options.fuse {
+        // fusing the flattened stream lets blocks form across former
+        // sub-circuit boundaries; the pass itself treats measurements,
+        // resets and fences as walls on their qubits
+        let mut fstats = FusionStats::default();
+        let fused = fusion::fuse_items(&flat, nb_qubits, options.max_fused_qubits, &mut fstats);
+        stats.gates_in = fstats.gates_in;
+        stats.gates_out = fstats.gates_out;
+        stats.fused_blocks = fstats.blocks;
+        fused
+    } else {
+        let gates = flat
+            .iter()
+            .filter(|i| matches!(i, CircuitItem::Gate(_)))
+            .count();
+        stats.gates_in = gates;
+        stats.gates_out = gates;
+        flat
+    };
+
+    let mut ops = Vec::with_capacity(scheduled.len());
+    for item in scheduled {
+        match item {
+            CircuitItem::Gate(g) => ops.push(ProgramOp::Gate(g)),
+            CircuitItem::Measurement(m) => {
+                stats.measurements += 1;
+                ops.push(ProgramOp::Measure(m));
+            }
+            CircuitItem::Reset(q) => {
+                stats.resets += 1;
+                ops.push(ProgramOp::Reset(q));
+            }
+            CircuitItem::Barrier(qs) => {
+                stats.fences += 1;
+                ops.push(ProgramOp::Fence(qs));
+            }
+            // the input stream is flat and fusion keeps it flat
+            CircuitItem::SubCircuit { .. } => unreachable!("sub-circuit survived flattening"),
+        }
+    }
+
+    CompiledProgram {
+        nb_qubits,
+        fingerprint,
+        options,
+        ops,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
+// plan cache
+// ---------------------------------------------------------------------
+
+/// Entries kept in the global plan cache. Small on purpose: a plan can
+/// hold dense fused blocks, and workloads that benefit (shot loops,
+/// sweeps) revisit a handful of circuits.
+pub const PLAN_CACHE_CAPACITY: usize = 32;
+
+type CacheKey = (u64, usize, PlanOptions);
+
+static PLAN_CACHE: Mutex<Vec<(CacheKey, Arc<CompiledProgram>)>> = Mutex::new(Vec::new());
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Counters of the global plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to lower.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// Snapshot of the plan-cache counters.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        entries: PLAN_CACHE.lock().map(|c| c.len()).unwrap_or(0),
+    }
+}
+
+/// Empties the plan cache (counters keep running). Benchmarks use this
+/// to measure cold lowering; long-lived processes may use it to drop
+/// plans holding large fused blocks.
+pub fn clear_plan_cache() {
+    if let Ok(mut cache) = PLAN_CACHE.lock() {
+        cache.clear();
+    }
+}
+
+/// Lowers `circuit` through the global plan cache: the fingerprint is
+/// always recomputed (it is what detects circuit mutation), but
+/// flattening, fusion and scheduling run only on a cache miss. Returns a
+/// shared handle; executions on the same circuit across backends and
+/// shots all reuse one plan.
+pub fn compile(circuit: &QCircuit, options: &PlanOptions) -> Arc<CompiledProgram> {
+    let options = options.normalized();
+    let key: CacheKey = (fingerprint(circuit), circuit.nb_qubits(), options);
+
+    if let Ok(mut cache) = PLAN_CACHE.lock() {
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            // move to the back: the front is the eviction candidate
+            let entry = cache.remove(pos);
+            let plan = Arc::clone(&entry.1);
+            cache.push(entry);
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+    }
+
+    // lower outside the lock — fusion does real work
+    let plan = Arc::new(lower(circuit, &options));
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut cache) = PLAN_CACHE.lock() {
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            // someone else lowered concurrently; share their plan
+            return Arc::clone(&cache[pos].1);
+        }
+        if cache.len() >= PLAN_CACHE_CAPACITY {
+            cache.remove(0);
+        }
+        cache.push((key, Arc::clone(&plan)));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::factories::*;
+    use crate::measurement::Measurement;
+
+    fn bell() -> QCircuit {
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c
+    }
+
+    #[test]
+    fn equal_circuits_hash_equal() {
+        assert_eq!(fingerprint(&bell()), fingerprint(&bell()));
+        let mut a = bell();
+        a.push_back(Measurement::x(1));
+        let mut b = bell();
+        b.push_back(Measurement::x(1));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn any_perturbation_changes_the_hash() {
+        let base = {
+            let mut c = QCircuit::new(2);
+            c.push_back(RotationX::new(0, 0.5));
+            c.push_back(CNOT::new(0, 1));
+            c.push_back(Measurement::z(0));
+            c
+        };
+        let fp = fingerprint(&base);
+
+        // different gate type on the same qubit
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationY::new(0, 0.5));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // parameter perturbed by one ulp
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(0, f64::from_bits(0.5f64.to_bits() + 1)));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // different target qubit
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(1, 0.5));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // control state flipped (open vs filled dot)
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(0, 0.5));
+        c.push_back(CNOT::with_control_state(0, 1, 0));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // measurement basis changed
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(0, 0.5));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::x(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // op order swapped
+        let mut c = QCircuit::new(2);
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(RotationX::new(0, 0.5));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // extra barrier
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(0, 0.5));
+        c.push_back(CircuitItem::Barrier(vec![0, 1]));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+
+        // wider register, same items
+        let mut c = QCircuit::new(3);
+        c.push_back(RotationX::new(0, 0.5));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        assert_ne!(fingerprint(&c), fp);
+    }
+
+    #[test]
+    fn nesting_vs_inlining_hash_equal_iff_semantics_match() {
+        // bell as a sub-circuit at offset 1 of a 3-qubit register …
+        let mut nested = QCircuit::new(3);
+        nested.push_back_at(1, bell()).unwrap();
+        // … equals the manual inlining on shifted qubits
+        let mut inlined = QCircuit::new(3);
+        inlined.push_back(Hadamard::new(1));
+        inlined.push_back(CNOT::new(1, 2));
+        assert_eq!(fingerprint(&nested), fingerprint(&inlined));
+
+        // but a different placement is a different circuit
+        let mut elsewhere = QCircuit::new(3);
+        elsewhere.push_back_at(0, bell()).unwrap();
+        assert_ne!(fingerprint(&nested), fingerprint(&elsewhere));
+
+        // double nesting still flattens to the same stream
+        let mut inner = QCircuit::new(2);
+        inner.push_back_at(0, bell()).unwrap();
+        let mut doubled = QCircuit::new(3);
+        doubled.push_back_at(1, inner).unwrap();
+        assert_eq!(fingerprint(&doubled), fingerprint(&inlined));
+    }
+
+    #[test]
+    fn qcircuit_fingerprint_method_delegates() {
+        assert_eq!(bell().fingerprint(), fingerprint(&bell()));
+    }
+
+    #[test]
+    fn lowering_flattens_and_keeps_fences() {
+        let mut sub = QCircuit::new(2);
+        sub.push_back(Hadamard::new(0));
+        sub.push_back(CircuitItem::Barrier(vec![0, 1]));
+        sub.push_back(CNOT::new(0, 1));
+        let mut c = QCircuit::new(3);
+        c.push_back_at(1, sub).unwrap();
+        c.push_back(Measurement::z(2));
+        c.push_back(CircuitItem::Reset(0));
+
+        let p = lower(&c, &PlanOptions::unfused());
+        let kinds: Vec<String> = p.ops().iter().map(|o| o.to_string()).collect();
+        assert_eq!(p.ops().len(), 5, "{kinds:?}");
+        assert!(matches!(&p.ops()[0], ProgramOp::Gate(g) if g.qubits() == vec![1]));
+        assert!(matches!(&p.ops()[1], ProgramOp::Fence(qs) if *qs == vec![1, 2]));
+        assert!(matches!(&p.ops()[2], ProgramOp::Gate(g) if g.qubits() == vec![1, 2]));
+        assert!(matches!(&p.ops()[3], ProgramOp::Measure(m) if m.qubit() == 2));
+        assert!(matches!(&p.ops()[4], ProgramOp::Reset(0)));
+        assert_eq!(p.stats().fences, 1);
+        assert_eq!(p.stats().measurements, 1);
+        assert_eq!(p.stats().resets, 1);
+        assert_eq!(p.stats().gates_in, 2);
+        assert!(!p.is_unitary());
+    }
+
+    #[test]
+    fn fences_block_fusion_in_the_lowered_program() {
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CircuitItem::Barrier(vec![0]));
+        c.push_back(Hadamard::new(0));
+        let p = lower(&c, &PlanOptions::default());
+        assert_eq!(p.stats().gates_out, 2, "fence must block fusion");
+        assert_eq!(p.stats().fused_blocks, 0);
+        assert_eq!(p.stats().fences, 1);
+
+        // without the barrier the pair fuses to one block
+        let mut c = QCircuit::new(1);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Hadamard::new(0));
+        let p = lower(&c, &PlanOptions::default());
+        assert_eq!(p.stats().gates_out, 1);
+        assert_eq!(p.stats().fused_blocks, 1);
+    }
+
+    #[test]
+    fn fusion_crosses_former_subcircuit_boundaries() {
+        // H on q0 inside a sub-circuit, then T on q0 outside: after
+        // flattening they are causally adjacent and fuse
+        let mut sub = QCircuit::new(1);
+        sub.push_back(Hadamard::new(0));
+        let mut c = QCircuit::new(1);
+        c.push_back_at(0, sub).unwrap();
+        c.push_back(TGate::new(0));
+        let p = lower(&c, &PlanOptions::default());
+        assert_eq!(p.stats().gates_out, 1);
+        assert_eq!(p.stats().fused_blocks, 1);
+    }
+
+    #[test]
+    fn apply_unitary_matches_per_item_application() {
+        let c = bell();
+        let p = lower(&c, &PlanOptions::unfused());
+        assert!(p.is_unitary());
+        let mut v = CVec::basis_state(4, 0);
+        p.apply_unitary(&mut v);
+        let mut expect = CVec::basis_state(4, 0);
+        for item in c.items() {
+            if let CircuitItem::Gate(g) = item {
+                crate::sim::kernel::apply_gate(g, &mut expect, 2);
+            }
+        }
+        for (a, b) in v.iter().zip(expect.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plan_cache_shares_one_arc_per_circuit() {
+        // a circuit unique to this test so parallel tests cannot evict it
+        // between the two compile calls with overwhelming likelihood
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationX::new(0, 0.123_456_789));
+        c.push_back(CNOT::new(0, 1));
+        let before = plan_cache_stats();
+        let a = compile(&c, &PlanOptions::default());
+        let b = compile(&c, &PlanOptions::default());
+        assert!(Arc::ptr_eq(&a, &b), "second compile must hit the cache");
+        let after = plan_cache_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+
+        // different options are a different plan
+        let unfused = compile(&c, &PlanOptions::unfused());
+        assert!(!Arc::ptr_eq(&a, &unfused));
+        assert_eq!(a.fingerprint(), unfused.fingerprint());
+
+        // equivalent (clamped) fusion caps share one entry
+        let clamped = compile(
+            &c,
+            &PlanOptions {
+                fuse: true,
+                max_fused_qubits: 64,
+            },
+        );
+        let limit = compile(
+            &c,
+            &PlanOptions {
+                fuse: true,
+                max_fused_qubits: MAX_FUSED_QUBITS_LIMIT,
+            },
+        );
+        assert!(Arc::ptr_eq(&clamped, &limit));
+    }
+
+    #[test]
+    fn plan_cache_detects_circuit_mutation() {
+        let mut c = QCircuit::new(1);
+        c.push_back(RotationZ::new(0, 0.987_654_321));
+        let a = compile(&c, &PlanOptions::default());
+        c.push_back(Hadamard::new(0));
+        let b = compile(&c, &PlanOptions::default());
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(b.stats().gates_in, 2);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        for i in 0..PLAN_CACHE_CAPACITY + 8 {
+            let mut c = QCircuit::new(1);
+            c.push_back(RotationZ::new(0, 1e-3 * i as f64 + 0.618_033_988));
+            compile(&c, &PlanOptions::default());
+        }
+        assert!(plan_cache_stats().entries <= PLAN_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn plan_stats_report_guard_estimate() {
+        let p = lower(&bell(), &PlanOptions::default());
+        assert_eq!(p.stats().state_bytes, Some(64)); // 4 amplitudes × 16 B
+        let wide = QCircuit::new(200);
+        let p = lower(&wide, &PlanOptions::default());
+        assert_eq!(p.stats().state_bytes, None);
+    }
+}

@@ -29,17 +29,27 @@ pub fn measure_probabilities(state: &CVec, n: usize, q: usize) -> (f64, f64) {
 /// register dimension with zeros in the eliminated subspace, matching the
 /// `2^n x 1` post-measurement states QCLAB reports.
 pub fn collapse(state: &CVec, n: usize, q: usize, bit: usize, prob: f64) -> CVec {
+    let mut out = CVec::zeros(0);
+    collapse_into(state, n, q, bit, prob, &mut out);
+    out
+}
+
+/// [`collapse`] writing into a caller-provided buffer — the arithmetic is
+/// identical, so the result is bit-for-bit the same. The trajectory
+/// engine uses this with a per-thread scratch buffer to avoid allocating
+/// a fresh `2^n` vector on every mid-circuit measurement of every shot.
+pub fn collapse_into(state: &CVec, n: usize, q: usize, bit: usize, prob: f64, out: &mut CVec) {
     debug_assert!(bit <= 1);
     debug_assert!(prob > 0.0, "collapse onto a zero-probability outcome");
     let s = bits::qubit_shift(q, n);
     let inv = 1.0 / prob.sqrt();
-    let mut out = CVec::zeros(state.len());
+    out.0.clear();
+    out.0.resize(state.len(), qclab_math::scalar::zero());
     let half = state.len() >> 1;
     for k in 0..half {
         let i = bits::insert_bit(k, s) | (bit << s);
         out[i] = state[i] * inv;
     }
-    out
 }
 
 #[cfg(test)]

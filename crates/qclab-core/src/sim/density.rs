@@ -22,9 +22,10 @@
 //! assert!((rho.trace().re - 1.0).abs() < 1e-12); // trace preserved
 //! ```
 
-use crate::circuit::{CircuitItem, QCircuit};
+use crate::circuit::QCircuit;
 use crate::error::QclabError;
 use crate::gates::Gate;
+use crate::program::ProgramOp;
 use crate::sim::kernel;
 use qclab_math::scalar::{c, cr, zero, C64};
 use qclab_math::{CMat, CVec, DensityMatrix};
@@ -310,41 +311,25 @@ pub fn run_noisy(
         ch.validate()?;
     }
     let mut state = initial.clone();
-    run_items(circuit, 0, &mut state, noise)?;
-    Ok(state)
-}
-
-fn run_items(
-    circuit: &QCircuit,
-    offset: usize,
-    state: &mut DensityState,
-    noise: &NoiseModel,
-) -> Result<(), QclabError> {
-    for item in circuit.items() {
-        match item {
-            CircuitItem::Gate(g) => {
-                let g = if offset == 0 {
-                    g.clone()
-                } else {
-                    g.shifted(offset)
-                };
-                state.apply_gate(&g);
+    // lower unfused: the noise model attaches a channel to every gate,
+    // so fusing gates would change the noise locations
+    let program = circuit.compile_with(&crate::program::PlanOptions::unfused());
+    for op in program.ops() {
+        match op {
+            ProgramOp::Gate(g) => {
+                state.apply_gate(g);
                 if let Some(ch) = noise.after_gate {
                     for q in g.qubits() {
                         state.apply_channel(q, &ch);
                     }
                 }
             }
-            CircuitItem::Barrier(_) => {}
-            CircuitItem::Measurement(m) => state.dephase_measure(m.qubit() + offset),
-            CircuitItem::Reset(q) => state.reset(q + offset),
-            CircuitItem::SubCircuit {
-                offset: sub_off,
-                circuit: sub,
-            } => run_items(sub, offset + sub_off, state, noise)?,
+            ProgramOp::Fence(_) => {}
+            ProgramOp::Measure(m) => state.dephase_measure(m.qubit()),
+            ProgramOp::Reset(q) => state.reset(*q),
         }
     }
-    Ok(())
+    Ok(state)
 }
 
 /// Helper: builds the imaginary unit without importing scalar helpers at

@@ -131,7 +131,7 @@ fn union(a: &[usize], b: &[usize]) -> Vec<usize> {
 }
 
 /// One fusion pass over an item list.
-fn fuse_items(
+pub(crate) fn fuse_items(
     items: &[CircuitItem],
     nb_qubits: usize,
     max_fused: usize,

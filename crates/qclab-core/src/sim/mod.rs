@@ -25,10 +25,11 @@ pub(crate) mod simd;
 pub mod stabilizer;
 pub mod trajectory;
 
-use crate::circuit::{CircuitItem, QCircuit};
+use crate::circuit::QCircuit;
 use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
+use crate::program::ProgramOp;
 use crate::reduced::contract_qubit;
 use qclab_math::CVec;
 use rand::rngs::StdRng;
@@ -282,18 +283,24 @@ impl QCircuit {
             state: initial.clone(),
             measured: BTreeMap::new(),
         }];
-        // gate-fusion pre-pass: semantically neutral, so it applies to
-        // either backend
-        let fused;
-        let circuit = if opts.kernel.fuse {
-            fused = fusion::fuse_circuit(self, opts.kernel.max_fused_qubits).0;
-            &fused
-        } else {
-            self
-        };
-        run_items(circuit, 0, &mut branches, opts, self.nb_qubits())?;
+        // lower through the shared compile/execute split — the plan
+        // cache makes repeated simulation of one circuit lower once
+        let n = self.nb_qubits();
+        let program = self.compile_with(&crate::program::PlanOptions::from(&opts.kernel));
+        for op in program.ops() {
+            match op {
+                ProgramOp::Gate(g) => {
+                    for b in branches.iter_mut() {
+                        apply_backend(g, &mut b.state, n, opts);
+                    }
+                }
+                ProgramOp::Fence(_) => {}
+                ProgramOp::Measure(m) => branches = measure_branches(&branches, m, opts, n),
+                ProgramOp::Reset(q) => branches = reset_branches(&branches, *q, opts, n),
+            }
+        }
         Ok(Simulation {
-            nb_qubits: self.nb_qubits(),
+            nb_qubits: n,
             branches,
         })
     }
@@ -304,49 +311,6 @@ fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
         Backend::Kron => kron::apply_gate(gate, state, n),
         Backend::Kernel => kernel::apply_gate_with(gate, state, n, &opts.kernel),
     }
-}
-
-/// Executes the items of `circuit` (qubits shifted by `offset`) on all
-/// live branches.
-fn run_items(
-    circuit: &QCircuit,
-    offset: usize,
-    branches: &mut Vec<Branch>,
-    opts: &SimOptions,
-    n: usize,
-) -> Result<(), QclabError> {
-    for item in circuit.items() {
-        match item {
-            CircuitItem::Gate(g) => {
-                let g = if offset == 0 {
-                    g.clone()
-                } else {
-                    g.shifted(offset)
-                };
-                for b in branches.iter_mut() {
-                    apply_backend(&g, &mut b.state, n, opts);
-                }
-            }
-            CircuitItem::Barrier(_) => {}
-            CircuitItem::SubCircuit {
-                offset: sub_off,
-                circuit: sub,
-            } => run_items(sub, offset + sub_off, branches, opts, n)?,
-            CircuitItem::Measurement(m) => {
-                let m = if offset == 0 {
-                    m.clone()
-                } else {
-                    m.shifted(offset)
-                };
-                *branches = measure_branches(branches, &m, opts, n);
-            }
-            CircuitItem::Reset(q) => {
-                let q = q + offset;
-                *branches = reset_branches(branches, q, opts, n);
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Splits every branch on a measurement outcome.

@@ -32,6 +32,8 @@
 
 use crate::error::QclabError;
 use crate::gates::Gate;
+use crate::measurement::{Basis, Measurement};
+use crate::program::{CompiledProgram, PlanOptions, ProgramOp};
 use rand::Rng;
 
 /// A Pauli row of the tableau: `x`/`z` bit vectors plus a sign.
@@ -341,6 +343,42 @@ impl StabilizerState {
         Ok(())
     }
 
+    /// Measures a qubit in the measurement's basis by rotating it into
+    /// the computational basis (`V†`), Z-measuring, and rotating back
+    /// (`V`) — mirroring the state-vector backends' basis handling. X
+    /// and Y bases are Clifford rotations (`V = H` resp. `V = S·H`); a
+    /// custom basis is not representable on the tableau.
+    pub fn measure_in_basis(
+        &mut self,
+        m: &Measurement,
+        rng: &mut impl Rng,
+    ) -> Result<MeasureOutcome, QclabError> {
+        let q = m.qubit();
+        match m.basis() {
+            Basis::Z => Ok(self.measure(q, rng)),
+            Basis::X => {
+                // V = H is self-adjoint
+                self.h(q);
+                let out = self.measure(q, rng);
+                self.h(q);
+                Ok(out)
+            }
+            Basis::Y => {
+                // V = S·H, so V† = H·S†: apply S† then H
+                self.sdg(q);
+                self.h(q);
+                let out = self.measure(q, rng);
+                self.h(q);
+                self.s(q);
+                Ok(out)
+            }
+            Basis::Custom { .. } => Err(QclabError::Unavailable(format!(
+                "custom measurement basis {} is not Clifford (stabilizer backend)",
+                m.basis().label()
+            ))),
+        }
+    }
+
     /// The stabilizer generators as strings like `+XZI` (sign, then one
     /// Pauli letter per qubit) — for inspection and tests.
     pub fn stabilizer_strings(&self) -> Vec<String> {
@@ -361,6 +399,56 @@ impl StabilizerState {
             })
             .collect()
     }
+}
+
+/// The outcome of running a circuit on the stabilizer backend.
+#[derive(Clone, Debug)]
+pub struct StabilizerRun {
+    /// Final tableau.
+    pub state: StabilizerState,
+    /// Concatenated measurement outcomes, in execution order — the same
+    /// record format as the state-vector and trajectory backends.
+    pub record: String,
+}
+
+/// Executes a lowered program on a fresh tableau: gates must be
+/// Clifford, measurements sample through `rng`, resets force `|0⟩`,
+/// fences are no-ops. This is the stabilizer backend's executor over the
+/// shared [`CompiledProgram`] IR.
+pub fn run_program(
+    program: &CompiledProgram,
+    rng: &mut impl Rng,
+) -> Result<StabilizerRun, QclabError> {
+    let mut state = StabilizerState::new(program.nb_qubits());
+    let mut record = String::new();
+    for op in program.ops() {
+        match op {
+            ProgramOp::Gate(g) => state.apply_gate(g)?,
+            ProgramOp::Fence(_) => {}
+            ProgramOp::Measure(m) => {
+                let out = state.measure_in_basis(m, rng)?;
+                record.push(if out.bit { '1' } else { '0' });
+            }
+            ProgramOp::Reset(q) => {
+                let out = state.measure(*q, rng);
+                if out.bit {
+                    state.x(*q);
+                }
+            }
+        }
+    }
+    Ok(StabilizerRun { state, record })
+}
+
+/// Runs a circuit on the stabilizer backend from `|0…0⟩`. The circuit is
+/// lowered **unfused** — fused blocks are dense `Custom` unitaries the
+/// tableau cannot absorb even when every constituent gate is Clifford.
+pub fn run_stabilizer(
+    circuit: &crate::circuit::QCircuit,
+    rng: &mut impl Rng,
+) -> Result<StabilizerRun, QclabError> {
+    let program = circuit.compile_with(&PlanOptions::unfused());
+    run_program(&program, rng)
 }
 
 #[cfg(test)]
@@ -516,5 +604,77 @@ mod tests {
         let first = s.measure(0, &mut rng);
         let last = s.measure(n - 1, &mut rng);
         assert_eq!(first.bit, last.bit);
+    }
+
+    #[test]
+    fn x_and_y_basis_measurements_are_deterministic_on_eigenstates() {
+        use crate::gates::factories::{Hadamard, SGate};
+        let mut rng = StdRng::seed_from_u64(5);
+
+        // H|0> = |+>: X-basis measurement reads 0 deterministically
+        let mut s = StabilizerState::new(1);
+        s.h(0);
+        let out = s.measure_in_basis(&Measurement::x(0), &mut rng).unwrap();
+        assert!(!out.bit);
+        assert!(!out.random);
+        // the rotate-back leaves the state an X eigenstate
+        assert_eq!(s.stabilizer_strings(), vec!["+X"]);
+
+        // S·H|0> = |+i>: Y-basis measurement reads 0 deterministically
+        let mut s = StabilizerState::new(1);
+        s.apply_gate(&Hadamard::new(0)).unwrap();
+        s.apply_gate(&SGate::new(0)).unwrap();
+        let out = s.measure_in_basis(&Measurement::y(0), &mut rng).unwrap();
+        assert!(!out.bit);
+        assert!(!out.random);
+        assert_eq!(s.stabilizer_strings(), vec!["+Y"]);
+
+        // |0> in the Y basis is uniformly random
+        let mut s = StabilizerState::new(1);
+        let out = s.measure_in_basis(&Measurement::y(0), &mut rng).unwrap();
+        assert!(out.random);
+
+        // custom bases are rejected, not silently mis-measured
+        let mut s = StabilizerState::new(1);
+        let custom = Measurement::in_basis(0, "w", Basis::X.change_matrix()).unwrap();
+        assert!(matches!(
+            s.measure_in_basis(&custom, &mut rng),
+            Err(QclabError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn run_stabilizer_executes_subcircuits_fences_and_resets() {
+        use crate::circuit::{CircuitItem, QCircuit};
+        use crate::gates::factories::{Hadamard, CNOT};
+        use crate::measurement::Measurement;
+
+        // GHZ prep inside a sub-circuit, a barrier, then measure + reset
+        let mut sub = QCircuit::new(2);
+        sub.push_back(Hadamard::new(0));
+        sub.push_back(CNOT::new(0, 1));
+        let mut c = QCircuit::new(3);
+        c.push_back_at(1, sub).unwrap();
+        c.push_back(CircuitItem::Barrier(vec![1, 2]));
+        c.push_back(Measurement::z(1));
+        c.push_back(Measurement::z(2));
+        c.push_back(CircuitItem::Reset(1));
+        c.push_back(Measurement::z(1));
+
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = run_stabilizer(&c, &mut rng).unwrap();
+            let bits: Vec<char> = run.record.chars().collect();
+            assert_eq!(bits.len(), 3);
+            // Bell pair: perfectly correlated; reset: always reads 0
+            assert_eq!(bits[0], bits[1]);
+            assert_eq!(bits[2], '0');
+        }
+
+        // non-Clifford circuits are rejected by the same runner
+        let mut bad = QCircuit::new(1);
+        bad.push_back(crate::gates::factories::TGate::new(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(run_stabilizer(&bad, &mut rng).is_err());
     }
 }

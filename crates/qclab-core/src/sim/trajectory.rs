@@ -51,18 +51,20 @@
 //! assert_eq!(result.total_counts(), 200);
 //! ```
 
-use crate::circuit::{CircuitItem, QCircuit};
+use crate::circuit::QCircuit;
 use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
 use crate::observable::{Observable, Pauli};
+use crate::program::{PlanOptions, ProgramOp};
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
-use crate::sim::{collapse, fusion, kernel};
+use crate::sim::{collapse, kernel};
 use qclab_math::CVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// A single-qubit Pauli error channel, sampled per noise location.
@@ -235,6 +237,13 @@ pub struct TrajectoryConfig {
     /// per-shot kernels then run single-threaded to avoid nested
     /// parallelism.
     pub parallel: bool,
+    /// Reuse per-thread state/scratch buffers across shots instead of
+    /// allocating two `2^n` vectors per shot. Numerically transparent —
+    /// buffers are refilled from the initial state, and the collapse
+    /// arithmetic is identical — so zero-noise runs stay bit-identical
+    /// to the baseline simulator. Disable only to measure the allocation
+    /// cost itself (the F11 ablation).
+    pub reuse_buffers: bool,
     /// Observables whose expectations are averaged over the final states
     /// of all shots (must match the circuit's register size).
     pub observables: Vec<Observable>,
@@ -250,6 +259,7 @@ impl Default for TrajectoryConfig {
             limits: ResourceLimits::default(),
             watchdog: WatchdogConfig::default(),
             parallel: true,
+            reuse_buffers: true,
             observables: Vec::new(),
         }
     }
@@ -258,8 +268,9 @@ impl Default for TrajectoryConfig {
 /// A Pauli error injected during one trajectory.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct InjectedPauli {
-    /// Index of the flattened circuit operation the error followed
-    /// (gates, measurements and resets count).
+    /// Index into the lowered program ([`crate::program::CompiledProgram::ops`])
+    /// of the operation the error followed — gates, measurements, resets
+    /// and fences all count, matching the shared IR's op numbering.
     pub op_index: usize,
     /// Qubit the error hit.
     pub qubit: usize,
@@ -338,49 +349,16 @@ impl TrajectoryResult {
     }
 }
 
-/// A flattened circuit operation (sub-circuits inlined, qubits shifted).
-enum Op {
-    Gate(Gate),
-    Measure(Measurement),
-    Reset(usize),
-}
-
-fn flatten_into(circuit: &QCircuit, offset: usize, out: &mut Vec<Op>) {
-    for item in circuit.items() {
-        match item {
-            CircuitItem::Gate(g) => out.push(Op::Gate(if offset == 0 {
-                g.clone()
-            } else {
-                g.shifted(offset)
-            })),
-            CircuitItem::Barrier(_) => {}
-            CircuitItem::Measurement(m) => out.push(Op::Measure(if offset == 0 {
-                m.clone()
-            } else {
-                m.shifted(offset)
-            })),
-            CircuitItem::Reset(q) => out.push(Op::Reset(q + offset)),
-            CircuitItem::SubCircuit {
-                offset: sub_off,
-                circuit: sub,
-            } => flatten_into(sub, offset + sub_off, out),
-        }
+/// The plan options of a trajectory run: fusion only applies to
+/// noiseless runs — noise locations are defined on the original gates,
+/// so a noisy run always executes the unfused sequence. For a noiseless
+/// run the options match the baseline simulator's, so both backends
+/// share one cached plan (and therefore the exact same kernel calls).
+fn plan_options(config: &TrajectoryConfig) -> PlanOptions {
+    PlanOptions {
+        fuse: config.kernel.fuse && config.noise.is_noiseless(),
+        max_fused_qubits: config.kernel.max_fused_qubits,
     }
-}
-
-/// Flattens the circuit to an op list, fusing first when the run is
-/// noiseless and fusion is enabled (noise locations are defined on the
-/// original gates, so noisy runs degrade gracefully to the unfused
-/// sequence).
-fn flatten(circuit: &QCircuit, config: &TrajectoryConfig) -> Vec<Op> {
-    let mut ops = Vec::new();
-    if config.kernel.fuse && config.noise.is_noiseless() {
-        let fused = fusion::fuse_circuit(circuit, config.kernel.max_fused_qubits).0;
-        flatten_into(&fused, 0, &mut ops);
-    } else {
-        flatten_into(circuit, 0, &mut ops);
-    }
-    ops
 }
 
 /// Derives the per-shot RNG: a SplitMix64-style avalanche of the
@@ -433,9 +411,12 @@ fn validate(
     Ok(dim)
 }
 
-/// State of one in-flight shot: the vector plus watchdog bookkeeping.
+/// State of one in-flight shot: the (borrowed) vector plus watchdog
+/// bookkeeping. `state` and `scratch` are caller-owned so the trajectory
+/// driver can reuse one buffer pair across all shots of a thread.
 struct ShotState<'a> {
-    state: CVec,
+    state: &'a mut CVec,
+    scratch: &'a mut CVec,
     n: usize,
     kernel: KernelConfig,
     watchdog: WatchdogConfig,
@@ -447,7 +428,7 @@ struct ShotState<'a> {
 
 impl ShotState<'_> {
     fn apply(&mut self, gate: &Gate) {
-        kernel::apply_gate_with(gate, &mut self.state, self.n, &self.kernel);
+        kernel::apply_gate_with(gate, self.state, self.n, &self.kernel);
         if self.watchdog.check_every > 0 {
             self.gates_since_check += 1;
             if self.gates_since_check >= self.watchdog.check_every {
@@ -477,7 +458,7 @@ impl ShotState<'_> {
     fn inject(&mut self, channel: &PauliChannel, qubit: usize, op_index: usize, rng: &mut StdRng) {
         if let Some(p) = channel.sample(rng) {
             if let Some(g) = pauli_gate(p, qubit) {
-                kernel::apply_gate_with(&g, &mut self.state, self.n, &self.kernel);
+                kernel::apply_gate_with(&g, self.state, self.n, &self.kernel);
                 self.injected.push(InjectedPauli {
                     op_index,
                     qubit,
@@ -506,7 +487,7 @@ impl ShotState<'_> {
 
     /// Samples a Z measurement of `q`, collapses, returns the bit.
     fn sample_z(&mut self, q: usize, rng: &mut StdRng) -> usize {
-        let (p0, p1) = collapse::measure_probabilities(&self.state, self.n, q);
+        let (p0, p1) = collapse::measure_probabilities(self.state, self.n, q);
         let r: f64 = rng.gen();
         // degenerate outcomes never collapse onto a zero-probability half
         let bit = if p1 <= 0.0 {
@@ -519,7 +500,10 @@ impl ShotState<'_> {
             1
         };
         let p = if bit == 0 { p0 } else { p1 };
-        self.state = collapse::collapse(&self.state, self.n, q, bit, p);
+        // collapse into the scratch buffer and swap: same arithmetic as
+        // `collapse::collapse`, zero allocation after the first shot
+        collapse::collapse_into(self.state, self.n, q, bit, p, self.scratch);
+        std::mem::swap(self.state, self.scratch);
         bit
     }
 
@@ -535,14 +519,14 @@ impl ShotState<'_> {
                 qubits: vec![q],
                 matrix: v.dagger(),
             };
-            kernel::apply_gate_with(&vdg, &mut self.state, self.n, &self.kernel);
+            kernel::apply_gate_with(&vdg, self.state, self.n, &self.kernel);
             let bit = self.sample_z(q, rng);
             let vg = Gate::Custom {
                 name: "V".into(),
                 qubits: vec![q],
                 matrix: v,
             };
-            kernel::apply_gate_with(&vg, &mut self.state, self.n, &self.kernel);
+            kernel::apply_gate_with(&vg, self.state, self.n, &self.kernel);
             bit
         } else {
             self.sample_z(q, rng)
@@ -550,20 +534,37 @@ impl ShotState<'_> {
     }
 }
 
-/// Runs one trajectory over the pre-flattened op list.
-fn run_shot(
-    ops: &[Op],
-    initial: &CVec,
+/// Everything shots of one ensemble share: the lowered op schedule,
+/// the initial state and the run configuration. Borrowed by every
+/// [`run_shot_in`] call so per-shot arguments stay down to the shot
+/// index and the buffers.
+struct ShotProgram<'a> {
+    ops: &'a [ProgramOp],
+    initial: &'a CVec,
     n: usize,
-    config: &TrajectoryConfig,
-    kernel_cfg: KernelConfig,
+    config: &'a TrajectoryConfig,
+    kernel: KernelConfig,
+}
+
+/// Runs one trajectory over the lowered op schedule, using the
+/// caller-provided `state`/`scratch` buffers (refilled from the initial
+/// state; the final state is left in `state`). Returns the measurement
+/// record, injected errors and watchdog statistics.
+fn run_shot_in(
+    prog: &ShotProgram<'_>,
     shot: u64,
-) -> Trajectory {
+    state: &mut CVec,
+    scratch: &mut CVec,
+) -> (String, Vec<InjectedPauli>, NormStats) {
+    let (ops, config) = (prog.ops, prog.config);
+    state.0.clear();
+    state.0.extend_from_slice(&prog.initial.0);
     let mut rng = shot_rng(config.seed, shot);
     let mut s = ShotState {
-        state: initial.clone(),
-        n,
-        kernel: kernel_cfg,
+        state,
+        scratch,
+        n: prog.n,
+        kernel: prog.kernel,
         watchdog: config.watchdog,
         stats: NormStats::default(),
         gates_since_check: 0,
@@ -573,20 +574,21 @@ fn run_shot(
     let mut record = String::new();
     for (idx, op) in ops.iter().enumerate() {
         match op {
-            Op::Gate(g) => {
+            ProgramOp::Gate(g) => {
                 s.apply(g);
                 if !s.noise.is_noiseless() {
                     s.gate_noise(&g.qubits(), idx, &mut rng);
                 }
             }
-            Op::Measure(m) => {
+            ProgramOp::Fence(_) => {}
+            ProgramOp::Measure(m) => {
                 if let Some(ch) = s.noise.before_measure {
                     s.inject(&ch, m.qubit(), idx, &mut rng);
                 }
                 let bit = s.sample_measurement(m, &mut rng);
                 record.push(if bit == 0 { '0' } else { '1' });
             }
-            Op::Reset(q) => {
+            ProgramOp::Reset(q) => {
                 if let Some(ch) = s.noise.before_measure {
                     s.inject(&ch, *q, idx, &mut rng);
                 }
@@ -600,11 +602,27 @@ fn run_shot(
     if s.watchdog.check_every > 0 && s.gates_since_check > 0 {
         s.check_norm();
     }
-    Trajectory {
-        state: s.state,
-        record,
-        injected: s.injected,
-        norm: s.stats,
+    (record, s.injected, s.stats)
+}
+
+/// Hands the closure a per-thread `(state, scratch)` buffer pair when
+/// `reuse` is set (the arena: allocated once per thread, reused by every
+/// subsequent shot on that thread), or fresh empty buffers otherwise.
+fn with_shot_buffers<R>(reuse: bool, f: impl FnOnce(&mut CVec, &mut CVec) -> R) -> R {
+    thread_local! {
+        static BUFFERS: RefCell<(CVec, CVec)> =
+            const { RefCell::new((CVec(Vec::new()), CVec(Vec::new()))) };
+    }
+    if reuse {
+        BUFFERS.with(|b| {
+            let mut b = b.borrow_mut();
+            let (state, scratch) = &mut *b;
+            f(state, scratch)
+        })
+    } else {
+        let mut state = CVec(Vec::new());
+        let mut scratch = CVec(Vec::new());
+        f(&mut state, &mut scratch)
     }
 }
 
@@ -630,8 +648,25 @@ pub fn run_single_trajectory(
 ) -> Result<Trajectory, QclabError> {
     let n = circuit.nb_qubits();
     validate(circuit, initial, config)?;
-    let ops = flatten(circuit, config);
-    Ok(run_shot(&ops, initial, n, config, config.kernel, shot))
+    let program = circuit.compile_with(&plan_options(config));
+    // local buffers: the final state is moved into the returned
+    // `Trajectory`, so the arena would gain nothing here
+    let mut state = CVec(Vec::new());
+    let mut scratch = CVec(Vec::new());
+    let prog = ShotProgram {
+        ops: program.ops(),
+        initial,
+        n,
+        config,
+        kernel: config.kernel,
+    };
+    let (record, injected, norm) = run_shot_in(&prog, shot, &mut state, &mut scratch);
+    Ok(Trajectory {
+        state,
+        record,
+        injected,
+        norm,
+    })
 }
 
 /// Samples `config.shots` trajectories of `circuit` from `|0…0⟩` and
@@ -652,8 +687,15 @@ pub fn run_trajectories_from(
 ) -> Result<TrajectoryResult, QclabError> {
     let n = circuit.nb_qubits();
     validate(circuit, initial, config)?;
-    let ops = flatten(circuit, config);
-    let kernel_cfg = shot_kernel_config(config);
+    // lower once (plan-cached); every shot executes the same program
+    let program = circuit.compile_with(&plan_options(config));
+    let prog = ShotProgram {
+        ops: program.ops(),
+        initial,
+        n,
+        config,
+        kernel: shot_kernel_config(config),
+    };
 
     /// Per-shot summary kept after the state is dropped.
     struct ShotSummary {
@@ -664,17 +706,21 @@ pub fn run_trajectories_from(
     }
 
     let summarize = |shot: u64| -> ShotSummary {
-        let t = run_shot(&ops, initial, n, config, kernel_cfg, shot);
-        ShotSummary {
-            expectations: config
-                .observables
-                .iter()
-                .map(|o| o.expectation(&t.state))
-                .collect(),
-            record: t.record,
-            injected: t.injected.len() as u64,
-            norm: t.norm,
-        }
+        with_shot_buffers(config.reuse_buffers, |state, scratch| {
+            let (record, injected, norm) = run_shot_in(&prog, shot, state, scratch);
+            ShotSummary {
+                // expectations read the final state straight out of the
+                // arena — no per-shot copy
+                expectations: config
+                    .observables
+                    .iter()
+                    .map(|o| o.expectation(state))
+                    .collect(),
+                record,
+                injected: injected.len() as u64,
+                norm,
+            }
+        })
     };
 
     let shots = config.shots;
@@ -721,6 +767,7 @@ pub fn run_trajectories_from(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::circuit::CircuitItem;
     use crate::gates::factories::*;
     use crate::observable::PauliString;
 

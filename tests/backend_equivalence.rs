@@ -10,9 +10,13 @@ mod common;
 use common::{circuit, measured_circuit, state};
 use proptest::prelude::*;
 use qclab::prelude::*;
+use qclab_core::program::{self, PlanOptions};
 use qclab_core::sim::kernel::{KernelConfig, PARALLEL_THRESHOLD_QUBITS};
+use qclab_core::sim::stabilizer::run_stabilizer;
 use qclab_core::sim::trajectory::{self, TrajectoryConfig};
 use qclab_core::sim::{kernel, kron};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const N: usize = 4;
 
@@ -215,4 +219,125 @@ fn kernels_agree_one_below_parallel_threshold() {
 #[test]
 fn kernels_agree_one_above_parallel_threshold() {
     check_parallel_boundary(PARALLEL_THRESHOLD_QUBITS + 1);
+}
+
+/// The compile/execute split must be invisible: a plan served from the
+/// fingerprint-keyed cache is the *same* plan (one shared `Arc`) and
+/// drives the executor bit-identically to a freshly lowered program.
+#[test]
+fn cached_plan_matches_fresh_lowering_bit_for_bit() {
+    let c = boundary_circuit(N);
+    let sim_opts = opts(Backend::Kernel, true, 2, false);
+    let popts = PlanOptions::from(&sim_opts.kernel);
+
+    // two compiles of an unchanged circuit share one plan
+    let cached = c.compile_with(&popts);
+    assert!(
+        std::sync::Arc::ptr_eq(&cached, &c.compile_with(&popts)),
+        "recompiling an unchanged circuit must hit the plan cache"
+    );
+
+    // the cached plan is structurally the plan a fresh lowering builds
+    let fresh = program::lower(&c, &popts);
+    assert_eq!(fresh.fingerprint(), cached.fingerprint());
+    assert_eq!(fresh.ops().len(), cached.ops().len());
+    for (a, b) in fresh.ops().iter().zip(cached.ops()) {
+        assert_eq!(a.to_string(), b.to_string(), "cached plan drifted");
+    }
+
+    // driving both plans through the same executor is bit-identical
+    let init = CVec::basis_state(1 << N, 3);
+    let mut via_fresh = init.clone();
+    let mut via_cached = init.clone();
+    fresh.apply_unitary(&mut via_fresh);
+    cached.apply_unitary(&mut via_cached);
+    for (x, y) in via_fresh.iter().zip(via_cached.iter()) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "cached amplitudes drifted");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "cached amplitudes drifted");
+    }
+
+    // and so is the full simulator front end: a cold-cache run and a
+    // warm-cache run of the same circuit return the same bits
+    program::clear_plan_cache();
+    let cold = c.simulate_with(&init, &sim_opts).unwrap();
+    let warm = c.simulate_with(&init, &sim_opts).unwrap();
+    for (sa, sb) in cold.states().iter().zip(warm.states()) {
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "warm-cache run drifted");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "warm-cache run drifted");
+        }
+    }
+}
+
+/// A barrier is a fusion wall in every backend. All executors pull their
+/// plan from the one lowering pipeline, so the fence must survive
+/// lowering, split the fused block, and change nothing semantically —
+/// in the kernel and Kronecker simulators, the zero-noise trajectory
+/// sampler (which fuses) and the stabilizer engine alike.
+#[test]
+fn barrier_blocks_fusion_identically_in_all_backends() {
+    // Clifford-only so the stabilizer backend can run the same circuit
+    let mut barred = QCircuit::new(2);
+    barred.push_back(Hadamard::new(0));
+    barred.push_back(SGate::new(0));
+    barred.push_back(CircuitItem::Barrier(vec![0]));
+    barred.push_back(CNOT::new(0, 1));
+    barred.push_back(Hadamard::new(1));
+
+    let mut unbarred = QCircuit::new(2);
+    for item in barred.items() {
+        if !matches!(item, CircuitItem::Barrier(_)) {
+            unbarred.push_back(item.clone());
+        }
+    }
+
+    // plan level: the fence survives lowering and splits the block the
+    // barrier-free circuit fuses whole
+    let popts = PlanOptions::default();
+    let plan = barred.compile_with(&popts);
+    let plan_unbarred = unbarred.compile_with(&popts);
+    assert_eq!(plan.stats().fences, 1, "the barrier must lower to a fence");
+    assert_eq!(plan_unbarred.stats().fences, 0);
+    assert!(
+        plan.stats().gates_out > plan_unbarred.stats().gates_out,
+        "the fence must block fusion: {} vs {} gates after the pass",
+        plan.stats().gates_out,
+        plan_unbarred.stats().gates_out
+    );
+
+    // backend level: fused kernel, fused Kronecker and the unfused
+    // reference agree on the barred circuit, and the barrier changes no
+    // amplitudes relative to the barrier-free circuit
+    let init = CVec::basis_state(1 << 2, 0);
+    let reference = barred
+        .simulate_with(&init, &opts(Backend::Kernel, false, 2, false))
+        .unwrap();
+    for (backend, what) in [
+        (Backend::Kernel, "fused kernel"),
+        (Backend::Kron, "fused kron"),
+    ] {
+        let fused = barred
+            .simulate_with(&init, &opts(backend, true, 2, false))
+            .unwrap();
+        assert_sims_agree(&reference, &fused, what);
+    }
+    let no_barrier = unbarred
+        .simulate_with(&init, &opts(Backend::Kernel, true, 2, false))
+        .unwrap();
+    assert_sims_agree(&reference, &no_barrier, "barrier must be a no-op");
+
+    // the zero-noise trajectory sampler fuses through the same plan and
+    // must reproduce the reference state exactly
+    let t =
+        trajectory::run_single_trajectory(&barred, &init, &TrajectoryConfig::default(), 5).unwrap();
+    assert!(t.injected.is_empty());
+    assert!(
+        t.state.approx_eq(reference.states()[0], 1e-12),
+        "trajectory diverged across the barrier"
+    );
+
+    // the stabilizer engine executes the same fence-preserving plan
+    let mut rng = StdRng::seed_from_u64(5);
+    let stab = run_stabilizer(&barred, &mut rng).unwrap();
+    assert_eq!(stab.record, "", "no measurements, no record");
 }
