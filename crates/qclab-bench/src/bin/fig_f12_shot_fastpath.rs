@@ -1,0 +1,142 @@
+//! Figure F12 — shot-execution fast-path ablation.
+//!
+//! Two questions, one per section of the table:
+//!
+//! 1. **Alias sampling** — for the dominant workload shape (unitary
+//!    circuit + terminal measurements, no noise), what does drawing all
+//!    shots from the one-time measured-qubit marginal save over evolving
+//!    the state per shot? The fast path is `O(2^n·gates + shots)`
+//!    against the per-shot engine's `O(shots·2^n·gates)`, so the gap
+//!    widens with both `n` and the shot count.
+//! 2. **Prefix forking** — with readout noise only, the deterministic
+//!    gate prefix is evolved once and every shot forks from the
+//!    snapshot. The fork is exact: the per-shot `(seed, shot)` RNG
+//!    streams are untouched, so counts are bit-identical to the plain
+//!    engine — which this bin asserts, not just benchmarks.
+//!
+//! `--smoke` shrinks sizes for CI; the fast-path-taken assertions still
+//! run there, so CI proves the dispatch fires, not just that the bin
+//! exits.
+
+use qclab_bench::{fmt_seconds, median_time, random_circuit, Table};
+use qclab_core::prelude::*;
+use qclab_core::sim::trajectory::{
+    run_trajectories, NoiseSpec, PauliChannel, ShotPath, TrajectoryConfig,
+};
+use std::hint::black_box;
+
+/// Unitary random circuit with every qubit measured at the end — the
+/// `counts`-style sampling workload the alias path targets.
+fn sample_only_circuit(n: usize, layers: usize) -> QCircuit {
+    let mut c = random_circuit(n, layers, 7);
+    for q in 0..n {
+        c.push_back(Measurement::z(q));
+    }
+    c
+}
+
+fn config(shots: u64, noise: NoiseSpec, fast_path: bool) -> TrajectoryConfig {
+    TrajectoryConfig {
+        shots,
+        seed: 11,
+        noise,
+        fast_path,
+        ..TrajectoryConfig::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 10 } else { 16 };
+    let layers = if smoke { 4 } else { 8 };
+    let shots: u64 = if smoke { 256 } else { 4096 };
+    let runs = if smoke { 1 } else { 3 };
+
+    let mut t = Table::new(
+        "F12: shot-execution fast paths (alias sampling + prefix forking)",
+        &["section", "qubits", "config", "time", "speedup"],
+    );
+
+    // -- section 1: terminal-measurement alias sampling ----------------
+    let circuit = sample_only_circuit(n, layers);
+    let fast = run_trajectories(&circuit, &config(shots, NoiseSpec::default(), true)).unwrap();
+    assert!(
+        matches!(fast.path(), ShotPath::AliasSampled { .. }),
+        "sample-only circuit must take the alias path, got {}",
+        fast.path()
+    );
+    let t_per_shot = median_time(runs, || {
+        black_box(run_trajectories(&circuit, &config(shots, NoiseSpec::default(), false)).unwrap());
+    });
+    let t_alias = median_time(runs, || {
+        black_box(run_trajectories(&circuit, &config(shots, NoiseSpec::default(), true)).unwrap());
+    });
+    let alias_ratio = t_per_shot / t_alias;
+    t.row(&[
+        "alias".into(),
+        n.to_string(),
+        format!("per-shot ({shots} shots)"),
+        fmt_seconds(t_per_shot),
+        "1.0x".into(),
+    ]);
+    t.row(&[
+        "alias".into(),
+        n.to_string(),
+        format!("alias-sampled ({shots} shots)"),
+        fmt_seconds(t_alias),
+        format!("{alias_ratio:.1}x"),
+    ]);
+    if !smoke {
+        assert!(
+            alias_ratio >= 10.0,
+            "alias path must be >= 10x over per-shot at n={n}, measured {alias_ratio:.1}x"
+        );
+    }
+
+    // -- section 2: deterministic-prefix forking under readout noise ---
+    let readout = NoiseSpec {
+        before_measure: Some(PauliChannel::BitFlip(0.02)),
+        ..NoiseSpec::default()
+    };
+    let forked = run_trajectories(&circuit, &config(shots, readout, true)).unwrap();
+    assert!(
+        matches!(forked.path(), ShotPath::Forked { .. }),
+        "readout-noise run must fork from the prefix snapshot, got {}",
+        forked.path()
+    );
+    let t_unforked = median_time(runs, || {
+        black_box(run_trajectories(&circuit, &config(shots, readout, false)).unwrap());
+    });
+    let t_forked = median_time(runs, || {
+        black_box(run_trajectories(&circuit, &config(shots, readout, true)).unwrap());
+    });
+    // exactness: forking must not change a single count
+    let unforked = run_trajectories(&circuit, &config(shots, readout, false)).unwrap();
+    assert_eq!(
+        forked.counts(),
+        unforked.counts(),
+        "forked counts diverged from the per-shot engine"
+    );
+    assert_eq!(forked.injected_errors(), unforked.injected_errors());
+    let fork_ratio = t_unforked / t_forked;
+    t.row(&[
+        "fork".into(),
+        n.to_string(),
+        format!("per-shot ({shots} shots, readout noise)"),
+        fmt_seconds(t_unforked),
+        "1.0x".into(),
+    ]);
+    t.row(&[
+        "fork".into(),
+        n.to_string(),
+        format!("forked prefix ({shots} shots, readout noise)"),
+        fmt_seconds(t_forked),
+        format!("{fork_ratio:.1}x"),
+    ]);
+
+    t.emit("BENCH_f12_shot_fastpath");
+    println!(
+        "alias sampling is {alias_ratio:.1}x over per-shot evolution at n={n}/{shots} shots;\n\
+         prefix forking is {fork_ratio:.1}x with readout noise, with bit-identical counts"
+    );
+}

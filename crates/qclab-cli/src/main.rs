@@ -23,7 +23,11 @@
 //! * `--shots N` — alternative to the positional shot count,
 //! * `--noise CH:P` / `--idle-noise CH:P` / `--measure-noise CH:P` —
 //!   Pauli noise for `sample`, where `CH` is `bitflip`, `phaseflip` or
-//!   `depolarizing` and `P` the error probability per location.
+//!   `depolarizing` and `P` the error probability per location,
+//! * `--no-fast-path` — force the plain per-shot trajectory engine for
+//!   `sample` (disables deterministic-prefix forking and
+//!   terminal-measurement alias sampling; results are drawn from the
+//!   same distribution either way).
 //!
 //! Errors go to stderr with a distinct exit code per failure class:
 //! `2` usage, `3` I/O, `4` QASM parse, `5` simulation, `6` resource
@@ -147,6 +151,7 @@ enum Command {
         shots: u64,
         seed: u64,
         noise: NoiseSpec,
+        fast_path: bool,
         opts: EngineOpts,
     },
     Compile {
@@ -171,7 +176,8 @@ fn usage() -> String {
      --shots <n>             shot count (counts/sample)\n  \
      --noise <ch:p>          after-gate noise (sample); ch = bitflip|phaseflip|depolarizing\n  \
      --idle-noise <ch:p>     idle-qubit noise (sample)\n  \
-     --measure-noise <ch:p>  pre-measurement noise (sample)"
+     --measure-noise <ch:p>  pre-measurement noise (sample)\n  \
+     --no-fast-path          force the per-shot engine (sample)"
         .to_string()
 }
 
@@ -204,6 +210,7 @@ struct Flags {
     seed: Option<u64>,
     shots: Option<u64>,
     noise: NoiseSpec,
+    no_fast_path: bool,
     used: Vec<&'static str>,
 }
 
@@ -268,6 +275,10 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 flags.noise.before_measure = Some(parse_channel(&value("channel spec")?)?);
                 flags.used.push("--measure-noise");
             }
+            "--no-fast-path" => {
+                flags.no_fast_path = true;
+                flags.used.push("--no-fast-path");
+            }
             other if other.starts_with("--") => {
                 return Err(usage_err(format!("unknown option '{other}'")));
             }
@@ -294,6 +305,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--noise",
             "--idle-noise",
             "--measure-noise",
+            "--no-fast-path",
         ],
         "compile" => &["--no-fuse", "--max-qubits"],
         _ => &[],
@@ -338,6 +350,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             shots: shots_at(1)?,
             seed: flags.seed.unwrap_or(1),
             noise: flags.noise,
+            fast_path: !flags.no_fast_path,
             opts: flags.opts,
         }),
         "compile" => Ok(Command::Compile {
@@ -404,6 +417,7 @@ fn sample(
     shots: u64,
     seed: u64,
     noise: NoiseSpec,
+    fast_path: bool,
     opts: &EngineOpts,
 ) -> Result<String, CliError> {
     let config = TrajectoryConfig {
@@ -412,12 +426,14 @@ fn sample(
         noise,
         kernel: opts.kernel(),
         limits: opts.limits(),
+        fast_path,
         ..TrajectoryConfig::default()
     };
     let result = run_trajectories(circuit, &config)?;
     let mut out = format!(
-        "sampled {shots} trajectories (seed {seed}, {} injected error(s)):\n",
-        result.injected_errors()
+        "sampled {shots} trajectories (seed {seed}, {} injected error(s), path: {}):\n",
+        result.injected_errors(),
+        result.path()
     );
     for (record, n) in result.counts() {
         let label = if record.is_empty() {
@@ -487,6 +503,22 @@ fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliEr
         "  state bytes:  {}\n",
         fmt_bytes(stats.state_bytes)
     ));
+    let plan = program.shot_plan();
+    out.push_str(&format!(
+        "  shot plan:    {} deterministic + {} stochastic op(s)\n",
+        plan.prefix_ops, plan.suffix_ops
+    ));
+    out.push_str(&format!(
+        "  terminal sampling: {}\n",
+        if plan.terminal_measurements {
+            format!(
+                "eligible ({} measured qubit(s), noiseless runs sample the marginal)",
+                plan.measured_qubits.len()
+            )
+        } else {
+            "not eligible (suffix has gates, resets or re-measured qubits)".to_string()
+        }
+    ));
     out.push_str("schedule:\n");
     for (i, op) in program.ops().iter().enumerate() {
         out.push_str(&format!("  {i:>4}  {op}\n"));
@@ -520,8 +552,9 @@ fn run(cmd: Command) -> Result<String, CliError> {
             shots,
             seed,
             noise,
+            fast_path,
             opts,
-        } => sample(&load(&path)?, shots, seed, noise, &opts),
+        } => sample(&load(&path)?, shots, seed, noise, fast_path, &opts),
         Command::Compile { path, opts } => compile_report(&load(&path)?, &opts),
         Command::Stats { path } => Ok(stats(&load(&path)?)),
     }
@@ -666,9 +699,20 @@ mod tests {
                     idle: None,
                     before_measure: Some(PauliChannel::BitFlip(0.05)),
                 },
+                fast_path: true,
                 opts: EngineOpts::default(),
             }
         );
+        // --no-fast-path forces the per-shot engine and is sample-only
+        let cmd = parse_args(&args(&["sample", "f.qasm", "10", "--no-fast-path"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sample {
+                fast_path: false,
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["counts", "f.qasm", "10", "--no-fast-path"])).is_err());
         // malformed specs are usage errors
         for bad in ["bitflip", "bitflip:x", "frob:0.1", "bitflip:1.5"] {
             let e = parse_args(&args(&["sample", "f.qasm", "10", "--noise", bad])).unwrap_err();
@@ -732,12 +776,26 @@ mod tests {
             shots: 200,
             seed: 5,
             noise: NoiseSpec::default(),
+            fast_path: true,
             opts: EngineOpts::default(),
         })
         .unwrap();
         assert!(clean.contains("sampled 200 trajectories"));
         assert!(clean.contains("'00'") && clean.contains("'11'"));
         assert!(!clean.contains("'01'") && !clean.contains("'10'"));
+        // a noiseless terminal-measurement circuit takes the alias path;
+        // the opt-out reports the per-shot engine instead
+        assert!(clean.contains("path: alias-sampled"), "output: {clean}");
+        let slow = run(Command::Sample {
+            path: p.clone(),
+            shots: 200,
+            seed: 5,
+            noise: NoiseSpec::default(),
+            fast_path: false,
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        assert!(slow.contains("path: per-shot"), "output: {slow}");
         // a certain bit-flip before the only measurement flips |0> to '1'
         let dir = std::env::temp_dir().join("qclab_cli_test");
         let one = dir.join("one.qasm");
@@ -750,6 +808,7 @@ mod tests {
                 before_measure: Some(PauliChannel::BitFlip(1.0)),
                 ..NoiseSpec::default()
             },
+            fast_path: true,
             opts: EngineOpts::default(),
         })
         .unwrap();
@@ -791,6 +850,16 @@ mod tests {
         assert!(fused.contains("measurements: 2"), "{fused}");
         assert!(fused.contains("state bytes:  64 B"), "{fused}");
         assert!(fused.contains("fingerprint"), "{fused}");
+        // the fused bell circuit is one deterministic op plus two
+        // terminal measurements — sample-eligible
+        assert!(
+            fused.contains("shot plan:    1 deterministic + 2 stochastic op(s)"),
+            "{fused}"
+        );
+        assert!(
+            fused.contains("terminal sampling: eligible (2 measured qubit(s)"),
+            "{fused}"
+        );
         let unfused = run(Command::Compile {
             path: p.clone(),
             opts: EngineOpts {

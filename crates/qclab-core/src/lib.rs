@@ -33,7 +33,7 @@ pub use gates::Gate;
 pub use measurement::{Basis, Measurement};
 pub use observable::{Observable, Pauli, PauliString};
 pub use optimize::{optimize, OptimizeStats};
-pub use program::{CompiledProgram, PlanCacheStats, PlanOptions, PlanStats, ProgramOp};
+pub use program::{CompiledProgram, PlanCacheStats, PlanOptions, PlanStats, ProgramOp, ShotPlan};
 pub use reduced::{contract_qubit, reduced_statevector};
 pub use sim::density::{DensityState, NoiseChannel, NoiseModel};
 pub use sim::stabilizer::{run_stabilizer, MeasureOutcome, StabilizerRun, StabilizerState};

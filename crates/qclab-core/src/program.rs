@@ -173,6 +173,98 @@ pub struct PlanStats {
     /// when `2^n · 16` overflows a `u128`) — the guard estimate the CLI
     /// reports and executors re-check against their [`ResourceLimits`].
     pub state_bytes: Option<u128>,
+    /// Ops in the deterministic shot prefix (see [`ShotPlan`]).
+    pub shot_prefix_ops: usize,
+    /// Ops in the stochastic shot suffix (see [`ShotPlan`]).
+    pub shot_suffix_ops: usize,
+    /// `true` when the program is eligible for terminal-measurement
+    /// sampling (see [`ShotPlan::terminal_measurements`]).
+    pub terminal_sampling: bool,
+}
+
+/// Shot-execution classification of a compiled program: the split the
+/// trajectory engine uses to route repeated-shot workloads down cheaper
+/// paths.
+///
+/// Every op stream partitions into a **deterministic prefix** — the
+/// leading run of gates and fences, which evolves identically on every
+/// shot of a gate-noiseless run — and a **stochastic suffix** starting
+/// at the first measurement or reset, where outcomes (and any
+/// measurement-site noise) diverge per shot. The prefix can be evolved
+/// once and forked; when the suffix is nothing but single-visit
+/// terminal measurements (the common `counts` shape), per-shot
+/// evolution can be skipped entirely in favour of sampling the measured
+/// marginal distribution (see [`crate::sim::sampler`]).
+///
+/// The classification is purely structural — whether a *run* may
+/// actually fork or sample also depends on its noise configuration
+/// (gate/idle noise makes every gate a stochastic site) and is decided
+/// by the executor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShotPlan {
+    /// Ops before the first measurement or reset (gates and fences
+    /// only). Equals `ops().len()` for purely unitary programs.
+    pub prefix_ops: usize,
+    /// Ops from the first measurement or reset onward.
+    pub suffix_ops: usize,
+    /// Gate ops inside the prefix.
+    pub prefix_gates: usize,
+    /// Gate ops inside the suffix.
+    pub suffix_gates: usize,
+    /// `true` when the suffix consists only of measurements (plus
+    /// fences) on pairwise-distinct qubits — the shape whose outcome
+    /// distribution is a fixed marginal of the prefix state.
+    pub terminal_measurements: bool,
+    /// The measured qubits in execution order when
+    /// [`terminal_measurements`](Self::terminal_measurements) holds
+    /// (record character `j` is the outcome of `measured_qubits[j]`);
+    /// empty otherwise.
+    pub measured_qubits: Vec<usize>,
+}
+
+impl ShotPlan {
+    /// Classifies a lowered op stream. The partition never reorders
+    /// anything: `ops[..prefix_ops]` and `ops[prefix_ops..]` concatenate
+    /// back to the original schedule, fences included.
+    fn classify(ops: &[ProgramOp]) -> ShotPlan {
+        let prefix_ops = ops
+            .iter()
+            .position(|op| matches!(op, ProgramOp::Measure(_) | ProgramOp::Reset(_)))
+            .unwrap_or(ops.len());
+        let gate_count =
+            |s: &[ProgramOp]| s.iter().filter(|o| matches!(o, ProgramOp::Gate(_))).count();
+        let mut measured_qubits = Vec::new();
+        let mut terminal_measurements = true;
+        for op in &ops[prefix_ops..] {
+            match op {
+                ProgramOp::Measure(m) => {
+                    if measured_qubits.contains(&m.qubit()) {
+                        // a re-measured qubit's second outcome is
+                        // conditioned on its first — not a fixed marginal
+                        terminal_measurements = false;
+                        break;
+                    }
+                    measured_qubits.push(m.qubit());
+                }
+                ProgramOp::Fence(_) => {}
+                ProgramOp::Gate(_) | ProgramOp::Reset(_) => {
+                    terminal_measurements = false;
+                    break;
+                }
+            }
+        }
+        if !terminal_measurements {
+            measured_qubits.clear();
+        }
+        ShotPlan {
+            prefix_ops,
+            suffix_ops: ops.len() - prefix_ops,
+            prefix_gates: gate_count(&ops[..prefix_ops]),
+            suffix_gates: gate_count(&ops[prefix_ops..]),
+            terminal_measurements,
+            measured_qubits,
+        }
+    }
 }
 
 /// A circuit lowered to a flat op schedule: the shared IR all simulation
@@ -184,6 +276,7 @@ pub struct CompiledProgram {
     options: PlanOptions,
     ops: Vec<ProgramOp>,
     stats: PlanStats,
+    shot_plan: ShotPlan,
 }
 
 impl CompiledProgram {
@@ -211,6 +304,13 @@ impl CompiledProgram {
     /// Lowering statistics.
     pub fn stats(&self) -> &PlanStats {
         &self.stats
+    }
+
+    /// The shot-execution classification: deterministic prefix vs
+    /// stochastic suffix, and terminal-measurement eligibility. Cached
+    /// with the plan, so repeated-shot executors classify once.
+    pub fn shot_plan(&self) -> &ShotPlan {
+        &self.shot_plan
     }
 
     /// `true` when the program contains no measurements or resets, i.e.
@@ -437,12 +537,18 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
         }
     }
 
+    let shot_plan = ShotPlan::classify(&ops);
+    stats.shot_prefix_ops = shot_plan.prefix_ops;
+    stats.shot_suffix_ops = shot_plan.suffix_ops;
+    stats.terminal_sampling = shot_plan.terminal_measurements;
+
     CompiledProgram {
         nb_qubits,
         fingerprint,
         options,
         ops,
         stats,
+        shot_plan,
     }
 }
 
@@ -783,6 +889,87 @@ mod tests {
             compile(&c, &PlanOptions::default());
         }
         assert!(plan_cache_stats().entries <= PLAN_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn shot_plan_classifies_terminal_measurement_circuits() {
+        // unitary prefix + distinct terminal measurements: the counts shape
+        let mut c = bell();
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::x(1));
+        let p = lower(&c, &PlanOptions::unfused());
+        let sp = p.shot_plan();
+        assert_eq!(sp.prefix_ops, 2);
+        assert_eq!(sp.suffix_ops, 2);
+        assert_eq!(sp.prefix_gates, 2);
+        assert_eq!(sp.suffix_gates, 0);
+        assert!(sp.terminal_measurements);
+        assert_eq!(sp.measured_qubits, vec![0, 1]);
+        assert_eq!(p.stats().shot_prefix_ops, 2);
+        assert_eq!(p.stats().shot_suffix_ops, 2);
+        assert!(p.stats().terminal_sampling);
+
+        // purely unitary program: everything is prefix, trivially terminal
+        let p = lower(&bell(), &PlanOptions::unfused());
+        assert_eq!(p.shot_plan().prefix_ops, 2);
+        assert_eq!(p.shot_plan().suffix_ops, 0);
+        assert!(p.shot_plan().terminal_measurements);
+        assert!(p.shot_plan().measured_qubits.is_empty());
+    }
+
+    #[test]
+    fn shot_plan_rejects_non_terminal_suffixes() {
+        // gate after a measurement: fork-eligible, not sample-eligible
+        let mut c = bell();
+        c.push_back(Measurement::z(0));
+        c.push_back(Hadamard::new(1));
+        let sp = lower(&c, &PlanOptions::unfused()).shot_plan().clone();
+        assert_eq!(sp.prefix_ops, 2);
+        assert_eq!(sp.suffix_ops, 2);
+        assert_eq!(sp.suffix_gates, 1);
+        assert!(!sp.terminal_measurements);
+        assert!(sp.measured_qubits.is_empty());
+
+        // reset in the suffix
+        let mut c = bell();
+        c.push_back(CircuitItem::Reset(0));
+        let sp = lower(&c, &PlanOptions::unfused()).shot_plan().clone();
+        assert_eq!(sp.prefix_ops, 2);
+        assert!(!sp.terminal_measurements);
+
+        // the same qubit measured twice is conditioned, not a marginal
+        let mut c = bell();
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::x(0));
+        let sp = lower(&c, &PlanOptions::unfused()).shot_plan().clone();
+        assert!(!sp.terminal_measurements);
+
+        // a circuit that *starts* with a measurement has an empty prefix
+        let mut c = QCircuit::new(2);
+        c.push_back(Measurement::z(0));
+        c.push_back(Hadamard::new(0));
+        let sp = lower(&c, &PlanOptions::unfused()).shot_plan().clone();
+        assert_eq!(sp.prefix_ops, 0);
+        assert_eq!(sp.suffix_ops, 2);
+    }
+
+    #[test]
+    fn shot_plan_keeps_fences_in_place() {
+        // fences survive in both halves and never move across the split
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CircuitItem::Barrier(vec![0, 1]));
+        c.push_back(Hadamard::new(0));
+        c.push_back(Measurement::z(0));
+        c.push_back(CircuitItem::Barrier(vec![1]));
+        c.push_back(Measurement::z(1));
+        let p = lower(&c, &PlanOptions::unfused());
+        let sp = p.shot_plan();
+        assert_eq!(sp.prefix_ops, 3);
+        assert!(matches!(&p.ops()[1], ProgramOp::Fence(_)));
+        assert!(matches!(&p.ops()[4], ProgramOp::Fence(_)));
+        assert!(sp.terminal_measurements, "suffix fences are harmless");
+        assert_eq!(sp.measured_qubits, vec![0, 1]);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod fusion;
 pub mod guard;
 pub mod kernel;
 pub mod kron;
+pub mod sampler;
 pub(crate) mod simd;
 pub mod stabilizer;
 pub mod trajectory;
@@ -154,23 +155,27 @@ impl Simulation {
     }
 
     /// [`counts`](Self::counts) with a caller-supplied RNG.
+    ///
+    /// Draws go through [`sampler::DiscreteSampler`] — cumulative search
+    /// for few branches, an O(1)-per-draw alias table for many — instead
+    /// of the old linear scan per shot, so sampling cost is
+    /// `O(branches + shots)` rather than `O(branches · shots)`. The
+    /// sampled *distribution* is unchanged but the RNG draw stream is
+    /// not: counts for a given seed differ from releases that used the
+    /// per-shot scan.
     pub fn counts_with_rng(&self, shots: u64, rng: &mut impl Rng) -> Vec<(String, u64)> {
         let mut tally: BTreeMap<String, u64> = BTreeMap::new();
         // make every possible outcome visible even at zero frequency
         for b in &self.branches {
             tally.entry(b.result.clone()).or_insert(0);
         }
+        let weights: Vec<f64> = self.branches.iter().map(|b| b.probability).collect();
+        // branch probabilities are positive and sum to ~1 by construction,
+        // so the sampler build cannot fail for a simulation result
+        let sampler = sampler::DiscreteSampler::new(&weights)
+            .expect("branch probabilities are a distribution");
         for _ in 0..shots {
-            let r: f64 = rng.gen();
-            let mut acc = 0.0;
-            let mut chosen = self.branches.len() - 1;
-            for (i, b) in self.branches.iter().enumerate() {
-                acc += b.probability;
-                if r < acc {
-                    chosen = i;
-                    break;
-                }
-            }
+            let chosen = sampler.sample(rng);
             *tally
                 .entry(self.branches[chosen].result.clone())
                 .or_insert(0) += 1;

@@ -56,16 +56,18 @@ use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
 use crate::observable::{Observable, Pauli};
-use crate::program::{PlanOptions, ProgramOp};
+use crate::program::{CompiledProgram, PlanOptions, ProgramOp};
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
+use crate::sim::sampler::DiscreteSampler;
 use crate::sim::{collapse, kernel};
-use qclab_math::CVec;
+use qclab_math::{bits, CVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A single-qubit Pauli error channel, sampled per noise location.
 ///
@@ -247,6 +249,13 @@ pub struct TrajectoryConfig {
     /// Observables whose expectations are averaged over the final states
     /// of all shots (must match the circuit's register size).
     pub observables: Vec<Observable>,
+    /// Enable the shot-execution fast paths (deterministic-prefix forking
+    /// and terminal-measurement alias sampling). Both are exact: the fork
+    /// path replays the cached [`ShotPlan`](crate::program::ShotPlan)
+    /// prefix once and produces bit-identical per-shot results, and the
+    /// alias path draws shots from the exact measured-qubit marginal.
+    /// Disable to force the plain per-shot engine (the F12 ablation).
+    pub fast_path: bool,
 }
 
 impl Default for TrajectoryConfig {
@@ -261,6 +270,42 @@ impl Default for TrajectoryConfig {
             parallel: true,
             reuse_buffers: true,
             observables: Vec::new(),
+            fast_path: true,
+        }
+    }
+}
+
+/// Which shot-execution strategy a trajectory run actually used
+/// (reported on [`TrajectoryResult::path`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShotPath {
+    /// Every shot evolved the full op schedule from the initial state.
+    PerShot,
+    /// The deterministic prefix was evolved once and snapshotted; each
+    /// shot forked from the snapshot and ran only the stochastic suffix.
+    Forked {
+        /// Ops (gates + fences) replayed once instead of per shot.
+        prefix_ops: usize,
+    },
+    /// The circuit was pure unitary + terminal measurements: the state
+    /// was evolved once, the measured-qubit marginal built, and all
+    /// shots drawn from an alias table in O(1) each.
+    AliasSampled {
+        /// Ops evolved once before sampling.
+        prefix_ops: usize,
+    },
+}
+
+impl fmt::Display for ShotPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ShotPath::PerShot => write!(f, "per-shot"),
+            ShotPath::Forked { prefix_ops } => {
+                write!(f, "forked (prefix {prefix_ops} ops)")
+            }
+            ShotPath::AliasSampled { prefix_ops } => {
+                write!(f, "alias-sampled (prefix {prefix_ops} ops)")
+            }
         }
     }
 }
@@ -300,6 +345,7 @@ pub struct TrajectoryResult {
     injected_errors: u64,
     expectations: Vec<f64>,
     norm: NormStats,
+    path: ShotPath,
 }
 
 impl TrajectoryResult {
@@ -346,6 +392,11 @@ impl TrajectoryResult {
     /// Merged watchdog statistics over all shots.
     pub fn norm_stats(&self) -> &NormStats {
         &self.norm
+    }
+
+    /// Which shot-execution strategy the run used.
+    pub fn path(&self) -> ShotPath {
+        self.path
     }
 }
 
@@ -540,10 +591,21 @@ impl ShotState<'_> {
 /// index and the buffers.
 struct ShotProgram<'a> {
     ops: &'a [ProgramOp],
+    /// State every shot starts from. On the fork path this is the
+    /// snapshot after the deterministic prefix, not `|initial⟩`.
     initial: &'a CVec,
     n: usize,
     config: &'a TrajectoryConfig,
     kernel: KernelConfig,
+    /// First op each shot executes (`> 0` on the fork path; the skipped
+    /// prefix is baked into `initial`). Absolute op indices are kept so
+    /// [`InjectedPauli::op_index`] still refers to the full schedule.
+    start: usize,
+    /// Watchdog statistics carried over from the one-time prefix
+    /// evolution, so per-shot stats match the unforked engine exactly.
+    init_norm: NormStats,
+    /// Gate count since the last watchdog check at the end of the prefix.
+    init_gates: usize,
 }
 
 /// Runs one trajectory over the lowered op schedule, using the
@@ -566,13 +628,13 @@ fn run_shot_in(
         n: prog.n,
         kernel: prog.kernel,
         watchdog: config.watchdog,
-        stats: NormStats::default(),
-        gates_since_check: 0,
+        stats: prog.init_norm,
+        gates_since_check: prog.init_gates,
         injected: Vec::new(),
         noise: &config.noise,
     };
     let mut record = String::new();
-    for (idx, op) in ops.iter().enumerate() {
+    for (idx, op) in ops.iter().enumerate().skip(prog.start) {
         match op {
             ProgramOp::Gate(g) => {
                 s.apply(g);
@@ -637,6 +699,134 @@ fn shot_kernel_config(config: &TrajectoryConfig) -> KernelConfig {
     }
 }
 
+/// Evolves the deterministic prefix (`ops[..prefix]` — gates and fences
+/// only, by construction of [`crate::program::ShotPlan`]) once from
+/// `initial`, with full watchdog bookkeeping. Returns the evolved state
+/// plus the watchdog carry `(stats, gates_since_check)` that forked
+/// shots must resume from so their statistics match the unforked engine
+/// exactly. `final_check` additionally performs the end-of-shot norm
+/// check (used by the alias path, where no per-shot epilogue runs).
+fn evolve_prefix(
+    ops: &[ProgramOp],
+    prefix: usize,
+    initial: &CVec,
+    n: usize,
+    config: &TrajectoryConfig,
+    kernel: KernelConfig,
+    final_check: bool,
+) -> (CVec, NormStats, usize) {
+    let mut state = initial.clone();
+    let mut scratch = CVec(Vec::new());
+    let noise = NoiseSpec::default();
+    let mut s = ShotState {
+        state: &mut state,
+        scratch: &mut scratch,
+        n,
+        kernel,
+        watchdog: config.watchdog,
+        stats: NormStats::default(),
+        gates_since_check: 0,
+        injected: Vec::new(),
+        noise: &noise,
+    };
+    for op in &ops[..prefix] {
+        match op {
+            ProgramOp::Gate(g) => s.apply(g),
+            ProgramOp::Fence(_) => {}
+            // the classifier ends the prefix at the first Measure/Reset
+            ProgramOp::Measure(_) | ProgramOp::Reset(_) => unreachable!(),
+        }
+    }
+    if final_check && s.watchdog.check_every > 0 && s.gates_since_check > 0 {
+        s.check_norm();
+    }
+    let (stats, gates) = (s.stats, s.gates_since_check);
+    (state, stats, gates)
+}
+
+/// Terminal-measurement fast path: the program is a unitary prefix
+/// followed only by measurements of pairwise-distinct qubits (plus
+/// fences), and the run is noiseless with no observables. Evolves the
+/// state once, rotates each measured qubit into its measurement basis,
+/// builds the exact joint marginal over the measured qubits, and draws
+/// every shot from a [`DiscreteSampler`] — `O(2^n · gates + shots)`
+/// total instead of `O(shots · 2^n · gates)`.
+fn run_alias_sampled(
+    program: &CompiledProgram,
+    initial: &CVec,
+    n: usize,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    let plan = program.shot_plan();
+    let ops = program.ops();
+    // one-time evolution: no per-shot RNG stream to stay compatible
+    // with, so the parallel kernels are allowed here
+    let (mut state, norm, _) = evolve_prefix(
+        ops,
+        plan.prefix_ops,
+        initial,
+        n,
+        config,
+        config.kernel,
+        true,
+    );
+    // rotate every non-Z measured qubit into its basis; the suffix
+    // qubits are pairwise distinct, so the rotations commute and the
+    // Z-basis joint marginal below is exactly the joint outcome
+    // distribution of the sequential per-shot measurements
+    for op in &ops[plan.prefix_ops..] {
+        if let ProgramOp::Measure(m) = op {
+            if !matches!(m.basis(), Basis::Z) {
+                let v = m.basis().change_matrix();
+                let vdg = Gate::Custom {
+                    name: "V†".into(),
+                    qubits: vec![m.qubit()],
+                    matrix: v.dagger(),
+                };
+                kernel::apply_gate_with(&vdg, &mut state, n, &config.kernel);
+            }
+        }
+    }
+    let measured = &plan.measured_qubits;
+    let m = measured.len();
+    let mut probs = vec![0.0f64; 1usize << m];
+    for (i, amp) in state.iter().enumerate() {
+        probs[bits::gather_bits(i, measured, n)] += amp.norm_sqr();
+    }
+    let sampler = DiscreteSampler::new(&probs)
+        .expect("marginal of a normalized state is a valid distribution");
+    // tally by outcome index — O(log distinct) per draw, never 2^m
+    // storage for sparse outcomes
+    let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
+    for shot in 0..config.shots {
+        // one draw from the shot's own (seed, shot) stream keeps the
+        // sample deterministic and independent of execution order
+        let mut rng = shot_rng(config.seed, shot);
+        *tally.entry(sampler.sample(&mut rng)).or_insert(0) += 1;
+    }
+    // outcome index → record string: measurement j (execution order) is
+    // bit m−1−j, matching the per-shot engine's record layout
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, c) in tally {
+        let mut record = String::with_capacity(m);
+        for j in (0..m).rev() {
+            record.push(if (k >> j) & 1 == 1 { '1' } else { '0' });
+        }
+        counts.insert(record, c);
+    }
+    Ok(TrajectoryResult {
+        nb_qubits: n,
+        shots: config.shots,
+        counts,
+        injected_errors: 0,
+        expectations: Vec::new(),
+        norm,
+        path: ShotPath::AliasSampled {
+            prefix_ops: plan.prefix_ops,
+        },
+    })
+}
+
 /// Runs a single trajectory (shot index `shot`) and returns its final
 /// state, measurement record and injected errors. Deterministic in
 /// `(config.seed, shot)`.
@@ -659,6 +849,9 @@ pub fn run_single_trajectory(
         n,
         config,
         kernel: config.kernel,
+        start: 0,
+        init_norm: NormStats::default(),
+        init_gates: 0,
     };
     let (record, injected, norm) = run_shot_in(&prog, shot, &mut state, &mut scratch);
     Ok(Trajectory {
@@ -689,12 +882,55 @@ pub fn run_trajectories_from(
     validate(circuit, initial, config)?;
     // lower once (plan-cached); every shot executes the same program
     let program = circuit.compile_with(&plan_options(config));
+    let plan = program.shot_plan();
+
+    // Terminal-measurement fast path: pure unitary + terminal
+    // measurements, noiseless, no observables — evolve once, sample the
+    // exact marginal.
+    if config.fast_path
+        && config.noise.is_noiseless()
+        && plan.terminal_measurements
+        && config.observables.is_empty()
+    {
+        return run_alias_sampled(&program, initial, n, config);
+    }
+
+    // Deterministic-prefix forking: without gate/idle noise the prefix
+    // consumes no RNG draws and injects no errors, so evolving it once
+    // and forking each shot from the snapshot preserves the per-shot
+    // (seed, shot) streams — and therefore the results — bit for bit.
+    let gate_noise = config.noise.after_gate.is_some() || config.noise.idle.is_some();
+    let prefix_ops = if config.fast_path && !gate_noise {
+        plan.prefix_ops
+    } else {
+        0
+    };
+    let kernel = shot_kernel_config(config);
+    let snapshot;
+    let (start_state, init_norm, init_gates) = if prefix_ops > 0 {
+        // same kernel config as the shots themselves, so the snapshot is
+        // bit-identical to what each unforked shot would have computed
+        let (state, stats, gates) =
+            evolve_prefix(program.ops(), prefix_ops, initial, n, config, kernel, false);
+        snapshot = state;
+        (&snapshot, stats, gates)
+    } else {
+        (initial, NormStats::default(), 0)
+    };
     let prog = ShotProgram {
         ops: program.ops(),
-        initial,
+        initial: start_state,
         n,
         config,
-        kernel: shot_kernel_config(config),
+        kernel,
+        start: prefix_ops,
+        init_norm,
+        init_gates,
+    };
+    let path = if prefix_ops > 0 {
+        ShotPath::Forked { prefix_ops }
+    } else {
+        ShotPath::PerShot
     };
 
     /// Per-shot summary kept after the state is dropped.
@@ -761,6 +997,7 @@ pub fn run_trajectories_from(
         injected_errors,
         expectations,
         norm,
+        path,
     })
 }
 
@@ -1016,5 +1253,117 @@ mod tests {
         let mut v = CVec::basis_state(2, 1);
         s.apply(&mut v);
         assert!((v[1].re + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shot_path_selection_matches_plan_and_noise() {
+        let base = || TrajectoryConfig {
+            shots: 32,
+            ..TrajectoryConfig::default()
+        };
+        // noiseless + terminal measurements → alias sampled (H + CNOT
+        // fuse into one op under the default kernel config)
+        let r = run_trajectories(&bell_measured(), &base()).unwrap();
+        assert_eq!(r.path(), ShotPath::AliasSampled { prefix_ops: 1 });
+        assert_eq!(r.total_counts(), 32);
+        // opt-out forces the plain per-shot engine
+        let cfg = TrajectoryConfig {
+            fast_path: false,
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        assert_eq!(r.path(), ShotPath::PerShot);
+        // observables need per-shot final states → fork, not alias
+        let cfg = TrajectoryConfig {
+            observables: vec![Observable::new(2).term(1.0, "ZZ")],
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        assert_eq!(r.path(), ShotPath::Forked { prefix_ops: 1 });
+        // gate noise makes every gate a noise site → no deterministic prefix
+        let cfg = TrajectoryConfig {
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::BitFlip(0.1)),
+                ..NoiseSpec::default()
+            },
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        assert_eq!(r.path(), ShotPath::PerShot);
+        // readout noise strikes only in the suffix → fork stays on
+        let cfg = TrajectoryConfig {
+            noise: NoiseSpec {
+                before_measure: Some(PauliChannel::BitFlip(0.1)),
+                ..NoiseSpec::default()
+            },
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        assert_eq!(r.path(), ShotPath::Forked { prefix_ops: 2 });
+    }
+
+    #[test]
+    fn forked_runs_are_bit_identical_to_per_shot() {
+        // re-measured qubit + reset keep the alias path off under every
+        // plan; the forked engine must reproduce the per-shot engine
+        // exactly
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(RotationY::new(2, 0.7));
+        c.push_back(Measurement::z(0));
+        c.push_back(Hadamard::new(2));
+        c.push_back(Measurement::x(2));
+        c.push_back(CircuitItem::Reset(0));
+        c.push_back(Measurement::z(0));
+        for noise in [
+            NoiseSpec::default(),
+            NoiseSpec {
+                before_measure: Some(PauliChannel::BitFlip(0.05)),
+                ..NoiseSpec::default()
+            },
+        ] {
+            let mk = |fast_path| TrajectoryConfig {
+                shots: 200,
+                seed: 11,
+                fast_path,
+                noise,
+                ..TrajectoryConfig::default()
+            };
+            let fast = run_trajectories(&c, &mk(true)).unwrap();
+            let slow = run_trajectories(&c, &mk(false)).unwrap();
+            // fused (noiseless) and unfused (noisy) plans have different
+            // prefix op counts; both must fork
+            assert!(matches!(fast.path(), ShotPath::Forked { prefix_ops } if prefix_ops > 0));
+            assert_eq!(slow.path(), ShotPath::PerShot);
+            assert_eq!(fast.counts(), slow.counts());
+            assert_eq!(fast.injected_errors(), slow.injected_errors());
+            assert_eq!(fast.norm_stats(), slow.norm_stats());
+        }
+    }
+
+    #[test]
+    fn alias_path_reproduces_deterministic_marginals() {
+        // |1⟩ ⊗ |+⟩: q0 reads 1 in Z, q1 reads 0 in X — both certain
+        let mut c = QCircuit::new(2);
+        c.push_back(Gate::PauliX(0));
+        c.push_back(Hadamard::new(1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::x(1));
+        let config = TrajectoryConfig {
+            shots: 100,
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &config).unwrap();
+        assert!(matches!(r.path(), ShotPath::AliasSampled { .. }));
+        assert_eq!(r.counts().get("10"), Some(&100));
+        // zero shots: both engines report empty counts
+        let none = TrajectoryConfig {
+            shots: 0,
+            ..TrajectoryConfig::default()
+        };
+        let r = run_trajectories(&c, &none).unwrap();
+        assert_eq!(r.total_counts(), 0);
+        assert!(r.counts().is_empty());
     }
 }
