@@ -78,8 +78,11 @@ fn main() {
         &["qubits", "config", "gates applied", "time", "speedup"],
     );
 
+    // --smoke shrinks the sweep to one small register for CI
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[14] } else { &[16, 18, 20] };
     let caps = [2usize, 3, 4];
-    for n in [16usize, 18, 20] {
+    for &n in sizes {
         let circuit = random_12q_circuit(n, 200, 42);
         let init = CVec::basis_state(1 << n, 0);
         let configs: Vec<SimOptions> = std::iter::once(opts(false, 2))

@@ -16,6 +16,9 @@
 //!   `counts`, `sample`, `compile`),
 //! * `--no-simd` — force the scalar kernels (`simulate`, `counts`,
 //!   `sample`),
+//! * `--no-remap` — disable the locality pass (logical→physical qubit
+//!   remapping and the cache-blocked sweep), reproducing the pre-remap
+//!   engine bit for bit (`simulate`, `counts`, `sample`, `compile`),
 //! * `--max-qubits N` — refuse registers above `N` qubits instead of
 //!   relying on the 4 GiB default memory cap (any command that
 //!   simulates),
@@ -88,6 +91,7 @@ impl From<QclabError> for CliError {
 struct EngineOpts {
     fuse: bool,
     simd: bool,
+    remap: bool,
     max_qubits: Option<usize>,
 }
 
@@ -96,6 +100,7 @@ impl Default for EngineOpts {
         EngineOpts {
             fuse: true,
             simd: true,
+            remap: true,
             max_qubits: None,
         }
     }
@@ -106,6 +111,7 @@ impl EngineOpts {
         KernelConfig {
             fuse: self.fuse,
             allow_simd: self.simd,
+            remap: self.remap,
             ..KernelConfig::default()
         }
     }
@@ -171,6 +177,7 @@ fn usage() -> String {
      qclab compile  [flags] <file.qasm>\n  qclab stats    <file.qasm>\n\
      flags:\n  --no-fuse               disable gate fusion\n  \
      --no-simd               force scalar kernels\n  \
+     --no-remap              disable the qubit-locality pass\n  \
      --max-qubits <n>        refuse larger registers\n  \
      --seed <n>              RNG seed (counts/sample)\n  \
      --shots <n>             shot count (counts/sample)\n  \
@@ -240,6 +247,10 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 flags.opts.simd = false;
                 flags.used.push("--no-simd");
             }
+            "--no-remap" => {
+                flags.opts.remap = false;
+                flags.used.push("--no-remap");
+            }
             "--max-qubits" => {
                 let v = value("qubit count")?;
                 flags.opts.max_qubits = Some(v.parse().map_err(|_| {
@@ -288,10 +299,11 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
     // flag/command compatibility
     let allowed: &[&str] = match cmd.as_str() {
-        "simulate" => &["--no-fuse", "--no-simd", "--max-qubits"],
+        "simulate" => &["--no-fuse", "--no-simd", "--no-remap", "--max-qubits"],
         "counts" => &[
             "--no-fuse",
             "--no-simd",
+            "--no-remap",
             "--max-qubits",
             "--seed",
             "--shots",
@@ -299,6 +311,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "sample" => &[
             "--no-fuse",
             "--no-simd",
+            "--no-remap",
             "--max-qubits",
             "--seed",
             "--shots",
@@ -307,7 +320,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--measure-noise",
             "--no-fast-path",
         ],
-        "compile" => &["--no-fuse", "--max-qubits"],
+        "compile" => &["--no-fuse", "--no-remap", "--max-qubits"],
         _ => &[],
     };
     if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
@@ -486,10 +499,11 @@ fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliEr
     let program = circuit.compile_with(&qclab_core::PlanOptions::from(&kernel));
     let stats = program.stats();
     let mut out = format!(
-        "compiled {} qubits (fingerprint {:016x}, fusion {}):\n",
+        "compiled {} qubits (fingerprint {:016x}, fusion {}, remap {}):\n",
         program.nb_qubits(),
         program.fingerprint(),
         if program.options().fuse { "on" } else { "off" },
+        if program.options().remap { "on" } else { "off" },
     );
     out.push_str(&format!(
         "  gates:        {} -> {} ({} fused block(s))\n",
@@ -518,6 +532,18 @@ fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliEr
         } else {
             "not eligible (suffix has gates, resets or re-measured qubits)".to_string()
         }
+    ));
+    out.push_str(&format!(
+        "  locality:     {} window(s) remapped, {} move(s), {} fold(s)\n",
+        stats.remap_windows, stats.remap_moves, stats.remap_folds
+    ));
+    let cache = qclab_core::program::plan_cache_stats();
+    out.push_str(&format!(
+        "  plan cache:   {} hit(s), {} miss(es), {} entr{} resident\n",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        if cache.entries == 1 { "y" } else { "ies" }
     ));
     out.push_str("schedule:\n");
     for (i, op) in program.ops().iter().enumerate() {
@@ -659,6 +685,7 @@ mod tests {
                     fuse: false,
                     simd: false,
                     max_qubits: Some(20),
+                    ..EngineOpts::default()
                 },
             }
         );
@@ -752,7 +779,7 @@ mod tests {
             opts: EngineOpts {
                 fuse: false,
                 simd: false,
-                max_qubits: None,
+                ..EngineOpts::default()
             },
         })
         .unwrap();
@@ -893,6 +920,51 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(e.code, EXIT_RESOURCE);
+    }
+
+    #[test]
+    fn no_remap_flag_parses_on_engine_commands() {
+        let cmd = parse_args(&args(&["simulate", "--no-remap", "f.qasm"])).unwrap();
+        assert!(matches!(cmd, Command::Simulate { ref opts, .. } if !opts.remap));
+        let cmd = parse_args(&args(&["sample", "f.qasm", "10", "--no-remap"])).unwrap();
+        assert!(matches!(cmd, Command::Sample { ref opts, .. } if !opts.remap));
+        let cmd = parse_args(&args(&["compile", "--no-remap", "f.qasm"])).unwrap();
+        assert!(matches!(cmd, Command::Compile { ref opts, .. } if !opts.remap));
+        // no plan is lowered for draw/tex/stats, so the flag is an error there
+        assert!(parse_args(&args(&["draw", "--no-remap", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["stats", "--no-remap", "f.qasm"])).is_err());
+    }
+
+    #[test]
+    fn compile_no_fuse_on_fenced_circuit_succeeds_with_cache_counters() {
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fenced = dir.join("fenced.qasm");
+        std::fs::write(
+            &fenced,
+            "qreg q[2];\ncreg c[2];\nh q[0];\nbarrier q;\ncx q[0], q[1];\nmeasure q -> c;\n",
+        )
+        .unwrap();
+        let p = fenced.to_str().unwrap().to_string();
+        // parse + run must take the success path (exit code 0 in main)
+        let cmd = parse_args(&args(&["compile", "--no-fuse", &p])).unwrap();
+        let before = qclab_core::program::plan_cache_stats();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("fusion off, remap on"), "{report}");
+        assert!(report.contains("fences:       1"), "{report}");
+        // a 2-qubit register is below the tile size: the pass is inert
+        assert!(
+            report.contains("locality:     0 window(s) remapped, 0 move(s), 0 fold(s)"),
+            "{report}"
+        );
+        assert!(report.contains("plan cache:"), "{report}");
+        let after_first = qclab_core::program::plan_cache_stats();
+        assert!(after_first.misses > before.misses, "first lowering misses");
+        // recompiling the identical file is served from the plan cache
+        let cmd = parse_args(&args(&["compile", "--no-fuse", &p])).unwrap();
+        run(cmd).unwrap();
+        let after_second = qclab_core::program::plan_cache_stats();
+        assert!(after_second.hits > after_first.hits, "recompile hits");
     }
 
     #[test]

@@ -396,6 +396,60 @@ impl Gate {
         }
     }
 
+    /// Returns a copy of the gate with every qubit index `q` replaced by
+    /// `map[q]` (used by the locality pass to relabel logical qubits to
+    /// their physical slots; see `qclab_core::program`).
+    pub fn relabeled(&self, map: &[usize]) -> Gate {
+        let mut g = self.clone();
+        g.relabel_in_place(map);
+        g
+    }
+
+    fn relabel_in_place(&mut self, map: &[usize]) {
+        match self {
+            Gate::Identity(q)
+            | Gate::Hadamard(q)
+            | Gate::PauliX(q)
+            | Gate::PauliY(q)
+            | Gate::PauliZ(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::SX(q)
+            | Gate::SXdg(q) => *q = map[*q],
+            Gate::RotationX { qubit, .. }
+            | Gate::RotationY { qubit, .. }
+            | Gate::RotationZ { qubit, .. }
+            | Gate::Phase { qubit, .. }
+            | Gate::U2 { qubit, .. }
+            | Gate::U3 { qubit, .. } => *qubit = map[*qubit],
+            Gate::Swap(a, b) | Gate::ISwap(a, b) => {
+                *a = map[*a];
+                *b = map[*b];
+            }
+            Gate::RotationXX { qubits, .. }
+            | Gate::RotationYY { qubits, .. }
+            | Gate::RotationZZ { qubits, .. } => {
+                qubits[0] = map[qubits[0]];
+                qubits[1] = map[qubits[1]];
+            }
+            Gate::Controlled {
+                controls, target, ..
+            } => {
+                for c in controls.iter_mut() {
+                    *c = map[*c];
+                }
+                target.relabel_in_place(map);
+            }
+            Gate::Custom { qubits, .. } => {
+                for q in qubits.iter_mut() {
+                    *q = map[*q];
+                }
+            }
+        }
+    }
+
     /// Validates the gate against a register of `nb_qubits` qubits:
     /// all qubit indices in range and mutually distinct, control states
     /// binary, custom matrices unitary and of matching dimension.
@@ -610,6 +664,26 @@ mod tests {
         let g = MCX::new(&[0, 1], 2, &[1, 1]).shifted(3);
         assert_eq!(g.controls(), vec![(3, 1), (4, 1)]);
         assert_eq!(g.targets(), vec![5]);
+    }
+
+    #[test]
+    fn relabeled_maps_all_qubits() {
+        // map: 0->2, 1->0, 2->1
+        let map = [2usize, 0, 1];
+        let g = MCX::new(&[0, 1], 2, &[1, 0]).relabeled(&map);
+        assert_eq!(g.controls(), vec![(2, 1), (0, 0)]);
+        assert_eq!(g.targets(), vec![1]);
+        let s = ISwapGate::new(0, 2).relabeled(&map);
+        assert_eq!(s.targets(), vec![2, 1]);
+        // identity map is a no-op for every gate shape
+        let id = [0usize, 1, 2];
+        for g in [
+            Hadamard::new(1),
+            RotationZZ::new(0, 2, 0.3),
+            CustomGate::new("G", &[2, 0], matrices::swap()).unwrap(),
+        ] {
+            assert_eq!(g.relabeled(&id), g);
+        }
     }
 
     #[test]

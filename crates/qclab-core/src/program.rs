@@ -51,7 +51,7 @@ use crate::gates::Gate;
 use crate::measurement::Measurement;
 use crate::sim::fusion::{self, FusionStats, MAX_FUSED_QUBITS_LIMIT};
 use crate::sim::guard::ResourceLimits;
-use crate::sim::kernel::KernelConfig;
+use crate::sim::kernel::{KernelConfig, SWEEP_TILE_QUBITS};
 use qclab_math::CVec;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +73,22 @@ pub enum ProgramOp {
     /// dropping them silently (as the old trajectory flattener did)
     /// risks cross-backend drift the moment a pass keys on them.
     Fence(Vec<usize>),
+    /// A logical→physical layout change from the locality pass. `perm`
+    /// is the physical movement realized *now*: the index bit at
+    /// physical qubit `i` moves to physical qubit `perm[i]`. `map` is
+    /// the logical→physical permutation active after this op (executors
+    /// adopt it verbatim — it is never composed at run time). The
+    /// executor permutes the amplitudes via
+    /// [`crate::sim::kernel::permute_state`] — pure data movement, so
+    /// executing a remapped plan is bit-identical to the unmapped one
+    /// (single transpositions take the cheap pair-exchange swap path
+    /// inside `permute_state`).
+    Permute {
+        /// Physical movement: bit at qubit `i` goes to qubit `perm[i]`.
+        perm: Vec<usize>,
+        /// Logical→physical map active after this op.
+        map: Vec<usize>,
+    },
 }
 
 impl ProgramOp {
@@ -83,6 +99,8 @@ impl ProgramOp {
             ProgramOp::Measure(m) => vec![m.qubit()],
             ProgramOp::Reset(q) => vec![*q],
             ProgramOp::Fence(qs) => qs.clone(),
+            // the physical positions actually displaced
+            ProgramOp::Permute { perm, .. } => (0..perm.len()).filter(|&i| perm[i] != i).collect(),
         }
     }
 }
@@ -102,6 +120,14 @@ impl fmt::Display for ProgramOp {
             }
             ProgramOp::Reset(q) => write!(f, "reset            q{q}"),
             ProgramOp::Fence(qs) => write!(f, "fence            {}", qubits(qs)),
+            ProgramOp::Permute { perm, .. } => {
+                let swaps = (0..perm.len())
+                    .filter(|&i| perm[i] != i)
+                    .map(|i| format!("p{}->p{}", i, perm[i]))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                write!(f, "permute          {swaps}")
+            }
         }
     }
 }
@@ -115,6 +141,11 @@ pub struct PlanOptions {
     /// Qubit-footprint cap for fused blocks, clamped to
     /// `1..=`[`MAX_FUSED_QUBITS_LIMIT`] like [`fusion::fuse_circuit`].
     pub max_fused_qubits: usize,
+    /// Run the locality pass: relabel hot qubits into low-order index
+    /// bits per gate window so the cache-blocked sweep and the
+    /// LSB-stride SIMD kernels apply (inert for registers of
+    /// ≤ [`SWEEP_TILE_QUBITS`] qubits).
+    pub remap: bool,
 }
 
 impl Default for PlanOptions {
@@ -122,6 +153,7 @@ impl Default for PlanOptions {
         PlanOptions {
             fuse: true,
             max_fused_qubits: fusion::DEFAULT_MAX_FUSED_QUBITS,
+            remap: true,
         }
     }
 }
@@ -130,9 +162,12 @@ impl PlanOptions {
     /// Lowering without the fusion pass — the right options for backends
     /// whose semantics are defined on the original gates (density noise
     /// locations, stabilizer Clifford checks, `to_matrix` oracles).
+    /// Those backends walk gates at their source qubits, so the
+    /// locality pass is off too.
     pub fn unfused() -> Self {
         PlanOptions {
             fuse: false,
+            remap: false,
             ..PlanOptions::default()
         }
     }
@@ -150,6 +185,7 @@ impl From<&KernelConfig> for PlanOptions {
         PlanOptions {
             fuse: cfg.fuse,
             max_fused_qubits: cfg.max_fused_qubits,
+            remap: cfg.remap,
         }
     }
 }
@@ -180,6 +216,17 @@ pub struct PlanStats {
     /// `true` when the program is eligible for terminal-measurement
     /// sampling (see [`ShotPlan::terminal_measurements`]).
     pub terminal_sampling: bool,
+    /// Gate windows where the locality pass adopted a new layout.
+    pub remap_windows: usize,
+    /// General amplitude permutations emitted (three or more displaced
+    /// index bits, including the trailing restore to the identity
+    /// layout when it displaces that many).
+    pub remap_moves: usize,
+    /// Single-transposition layout changes, realized by the cheap
+    /// pair-exchange swap path of
+    /// [`crate::sim::kernel::permute_state`] instead of a full
+    /// gather/scatter pass.
+    pub remap_folds: usize,
 }
 
 /// Shot-execution classification of a compiled program: the split the
@@ -247,7 +294,12 @@ impl ShotPlan {
                     measured_qubits.push(m.qubit());
                 }
                 ProgramOp::Fence(_) => {}
-                ProgramOp::Gate(_) | ProgramOp::Reset(_) => {
+                // a layout change in the suffix means the sampled
+                // marginal would be read off a permuted state — the
+                // locality pass keeps its restore inside the prefix for
+                // exactly the terminal shape, so this only fires on
+                // genuinely non-terminal programs
+                ProgramOp::Gate(_) | ProgramOp::Reset(_) | ProgramOp::Permute { .. } => {
                     terminal_measurements = false;
                     break;
                 }
@@ -277,6 +329,7 @@ pub struct CompiledProgram {
     ops: Vec<ProgramOp>,
     stats: PlanStats,
     shot_plan: ShotPlan,
+    prefix_map: Option<Vec<usize>>,
 }
 
 impl CompiledProgram {
@@ -313,6 +366,16 @@ impl CompiledProgram {
         &self.shot_plan
     }
 
+    /// The logical→physical map active at the end of the deterministic
+    /// shot prefix, or `None` when the prefix ends in the identity
+    /// layout (always the case with the locality pass off, and for
+    /// terminal-measurement programs, whose restore sits inside the
+    /// prefix). The trajectory fork path snapshots this alongside the
+    /// prefix state so forked suffixes resume under the right layout.
+    pub fn prefix_map(&self) -> Option<&[usize]> {
+        self.prefix_map.as_deref()
+    }
+
     /// `true` when the program contains no measurements or resets, i.e.
     /// it implements a unitary.
     pub fn is_unitary(&self) -> bool {
@@ -329,6 +392,9 @@ impl CompiledProgram {
             match op {
                 ProgramOp::Gate(g) => crate::sim::kernel::apply_gate(g, state, n),
                 ProgramOp::Fence(_) => {}
+                ProgramOp::Permute { perm, .. } => {
+                    crate::sim::kernel::permute_state(state, n, perm, false);
+                }
                 ProgramOp::Measure(_) | ProgramOp::Reset(_) => {
                     panic!("apply_unitary on a non-unitary program")
                 }
@@ -480,6 +546,222 @@ fn flatten_items(circuit: &QCircuit, offset: usize, out: &mut Vec<CircuitItem>) 
     }
 }
 
+// ---------------------------------------------------------------------
+// locality pass
+// ---------------------------------------------------------------------
+//
+// The dense kernels are fastest when a gate's targets live in low-order
+// index bits: unit-stride pairs vectorize (`sim::simd`), and the
+// cache-blocked sweep (`sim::kernel::apply_window`) can keep a
+// `2^SWEEP_TILE_QUBITS`-amplitude tile resident across a whole gate
+// window. Instead of physically swapping amplitudes toward qubit 0 like
+// a SWAP-insertion router would, this pass *relabels*: it tracks a
+// logical→physical permutation over the schedule, rewrites gate qubits
+// through it, and only touches amplitudes when a window's layout
+// actually changes — and even then prefers single index-bit
+// transpositions (the cheap pair-exchange path of `permute_state`)
+// over general gather/scatter permutations.
+
+/// Cost-model weight of a gate whose targets miss the hot tile.
+const GATE_FAR_COST: f64 = 1.0;
+/// Weight of a gate whose targets all sit inside the hot tile (the
+/// sweep applies it from cache; ~1/3 of a strided full-vector walk).
+const GATE_NEAR_COST: f64 = 0.35;
+/// Weight of one explicit amplitude permutation (two full passes over
+/// the state: a strided gather plus a linear write).
+const PERMUTE_COST: f64 = 2.0;
+/// Weight of a single-transposition layout change: `permute_state`
+/// realizes it with the in-place pair-exchange swap kernel (half the
+/// state read+written once, no allocation) — far cheaper than the
+/// general gather into a fresh vector.
+const FOLD_COST: f64 = 0.3;
+
+/// Minimal-movement layout for one gate window: hot (most-targeted)
+/// logical qubits claim the hot physical slots `n-b..n` (index shifts
+/// `< b`), keeping every already-hot assignment in place. Returns the
+/// desired map and the transpositions `(from, to)` of physical
+/// positions that turn `cur` into it.
+fn window_layout(cur: &[usize], hist: &[usize], n: usize) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let b = SWEEP_TILE_QUBITS;
+    let lo = n - b;
+    let mut hot: Vec<usize> = (0..n).filter(|&q| hist[q] > 0).collect();
+    hot.sort_by_key(|&q| (std::cmp::Reverse(hist[q]), q));
+    hot.truncate(b);
+
+    let mut desired = cur.to_vec();
+    let mut swaps = Vec::new();
+    let mut used = vec![false; n];
+    for &q in &hot {
+        if desired[q] >= lo {
+            used[desired[q]] = true;
+        }
+    }
+    for &q in &hot {
+        if desired[q] >= lo {
+            continue;
+        }
+        // hottest qubits were visited first, so they get the largest
+        // free physical index (smallest shift) — except the bottom two
+        // index bits, preferred last: pair strides of 1-2 force the
+        // shuffle-heavy LSB SIMD kernels, while shifts >= 2 keep the
+        // fast contiguous-lane paths
+        let slot = (lo..n.saturating_sub(2))
+            .rev()
+            .chain(n.saturating_sub(2)..n)
+            .find(|&s| !used[s]);
+        let Some(slot) = slot else {
+            break;
+        };
+        used[slot] = true;
+        let old = desired[q];
+        // the displaced occupant is cold (hot occupants were marked
+        // used above), so parking it at `q`'s old position is free
+        let occupant = desired.iter().position(|&p| p == slot).unwrap();
+        desired[occupant] = old;
+        desired[q] = slot;
+        swaps.push((old, slot));
+    }
+    (desired, swaps)
+}
+
+/// Relabels one maximal run of consecutive gates, adopting a new layout
+/// when the cost model says the relabeling pays for its transition.
+fn remap_window(
+    window: &[&Gate],
+    n: usize,
+    cur: &mut Vec<usize>,
+    identity: &[usize],
+    out: &mut Vec<ProgramOp>,
+    last_gate: &mut Option<usize>,
+    stats: &mut PlanStats,
+) {
+    let b = SWEEP_TILE_QUBITS;
+    let mut hist = vec![0usize; n];
+    for g in window {
+        for t in g.targets() {
+            hist[t] += 1;
+        }
+    }
+    let (desired, swaps) = window_layout(cur, &hist, n);
+
+    // controls are deliberately ignored: the sweep strips high controls
+    // into a tile predicate, so only *targets* need to be near
+    let gate_cost = |map: &[usize], g: &Gate| {
+        if g.targets().iter().all(|&t| map[t] >= n - b) {
+            GATE_NEAR_COST
+        } else {
+            GATE_FAR_COST
+        }
+    };
+    let benefit: f64 = window
+        .iter()
+        .map(|g| gate_cost(cur, g) - gate_cost(&desired, g))
+        .sum();
+
+    // a single transposition takes the pair-exchange fast path inside
+    // `permute_state` — much cheaper than a general permutation, and
+    // still pure movement (bit-exact)
+    let fold = swaps.len() == 1;
+    let mut transition = if fold { FOLD_COST } else { PERMUTE_COST };
+    if cur.as_slice() == identity {
+        // leaving the identity layout commits us to a restore later
+        transition += PERMUTE_COST;
+    }
+
+    if !swaps.is_empty() && benefit > transition {
+        let mut perm = vec![0usize; n];
+        for q in 0..n {
+            perm[cur[q]] = desired[q];
+        }
+        stats.remap_windows += 1;
+        if fold {
+            stats.remap_folds += 1;
+        } else {
+            stats.remap_moves += 1;
+        }
+        out.push(ProgramOp::Permute {
+            perm,
+            map: desired.clone(),
+        });
+        *cur = desired;
+    }
+    for g in window {
+        *last_gate = Some(out.len());
+        out.push(ProgramOp::Gate(if cur.as_slice() == identity {
+            (*g).clone()
+        } else {
+            g.relabeled(cur)
+        }));
+    }
+}
+
+/// The locality pass: rewrites a lowered op stream so each gate
+/// window's hot targets live in low-order index bits, inserting
+/// [`ProgramOp::Permute`] ops at layout transitions and a final restore
+/// to the identity layout right after the last gate (so any terminal
+/// measurement run — the alias-sampling shape — sees a logical-layout
+/// state). Inert for registers that fit in one sweep tile.
+fn remap_ops(ops: Vec<ProgramOp>, n: usize, stats: &mut PlanStats) -> Vec<ProgramOp> {
+    if n <= SWEEP_TILE_QUBITS {
+        return ops;
+    }
+    let identity: Vec<usize> = (0..n).collect();
+    let mut cur = identity.clone();
+    let mut out = Vec::with_capacity(ops.len() + 4);
+    let mut last_gate: Option<usize> = None;
+    let mut i = 0;
+    while i < ops.len() {
+        if matches!(ops[i], ProgramOp::Gate(_)) {
+            let mut j = i;
+            while j < ops.len() && matches!(ops[j], ProgramOp::Gate(_)) {
+                j += 1;
+            }
+            let window: Vec<&Gate> = ops[i..j]
+                .iter()
+                .map(|op| match op {
+                    ProgramOp::Gate(g) => g,
+                    _ => unreachable!(),
+                })
+                .collect();
+            remap_window(
+                &window,
+                n,
+                &mut cur,
+                &identity,
+                &mut out,
+                &mut last_gate,
+                stats,
+            );
+            i = j;
+        } else {
+            // measurements and resets keep their logical qubits; the
+            // executor resolves them through the tracked map
+            out.push(ops[i].clone());
+            i += 1;
+        }
+    }
+    if cur != identity {
+        let mut perm = vec![0usize; n];
+        for (q, &p) in cur.iter().enumerate() {
+            perm[p] = q;
+        }
+        if perm.iter().enumerate().filter(|&(i, &p)| p != i).count() == 2 {
+            stats.remap_folds += 1;
+        } else {
+            stats.remap_moves += 1;
+        }
+        let at = last_gate.expect("layout left identity without any gate") + 1;
+        out.insert(
+            at,
+            ProgramOp::Permute {
+                perm,
+                map: identity,
+            },
+        );
+    }
+    out
+}
+
 /// Lowers a circuit to a [`CompiledProgram`] without consulting the plan
 /// cache. Use [`compile`] unless you are measuring lowering cost itself
 /// (the F11 ablation) or deliberately want a private plan.
@@ -537,10 +819,23 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
         }
     }
 
+    if options.remap {
+        ops = remap_ops(ops, nb_qubits, &mut stats);
+    }
+
     let shot_plan = ShotPlan::classify(&ops);
     stats.shot_prefix_ops = shot_plan.prefix_ops;
     stats.shot_suffix_ops = shot_plan.suffix_ops;
     stats.terminal_sampling = shot_plan.terminal_measurements;
+
+    // the layout the prefix ends in (forked suffixes resume under it)
+    let mut prefix_map: Option<Vec<usize>> = None;
+    for op in &ops[..shot_plan.prefix_ops] {
+        if let ProgramOp::Permute { map, .. } = op {
+            prefix_map = Some(map.clone());
+        }
+    }
+    let prefix_map = prefix_map.filter(|m| m.iter().enumerate().any(|(q, &p)| q != p));
 
     CompiledProgram {
         nb_qubits,
@@ -549,6 +844,7 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
         ops,
         stats,
         shot_plan,
+        prefix_map,
     }
 }
 
@@ -855,15 +1151,15 @@ mod tests {
         let clamped = compile(
             &c,
             &PlanOptions {
-                fuse: true,
                 max_fused_qubits: 64,
+                ..PlanOptions::default()
             },
         );
         let limit = compile(
             &c,
             &PlanOptions {
-                fuse: true,
                 max_fused_qubits: MAX_FUSED_QUBITS_LIMIT,
+                ..PlanOptions::default()
             },
         );
         assert!(Arc::ptr_eq(&clamped, &limit));
@@ -979,5 +1275,140 @@ mod tests {
         let wide = QCircuit::new(200);
         let p = lower(&wide, &PlanOptions::default());
         assert_eq!(p.stats().state_bytes, None);
+    }
+
+    /// Many unfusable gates hammering the high-stride qubits — the
+    /// workload the locality cost model is guaranteed to accept at
+    /// `n > SWEEP_TILE_QUBITS` (lowered with fusion off so the far
+    /// gates don't collapse into one block).
+    fn far_heavy(n: usize) -> QCircuit {
+        let mut c = QCircuit::new(n);
+        for rep in 0..12 {
+            c.push_back(Hadamard::new(0));
+            c.push_back(CNOT::new(0, 1));
+            c.push_back(RotationX::new(1, 0.3 + rep as f64));
+            c.push_back(CNOT::new(1, 2));
+            c.push_back(RotationZ::new(2, 0.7 * rep as f64));
+            c.push_back(CNOT::new(2, 0));
+        }
+        c
+    }
+
+    fn remap_opts() -> PlanOptions {
+        PlanOptions {
+            fuse: false,
+            remap: true,
+            ..PlanOptions::default()
+        }
+    }
+
+    #[test]
+    fn remap_is_inert_when_the_register_fits_one_tile() {
+        // at n <= SWEEP_TILE_QUBITS every qubit is already tile-resident
+        let p = lower(
+            &far_heavy(crate::sim::kernel::SWEEP_TILE_QUBITS),
+            &remap_opts(),
+        );
+        assert!(p
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, ProgramOp::Permute { .. })));
+        assert_eq!(p.stats().remap_windows, 0);
+        assert_eq!(p.stats().remap_moves + p.stats().remap_folds, 0);
+    }
+
+    #[test]
+    fn remap_relabels_hot_qubits_and_restores_the_identity_layout() {
+        let n = crate::sim::kernel::SWEEP_TILE_QUBITS + 2;
+        let p = lower(&far_heavy(n), &remap_opts());
+        let stats = p.stats();
+        assert!(
+            stats.remap_windows >= 1,
+            "cost model must fire, got {stats:?}"
+        );
+        assert!(
+            stats.remap_moves + stats.remap_folds >= 2,
+            "expected a transition and a restore, got {stats:?}"
+        );
+
+        let permutes: Vec<&ProgramOp> = p
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, ProgramOp::Permute { .. }))
+            .collect();
+        assert_eq!(
+            permutes.len(),
+            stats.remap_moves + stats.remap_folds,
+            "every counted transition must appear in the op stream"
+        );
+        // the final Permute restores the identity layout
+        let ProgramOp::Permute { map, .. } = permutes.last().unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(*map, (0..n).collect::<Vec<_>>(), "missing identity restore");
+        // composing all physical movements yields the identity: the
+        // state ends the program in its logical layout
+        let mut pos: Vec<usize> = (0..n).collect();
+        for op in p.ops() {
+            if let ProgramOp::Permute { perm, .. } = op {
+                pos = pos.iter().map(|&q| perm[q]).collect();
+            }
+        }
+        assert_eq!(pos, (0..n).collect::<Vec<_>>());
+        // between the first transition and the restore, gates run on
+        // relabeled (tile-resident) targets
+        let first = p
+            .ops()
+            .iter()
+            .position(|op| matches!(op, ProgramOp::Permute { .. }))
+            .unwrap();
+        let b = crate::sim::kernel::SWEEP_TILE_QUBITS;
+        let relabeled_near = p.ops()[first + 1..]
+            .iter()
+            .take_while(|op| !matches!(op, ProgramOp::Permute { .. }))
+            .filter_map(|op| match op {
+                ProgramOp::Gate(g) => Some(g),
+                _ => None,
+            })
+            .all(|g| g.targets().iter().all(|&t| t >= n - b));
+        assert!(
+            relabeled_near,
+            "remapped window gates must target the hot tile"
+        );
+    }
+
+    #[test]
+    fn remap_with_the_pass_off_emits_no_permutes() {
+        let n = crate::sim::kernel::SWEEP_TILE_QUBITS + 2;
+        let opts = PlanOptions {
+            remap: false,
+            ..remap_opts()
+        };
+        let p = lower(&far_heavy(n), &opts);
+        assert!(p
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, ProgramOp::Permute { .. })));
+        assert_eq!(p.stats().remap_windows, 0);
+    }
+
+    #[test]
+    fn terminal_sampling_survives_the_locality_pass() {
+        // gates … + terminal measurements: the restore is inserted right
+        // after the last gate, i.e. *inside* the deterministic prefix,
+        // so the alias-sampling classification and the identity prefix
+        // layout both survive remapping
+        let n = crate::sim::kernel::SWEEP_TILE_QUBITS + 2;
+        let mut c = far_heavy(n);
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        let p = lower(&c, &remap_opts());
+        assert!(
+            p.stats().remap_windows >= 1,
+            "pass must fire for this test to bite"
+        );
+        assert!(p.shot_plan().terminal_measurements);
+        assert_eq!(p.shot_plan().measured_qubits, vec![0, 1]);
+        assert_eq!(p.prefix_map(), None, "restore must sit inside the prefix");
     }
 }

@@ -52,6 +52,57 @@ pub fn collapse_into(state: &CVec, n: usize, q: usize, bit: usize, prob: f64, ou
     }
 }
 
+/// [`measure_probabilities`] for a state stored in *physical* qubit
+/// layout under the logical→physical permutation `map` (see
+/// `qclab_core::program`'s locality pass): measures **logical** qubit
+/// `q`.
+///
+/// Bit-identity contract: every partial sum is accumulated in logical
+/// index order — the same order the unmapped function uses on the
+/// unpermuted state — so the returned probabilities are bit-for-bit
+/// identical to measuring the equivalent logical-layout state, not just
+/// approximately equal.
+pub fn measure_probabilities_mapped(state: &CVec, n: usize, q: usize, map: &[usize]) -> (f64, f64) {
+    let s = bits::qubit_shift(q, n);
+    let half = state.len() >> 1;
+    let mut p0 = 0.0;
+    for k in 0..half {
+        let i = bits::permute_index(bits::insert_bit(k, s), map, n);
+        p0 += state[i].norm_sqr();
+    }
+    let mut total = 0.0;
+    for l in 0..state.len() {
+        total += state[bits::permute_index(l, map, n)].norm_sqr();
+    }
+    (p0, (total - p0).max(0.0))
+}
+
+/// [`collapse_into`] for a state in physical layout under `map`,
+/// collapsing **logical** qubit `q`. Amplitude arithmetic is identical
+/// per element, so the result is the permutation of the logical-layout
+/// collapse, bit for bit.
+pub fn collapse_into_mapped(
+    state: &CVec,
+    n: usize,
+    q: usize,
+    bit: usize,
+    prob: f64,
+    map: &[usize],
+    out: &mut CVec,
+) {
+    debug_assert!(bit <= 1);
+    debug_assert!(prob > 0.0, "collapse onto a zero-probability outcome");
+    let s = bits::qubit_shift(q, n);
+    let inv = 1.0 / prob.sqrt();
+    out.0.clear();
+    out.0.resize(state.len(), qclab_math::scalar::zero());
+    let half = state.len() >> 1;
+    for k in 0..half {
+        let i = bits::permute_index(bits::insert_bit(k, s) | (bit << s), map, n);
+        out[i] = state[i] * inv;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +154,41 @@ mod tests {
         assert!((c1[1].im - INV_SQRT2).abs() < 1e-15);
         assert!((c1[3].im - INV_SQRT2).abs() < 1e-15);
         assert!(c1[0].norm() < 1e-15);
+    }
+
+    #[test]
+    fn mapped_collapse_is_bit_identical_to_unmapped() {
+        use qclab_math::bits;
+        let n = 3;
+        // arbitrary normalized state with irrational amplitudes so any
+        // summation-order change would show up in the low bits
+        let logical = CVec(
+            (0..1usize << n)
+                .map(|i| c((i as f64 + 0.3).sqrt(), (i as f64 * 0.7).sin()))
+                .collect(),
+        );
+        let norm = logical.norm();
+        let logical = CVec(logical.0.iter().map(|z| *z * (1.0 / norm)).collect());
+        let map = [2usize, 0, 1]; // logical q -> physical map[q]
+        let mut physical = CVec::zeros(1 << n);
+        for i in 0..1usize << n {
+            physical[bits::permute_index(i, &map, n)] = logical[i];
+        }
+        for q in 0..n {
+            let (p0, p1) = measure_probabilities(&logical, n, q);
+            let (m0, m1) = measure_probabilities_mapped(&physical, n, q, &map);
+            // bit-identical, not approximately equal
+            assert_eq!(p0.to_bits(), m0.to_bits());
+            assert_eq!(p1.to_bits(), m1.to_bits());
+            let want = collapse(&logical, n, q, 0, p0);
+            let mut got = CVec::zeros(0);
+            collapse_into_mapped(&physical, n, q, 0, m0, &map, &mut got);
+            for i in 0..1usize << n {
+                let j = bits::permute_index(i, &map, n);
+                assert_eq!(want[i].re.to_bits(), got[j].re.to_bits());
+                assert_eq!(want[i].im.to_bits(), got[j].im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -327,6 +327,11 @@ pub fn run_noisy(
             ProgramOp::Fence(_) => {}
             ProgramOp::Measure(m) => state.dephase_measure(m.qubit()),
             ProgramOp::Reset(q) => state.reset(*q),
+            // unfused lowering never relabels (PlanOptions::unfused()
+            // switches the locality pass off with fusion)
+            ProgramOp::Permute { .. } => {
+                unreachable!("density backend executes unremapped plans only")
+            }
         }
     }
     Ok(state)

@@ -58,8 +58,10 @@ enum Entry {
 /// Builds the dense `2^k x 2^k` unitary of `gate` on the local register
 /// defined by `qubits` (ascending; position in the slice = local qubit
 /// index). Controls are expanded structurally, exactly like
-/// [`super::kron::extended_unitary`] but dense and block-local.
-fn local_unitary(gate: &Gate, qubits: &[usize]) -> CMat {
+/// [`super::kron::extended_unitary`] but dense and block-local. Also
+/// used by the locality pass (`crate::program`) to fold an index-bit
+/// transposition into the following gate's matrix.
+pub(crate) fn local_unitary(gate: &Gate, qubits: &[usize]) -> CMat {
     let k = qubits.len();
     let dim = 1usize << k;
     let local = |q: usize| {

@@ -67,6 +67,11 @@ pub struct KernelConfig {
     /// Qubit-footprint cap (controls included) for fused blocks, clamped
     /// to `1..=`[`super::fusion::MAX_FUSED_QUBITS_LIMIT`] by the pass.
     pub max_fused_qubits: usize,
+    /// Run the locality pass (`qclab_core::program`'s logical→physical
+    /// qubit remapping) during lowering and execute fence-delimited
+    /// windows as cache-blocked sweeps. Switching this off reproduces
+    /// the pre-remap engine bit for bit (CLI `--no-remap`).
+    pub remap: bool,
 }
 
 impl Default for KernelConfig {
@@ -78,6 +83,7 @@ impl Default for KernelConfig {
             allow_simd: true,
             fuse: true,
             max_fused_qubits: super::fusion::DEFAULT_MAX_FUSED_QUBITS,
+            remap: true,
         }
     }
 }
@@ -90,6 +96,13 @@ pub fn apply_gate(gate: &Gate, state: &mut CVec, n: usize) {
 
 /// [`apply_gate`] with an explicit [`KernelConfig`].
 pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConfig) {
+    apply_gate_slice(gate, state, n, cfg);
+}
+
+/// [`apply_gate_with`] on a raw amplitude slice of length `2^n`. The
+/// cache-blocked sweep uses this to apply tile-local gates to one
+/// `2^b`-amplitude tile at a time (with `n = b`).
+pub(crate) fn apply_gate_slice(gate: &Gate, state: &mut [C64], n: usize, cfg: &KernelConfig) {
     debug_assert_eq!(state.len(), 1usize << n);
     let controls = gate.controls();
     let cm = control_masks(&controls, n);
@@ -113,6 +126,225 @@ pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConf
         apply_1q(state, n, targets[0], &matrix, cm, parallel, cfg.allow_simd);
     } else {
         apply_kq(state, n, &targets, &matrix, cm, parallel, cfg.allow_simd);
+    }
+}
+
+/// Tile size (in qubits) of the cache-blocked sweep and of
+/// [`permute_state`]: `2^12` amplitudes = 64 KiB, sized to keep one tile
+/// resident in L1/L2 across every gate of a window.
+pub const SWEEP_TILE_QUBITS: usize = 12;
+
+/// Physically permutes the state vector: the amplitude at index `i`
+/// moves to index [`bits::permute_index`]`(i, perm, n)` (the bit on
+/// qubit `q` moves to qubit `perm[q]`). Realizes the locality pass's
+/// layout changes: single transpositions swap two index-bit planes in
+/// place; general permutations rebuild the vector in destination order
+/// in tile-sized chunks, so writes stream sequentially.
+///
+/// Pure data movement — no arithmetic — so it can never perturb a
+/// single amplitude bit.
+pub fn permute_state(state: &mut CVec, n: usize, perm: &[usize], parallel: bool) {
+    debug_assert_eq!(state.len(), 1usize << n);
+    debug_assert_eq!(perm.len(), n);
+    if perm.iter().enumerate().all(|(q, &p)| q == p) {
+        return;
+    }
+    // single-transposition fast path: exchange the two index-bit planes
+    // in place with the pair-exchange swap kernel — half the state
+    // read+written once, no allocation. Exactly two displaced positions
+    // in a permutation always form a transposition.
+    let displaced: Vec<usize> = (0..n).filter(|&q| perm[q] != q).collect();
+    if let [a, b] = displaced[..] {
+        apply_swap(&mut state.0, n, a, b, parallel);
+        return;
+    }
+    // inverse permutation: destination index d reads from source
+    // permute_index(d, inv, n)
+    let mut inv = vec![0usize; n];
+    for (q, &p) in perm.iter().enumerate() {
+        inv[p] = q;
+    }
+    let tile = 1usize << SWEEP_TILE_QUBITS.min(n);
+    // sparse fast path: when the support is small (the expected shape
+    // right after a remap concentrates an idle-qubit register), scatter
+    // just the nonzero amplitudes into a fresh zero vector instead of
+    // gathering the full register. The collection pass aborts to the
+    // dense path as soon as the support exceeds 1/64 of the register.
+    let cap = (state.len() >> 6).max(1);
+    let mut nz: Vec<(usize, C64)> = Vec::with_capacity(cap);
+    // bit-level occupancy test (`-0.0` counts as occupied and is copied
+    // verbatim), so this path is exactly the gather, amplitude for
+    // amplitude
+    let sparse = state.iter().enumerate().all(|(i, &z)| {
+        if z.re.to_bits() != 0 || z.im.to_bits() != 0 {
+            if nz.len() == cap {
+                return false;
+            }
+            nz.push((i, z));
+        }
+        true
+    });
+    if sparse {
+        let mut out = vec![C64::new(0.0, 0.0); state.len()];
+        for (i, z) in nz {
+            out[bits::permute_index(i, perm, n)] = z;
+        }
+        state.0 = out;
+        return;
+    }
+    // permute_index distributes over disjoint bit sets, so the source of
+    // destination `base | j` is `permute_index(base) | permute_index(j)`:
+    // one table over the low tile bits replaces the per-element bit loop
+    let lut: Vec<usize> = (0..tile).map(|j| bits::permute_index(j, &inv, n)).collect();
+    let mut out = vec![C64::new(0.0, 0.0); state.len()];
+    let fill = |ti: usize, chunk: &mut [C64]| {
+        let hi_src = bits::permute_index(ti * tile, &inv, n);
+        for (j, z) in chunk.iter_mut().enumerate() {
+            *z = state[hi_src | lut[j]];
+        }
+    };
+    if parallel && state.len() / tile >= 2 {
+        out.par_chunks_mut(tile)
+            .enumerate()
+            .for_each(|(ti, chunk)| fill(ti, chunk));
+    } else {
+        for (ti, chunk) in out.chunks_mut(tile).enumerate() {
+            fill(ti, chunk);
+        }
+    }
+    state.0 = out;
+}
+
+/// One gate of a cache-blocked sweep window, pre-lowered to the tile
+/// register: `gate` is relabeled to the `b` tile-local qubits, and any
+/// controls on qubits *outside* the tile (constant within it) are
+/// stripped into a `(mask, want)` test on the tile's base index.
+struct TileGate {
+    gate: Gate,
+    hi_mask: usize,
+    hi_want: usize,
+    /// `true` if controls were stripped: the full-vector kernel would
+    /// have run the scalar path (controlled gates never vectorize), so
+    /// the tile must too for the sweep to stay bit-identical to the
+    /// per-gate walk.
+    had_hi_controls: bool,
+}
+
+/// Whether `gate` may join a cache-blocked sweep window over the low
+/// `b = `[`SWEEP_TILE_QUBITS`] index bits: every *target* must live
+/// inside the tile (controls may sit anywhere — they are constant per
+/// tile and become a base-index test).
+pub(crate) fn sweepable(gate: &Gate, n: usize) -> bool {
+    n > SWEEP_TILE_QUBITS
+        && gate
+            .targets()
+            .iter()
+            .all(|&q| bits::qubit_shift(q, n) < SWEEP_TILE_QUBITS)
+}
+
+/// Lowers `gate` (on the full `n`-qubit register, all targets inside the
+/// tile) to a [`TileGate`] on the `b`-qubit tile register.
+fn tile_gate(gate: &Gate, n: usize) -> TileGate {
+    let b = SWEEP_TILE_QUBITS;
+    let lo_qubit = n - b; // first qubit inside the tile
+    let (mut hi_mask, mut hi_want) = (0usize, 0usize);
+    let mut stripped = gate.clone();
+    let mut had_hi_controls = false;
+    if let Gate::Controlled {
+        controls,
+        control_states,
+        target,
+    } = gate
+    {
+        let mut keep_c = Vec::new();
+        let mut keep_s = Vec::new();
+        for (&c, &s) in controls.iter().zip(control_states) {
+            if c < lo_qubit {
+                let bit = 1usize << bits::qubit_shift(c, n);
+                hi_mask |= bit;
+                if s == 1 {
+                    hi_want |= bit;
+                }
+                had_hi_controls = true;
+            } else {
+                keep_c.push(c);
+                keep_s.push(s);
+            }
+        }
+        stripped = if keep_c.is_empty() {
+            (**target).clone()
+        } else {
+            Gate::Controlled {
+                controls: keep_c,
+                control_states: keep_s,
+                target: target.clone(),
+            }
+        };
+    }
+    // relabel the remaining (in-tile) qubits down to the tile register;
+    // qubits below `lo_qubit` are never referenced after stripping
+    let map: Vec<usize> = (0..n).map(|q| q.saturating_sub(lo_qubit)).collect();
+    TileGate {
+        gate: stripped.relabeled(&map),
+        hi_mask,
+        hi_want,
+        had_hi_controls,
+    }
+}
+
+/// Cache-blocked sweep: applies a window of gates tile-by-tile, so each
+/// `2^b`-amplitude tile stays cache-resident across *all* gates of the
+/// window instead of the state being walked once per gate. Every gate
+/// must satisfy [`sweepable`]. Tiles partition the register, so the
+/// parallel path hands Rayon disjoint `&mut` chunks.
+pub(crate) fn apply_window(state: &mut CVec, n: usize, gates: &[&Gate], cfg: &KernelConfig) {
+    let b = SWEEP_TILE_QUBITS;
+    debug_assert!(gates.iter().all(|g| sweepable(g, n)));
+    let tile_len = 1usize << b;
+    let tgs: Vec<TileGate> = gates.iter().map(|g| tile_gate(g, n)).collect();
+    // inside a tile the work is single-threaded; SIMD takes over where
+    // the full-vector walk would have used it (see `use_simd`)
+    let cfg_tile = KernelConfig {
+        allow_parallel: false,
+        ..*cfg
+    };
+    let cfg_scalar = KernelConfig {
+        allow_simd: false,
+        ..cfg_tile
+    };
+    let parallel = cfg.allow_parallel && n >= PARALLEL_THRESHOLD_QUBITS;
+    let run_tile = |ti: usize, tile: &mut [C64]| {
+        // occupancy skip: window gates keep every target inside the
+        // tile, so an exactly-zero tile stays exactly zero through the
+        // whole window. Occupied tiles exit the scan at their first
+        // nonzero amplitude; only dead tiles pay a full read. After a
+        // remap this is where "hot qubits low" pays off structurally:
+        // idle high-stride qubits leave the support packed into a few
+        // contiguous tiles instead of scattered across all of them.
+        if tile.iter().all(|z| z.re == 0.0 && z.im == 0.0) {
+            return;
+        }
+        let base = ti * tile_len;
+        for tg in &tgs {
+            if base & tg.hi_mask == tg.hi_want {
+                let c = if tg.had_hi_controls {
+                    &cfg_scalar
+                } else {
+                    &cfg_tile
+                };
+                apply_gate_slice(&tg.gate, tile, b, c);
+            }
+        }
+    };
+    if parallel {
+        state
+            .par_chunks_mut(tile_len)
+            .enumerate()
+            .for_each(|(ti, tile)| run_tile(ti, tile));
+    } else {
+        for (ti, tile) in state.chunks_mut(tile_len).enumerate() {
+            run_tile(ti, tile);
+        }
     }
 }
 
@@ -736,6 +968,7 @@ mod tests {
                             allow_simd: simd,
                             fuse,
                             max_fused_qubits: super::super::fusion::DEFAULT_MAX_FUSED_QUBITS,
+                            ..KernelConfig::default()
                         };
                         let opts = SimOptions {
                             backend: Backend::Kernel,

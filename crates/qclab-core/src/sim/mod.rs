@@ -291,17 +291,72 @@ impl QCircuit {
         // lower through the shared compile/execute split — the plan
         // cache makes repeated simulation of one circuit lower once
         let n = self.nb_qubits();
-        let program = self.compile_with(&crate::program::PlanOptions::from(&opts.kernel));
-        for op in program.ops() {
-            match op {
+        let mut plan_opts = crate::program::PlanOptions::from(&opts.kernel);
+        if opts.backend == Backend::Kron {
+            // the Kron backend multiplies register-wide sparse unitaries;
+            // index-bit locality buys it nothing
+            plan_opts.remap = false;
+        }
+        let program = self.compile_with(&plan_opts);
+        let ops = program.ops();
+        // logical→physical layout of the amplitudes; `None` = identity
+        let mut map: Option<Vec<usize>> = None;
+        let mut i = 0;
+        while i < ops.len() {
+            match &ops[i] {
                 ProgramOp::Gate(g) => {
+                    if opts.backend == Backend::Kernel {
+                        // cache-blocked sweep: a run of tile-local gates
+                        // applies per tile, keeping each 2^b-amplitude
+                        // block cache-resident across the whole run
+                        let mut j = i;
+                        while j < ops.len()
+                            && matches!(&ops[j], ProgramOp::Gate(g) if kernel::sweepable(g, n))
+                        {
+                            j += 1;
+                        }
+                        if j - i >= 2 {
+                            let gates: Vec<&Gate> = ops[i..j]
+                                .iter()
+                                .map(|op| match op {
+                                    ProgramOp::Gate(g) => g,
+                                    _ => unreachable!(),
+                                })
+                                .collect();
+                            for b in branches.iter_mut() {
+                                kernel::apply_window(&mut b.state, n, &gates, &opts.kernel);
+                            }
+                            i = j;
+                            continue;
+                        }
+                    }
                     for b in branches.iter_mut() {
                         apply_backend(g, &mut b.state, n, opts);
                     }
+                    i += 1;
                 }
-                ProgramOp::Fence(_) => {}
-                ProgramOp::Measure(m) => branches = measure_branches(&branches, m, opts, n),
-                ProgramOp::Reset(q) => branches = reset_branches(&branches, *q, opts, n),
+                ProgramOp::Fence(_) => i += 1,
+                ProgramOp::Permute { perm, map: new_map } => {
+                    let parallel =
+                        opts.kernel.allow_parallel && n >= kernel::PARALLEL_THRESHOLD_QUBITS;
+                    for b in branches.iter_mut() {
+                        kernel::permute_state(&mut b.state, n, perm, parallel);
+                    }
+                    map = if new_map.iter().enumerate().all(|(q, &p)| q == p) {
+                        None
+                    } else {
+                        Some(new_map.clone())
+                    };
+                    i += 1;
+                }
+                ProgramOp::Measure(m) => {
+                    branches = measure_branches(&branches, m, opts, n, map.as_deref());
+                    i += 1;
+                }
+                ProgramOp::Reset(q) => {
+                    branches = reset_branches(&branches, *q, opts, n, map.as_deref());
+                    i += 1;
+                }
             }
         }
         Ok(Simulation {
@@ -318,14 +373,19 @@ fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
     }
 }
 
-/// Splits every branch on a measurement outcome.
+/// Splits every branch on a measurement outcome. `map` is the active
+/// logical→physical layout (`None` = identity): the measurement's qubit
+/// is *logical*, so probabilities and collapse go through the mapped
+/// collapse routines and any basis rotation targets the physical slot.
 fn measure_branches(
     branches: &[Branch],
     m: &Measurement,
     opts: &SimOptions,
     n: usize,
+    map: Option<&[usize]>,
 ) -> Vec<Branch> {
     let q = m.qubit();
+    let pq = map.map_or(q, |m| m[q]);
     let v = m.basis().change_matrix();
     let needs_change = !matches!(m.basis(), Basis::Z);
     let mut out = Vec::with_capacity(branches.len() * 2);
@@ -336,23 +396,33 @@ fn measure_branches(
             // rotate the measured qubit into the computational basis
             let vdg = Gate::Custom {
                 name: "V†".into(),
-                qubits: vec![q],
+                qubits: vec![pq],
                 matrix: v.dagger(),
             };
             apply_backend(&vdg, &mut pre, n, opts);
         }
-        let (p0, p1) = collapse::measure_probabilities(&pre, n, q);
+        let (p0, p1) = match map {
+            None => collapse::measure_probabilities(&pre, n, q),
+            Some(m) => collapse::measure_probabilities_mapped(&pre, n, q, m),
+        };
         for (bit, p) in [(0usize, p0), (1usize, p1)] {
             if p <= opts.branch_tol {
                 continue;
             }
-            let mut post = collapse::collapse(&pre, n, q, bit, p);
+            let mut post = match map {
+                None => collapse::collapse(&pre, n, q, bit, p),
+                Some(m) => {
+                    let mut post = CVec::zeros(0);
+                    collapse::collapse_into_mapped(&pre, n, q, bit, p, m, &mut post);
+                    post
+                }
+            };
             if needs_change {
                 // rotate back so the post-measurement state is expressed
                 // in the original basis (paper Sec. 3.3)
                 let vg = Gate::Custom {
                     name: "V".into(),
-                    qubits: vec![q],
+                    qubits: vec![pq],
                     matrix: v.clone(),
                 };
                 apply_backend(&vg, &mut post, n, opts);
@@ -373,18 +443,37 @@ fn measure_branches(
 }
 
 /// Resets a qubit to `|0>`: Z-measure it and flip on outcome 1. The
-/// measurement outcome is *not* recorded in the result string.
-fn reset_branches(branches: &[Branch], q: usize, opts: &SimOptions, n: usize) -> Vec<Branch> {
+/// measurement outcome is *not* recorded in the result string. As with
+/// [`measure_branches`], `q` is logical and `map` locates its physical
+/// slot.
+fn reset_branches(
+    branches: &[Branch],
+    q: usize,
+    opts: &SimOptions,
+    n: usize,
+    map: Option<&[usize]>,
+) -> Vec<Branch> {
+    let pq = map.map_or(q, |m| m[q]);
     let mut out = Vec::with_capacity(branches.len());
     for b in branches {
-        let (p0, p1) = collapse::measure_probabilities(&b.state, n, q);
+        let (p0, p1) = match map {
+            None => collapse::measure_probabilities(&b.state, n, q),
+            Some(m) => collapse::measure_probabilities_mapped(&b.state, n, q, m),
+        };
         for (bit, p) in [(0usize, p0), (1usize, p1)] {
             if p <= opts.branch_tol {
                 continue;
             }
-            let mut post = collapse::collapse(&b.state, n, q, bit, p);
+            let mut post = match map {
+                None => collapse::collapse(&b.state, n, q, bit, p),
+                Some(m) => {
+                    let mut post = CVec::zeros(0);
+                    collapse::collapse_into_mapped(&b.state, n, q, bit, p, m, &mut post);
+                    post
+                }
+            };
             if bit == 1 {
-                apply_backend(&Gate::PauliX(q), &mut post, n, opts);
+                apply_backend(&Gate::PauliX(pq), &mut post, n, opts);
             }
             out.push(Branch {
                 result: b.result.clone(),

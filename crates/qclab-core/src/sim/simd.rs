@@ -171,59 +171,63 @@ pub(crate) unsafe fn apply_2q_dense(state: &mut [C64], s0: usize, s1: usize, m: 
 pub(crate) unsafe fn apply_2q_dense_lsb(state: &mut [C64], s0: usize, s1: usize, m: &[C64]) {
     debug_assert_eq!(m.len(), 16);
     debug_assert!(s0.min(s1) == 0 && s0 != s1);
-    // normalize so the LSB target is the *low* bit of the sub-index; if
-    // it is the high bit instead, applying the bit-swapped matrix to the
-    // swapped ordering is the same gate
-    let mut mm = [C64::new(0.0, 0.0); 16];
-    let d_hi = if s1 == 0 {
-        mm.copy_from_slice(m);
-        1usize << s0
+    // The LSB target makes consecutive sub-states memory-adjacent. When
+    // the LSB is the *low* sub-index bit (s1 == 0) the low/high memory
+    // pairs hold sub-states (0,1)/(2,3); when it is the high bit
+    // (s0 == 0) they interleave to (0,2)/(1,3). Only the slot
+    // bookkeeping differs between the two cases — matrix columns are
+    // always accumulated in original 0..4 order, so the rounding (and
+    // thus the result) is bit-identical to `apply_2q_dense`, which the
+    // locality pass relies on when it relabels a target onto the LSB.
+    let lsb_is_low_sub = s1 == 0;
+    let d_hi = 1usize << s0.max(s1);
+    // rows living in the (low, high) memory pairs, in memory order
+    let pair_rows: [[usize; 2]; 2] = if lsb_is_low_sub {
+        [[0, 1], [2, 3]]
     } else {
-        let perm = [0usize, 2, 1, 3];
-        for (r, &pr) in perm.iter().enumerate() {
-            for (c, &pc) in perm.iter().enumerate() {
-                mm[4 * r + c] = m[4 * pr + pc];
-            }
-        }
-        1usize << s1
+        [[0, 2], [1, 3]]
     };
-    // constant slots: [row r, row r, row r+1, row r+1] per matrix column
+    // constant slots: [row a, row a, row b, row b] per matrix column
     let cre: [__m256d; 8] = std::array::from_fn(|i| {
-        let (r, c) = (2 * (i / 4), i % 4);
+        let (rows, c) = (pair_rows[i / 4], i % 4);
         _mm256_setr_pd(
-            mm[4 * r + c].re,
-            mm[4 * r + c].re,
-            mm[4 * (r + 1) + c].re,
-            mm[4 * (r + 1) + c].re,
+            m[4 * rows[0] + c].re,
+            m[4 * rows[0] + c].re,
+            m[4 * rows[1] + c].re,
+            m[4 * rows[1] + c].re,
         )
     });
     let cim: [__m256d; 8] = std::array::from_fn(|i| {
-        let (r, c) = (2 * (i / 4), i % 4);
+        let (rows, c) = (pair_rows[i / 4], i % 4);
         _mm256_setr_pd(
-            mm[4 * r + c].im,
-            mm[4 * r + c].im,
-            mm[4 * (r + 1) + c].im,
-            mm[4 * (r + 1) + c].im,
+            m[4 * rows[0] + c].im,
+            m[4 * rows[0] + c].im,
+            m[4 * rows[1] + c].im,
+            m[4 * rows[1] + c].im,
         )
     });
     let p = state.as_mut_ptr() as *mut f64;
     for a in (0..state.len()).step_by(d_hi << 1) {
         for base in (a..a + d_hi).step_by(2) {
-            let lo = _mm256_loadu_pd(p.add(2 * base)); // [z0, z1]
-            let hi = _mm256_loadu_pd(p.add(2 * (base + d_hi))); // [z2, z3]
-            let z = [
-                _mm256_permute2f128_pd(lo, lo, 0x00),
-                _mm256_permute2f128_pd(lo, lo, 0x11),
-                _mm256_permute2f128_pd(hi, hi, 0x00),
-                _mm256_permute2f128_pd(hi, hi, 0x11),
-            ];
+            let lo = _mm256_loadu_pd(p.add(2 * base));
+            let hi = _mm256_loadu_pd(p.add(2 * (base + d_hi)));
+            let l0 = _mm256_permute2f128_pd(lo, lo, 0x00);
+            let l1 = _mm256_permute2f128_pd(lo, lo, 0x11);
+            let h0 = _mm256_permute2f128_pd(hi, hi, 0x00);
+            let h1 = _mm256_permute2f128_pd(hi, hi, 0x11);
+            // broadcast slots indexed by original sub-state
+            let z = if lsb_is_low_sub {
+                [l0, l1, h0, h1]
+            } else {
+                [l0, h0, l1, h1]
+            };
             let zs = [
                 swap_reim(z[0]),
                 swap_reim(z[1]),
                 swap_reim(z[2]),
                 swap_reim(z[3]),
             ];
-            // rows 0..1 into the low pair, rows 2..3 into the high pair
+            // pair_rows[0] into the low pair, pair_rows[1] into the high
             let mut acc_a = _mm256_mul_pd(z[0], cre[0]);
             let mut acc_b = _mm256_mul_pd(zs[0], cim[0]);
             for c in 1..4 {
@@ -406,6 +410,42 @@ mod tests {
             let a = CVec(state);
             let b = CVec(reference);
             assert!(a.approx_eq(&b, 1e-12), "k={k} diverged");
+        }
+    }
+
+    #[test]
+    fn avx_2q_lsb_is_bit_identical_to_dense_under_bit_swap() {
+        // The locality pass relabels a 2q target onto the LSB and relies
+        // on the lsb kernel computing the *same floating-point op
+        // sequence* as the general kernel — bit-identical, not ≈.
+        if !available() {
+            return;
+        }
+        let n = 5;
+        let m: Vec<C64> = (0..16)
+            .map(|i| c(0.1 + 0.05 * i as f64, 0.2 - 0.03 * i as f64))
+            .collect();
+        let a = random_state(n, 1234);
+        // b[j] = a[i] with bits 0 and 3 of the index swapped
+        let swap_bits = |i: usize| -> usize {
+            let (b0, b3) = (i & 1, (i >> 3) & 1);
+            (i & !0b1001) | (b0 << 3) | b3
+        };
+        let mut b: Vec<C64> = a.clone();
+        for (i, &z) in a.iter().enumerate() {
+            b[swap_bits(i)] = z;
+        }
+        let mut ra = a.clone();
+        let mut rb = b.clone();
+        unsafe {
+            // first target on bit 3 in `a` ↔ on bit 0 in `b`
+            apply_2q_dense(&mut ra, 3, 2, &m);
+            apply_2q_dense_lsb(&mut rb, 0, 2, &m);
+        }
+        for (i, &z) in ra.iter().enumerate() {
+            let w = rb[swap_bits(i)];
+            assert_eq!(z.re.to_bits(), w.re.to_bits(), "re diverged at {i}");
+            assert_eq!(z.im.to_bits(), w.im.to_bits(), "im diverged at {i}");
         }
     }
 

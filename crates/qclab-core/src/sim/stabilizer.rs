@@ -435,6 +435,16 @@ pub fn run_program(
                     state.x(*q);
                 }
             }
+            // the tableau has no amplitude layout to permute; stabilizer
+            // programs are lowered unfused/unremapped (see below), so
+            // this arm never fires on plans built by `run_stabilizer`
+            ProgramOp::Permute { .. } => {
+                return Err(QclabError::Unavailable(
+                    "stabilizer backend cannot execute a relabeled plan — \
+                     lower with PlanOptions::unfused()"
+                        .into(),
+                ))
+            }
         }
     }
     Ok(StabilizerRun { state, record })

@@ -400,15 +400,17 @@ impl TrajectoryResult {
     }
 }
 
-/// The plan options of a trajectory run: fusion only applies to
-/// noiseless runs — noise locations are defined on the original gates,
-/// so a noisy run always executes the unfused sequence. For a noiseless
-/// run the options match the baseline simulator's, so both backends
-/// share one cached plan (and therefore the exact same kernel calls).
+/// The plan options of a trajectory run: fusion and the locality pass
+/// only apply to noiseless runs — noise locations are defined on the
+/// original gates at their *source* qubits, so a noisy run always
+/// executes the unfused, unrelabeled sequence. For a noiseless run the
+/// options match the baseline simulator's, so both backends share one
+/// cached plan (and therefore the exact same kernel calls).
 fn plan_options(config: &TrajectoryConfig) -> PlanOptions {
     PlanOptions {
         fuse: config.kernel.fuse && config.noise.is_noiseless(),
         max_fused_qubits: config.kernel.max_fused_qubits,
+        remap: config.kernel.remap && config.noise.is_noiseless(),
     }
 }
 
@@ -475,6 +477,11 @@ struct ShotState<'a> {
     gates_since_check: usize,
     injected: Vec<InjectedPauli>,
     noise: &'a NoiseSpec,
+    /// Active logical→physical layout from the locality pass (`None` =
+    /// identity). Only ever non-`None` on noiseless runs — the pass is
+    /// disabled with noise (see [`plan_options`]), so noise injection
+    /// below never has to translate its qubits.
+    map: Option<Vec<usize>>,
 }
 
 impl ShotState<'_> {
@@ -536,9 +543,21 @@ impl ShotState<'_> {
         }
     }
 
-    /// Samples a Z measurement of `q`, collapses, returns the bit.
+    /// The physical slot of logical qubit `q` under the active layout.
+    fn physical(&self, q: usize) -> usize {
+        self.map.as_ref().map_or(q, |m| m[q])
+    }
+
+    /// Samples a Z measurement of *logical* qubit `q`, collapses,
+    /// returns the bit. Under a non-identity layout the mapped collapse
+    /// routines enumerate amplitudes in logical index order, so
+    /// probabilities — and therefore the RNG comparison and the drawn
+    /// bit — are bit-identical to the unremapped engine.
     fn sample_z(&mut self, q: usize, rng: &mut StdRng) -> usize {
-        let (p0, p1) = collapse::measure_probabilities(self.state, self.n, q);
+        let (p0, p1) = match &self.map {
+            None => collapse::measure_probabilities(self.state, self.n, q),
+            Some(m) => collapse::measure_probabilities_mapped(self.state, self.n, q, m),
+        };
         let r: f64 = rng.gen();
         // degenerate outcomes never collapse onto a zero-probability half
         let bit = if p1 <= 0.0 {
@@ -553,28 +572,36 @@ impl ShotState<'_> {
         let p = if bit == 0 { p0 } else { p1 };
         // collapse into the scratch buffer and swap: same arithmetic as
         // `collapse::collapse`, zero allocation after the first shot
-        collapse::collapse_into(self.state, self.n, q, bit, p, self.scratch);
+        match &self.map {
+            None => collapse::collapse_into(self.state, self.n, q, bit, p, self.scratch),
+            Some(m) => {
+                collapse::collapse_into_mapped(self.state, self.n, q, bit, p, m, self.scratch)
+            }
+        }
         std::mem::swap(self.state, self.scratch);
         bit
     }
 
     /// Samples a measurement in its basis (rotate in, Z-sample, rotate
-    /// back), mirroring the branching simulator's basis handling.
+    /// back), mirroring the branching simulator's basis handling. The
+    /// basis rotation is a physical single-qubit gate, so it targets the
+    /// measured qubit's physical slot.
     fn sample_measurement(&mut self, m: &Measurement, rng: &mut StdRng) -> usize {
         let q = m.qubit();
+        let pq = self.physical(q);
         let needs_change = !matches!(m.basis(), Basis::Z);
         if needs_change {
             let v = m.basis().change_matrix();
             let vdg = Gate::Custom {
                 name: "V†".into(),
-                qubits: vec![q],
+                qubits: vec![pq],
                 matrix: v.dagger(),
             };
             kernel::apply_gate_with(&vdg, self.state, self.n, &self.kernel);
             let bit = self.sample_z(q, rng);
             let vg = Gate::Custom {
                 name: "V".into(),
-                qubits: vec![q],
+                qubits: vec![pq],
                 matrix: v,
             };
             kernel::apply_gate_with(&vg, self.state, self.n, &self.kernel);
@@ -606,6 +633,11 @@ struct ShotProgram<'a> {
     init_norm: NormStats,
     /// Gate count since the last watchdog check at the end of the prefix.
     init_gates: usize,
+    /// Logical→physical layout the snapshot (`initial`) is stored in —
+    /// [`CompiledProgram::prefix_map`] on the fork path, `None` when
+    /// shots start from op 0 (the schedule itself then establishes any
+    /// layout). Each shot resumes its map tracking from this.
+    start_map: Option<&'a [usize]>,
 }
 
 /// Runs one trajectory over the lowered op schedule, using the
@@ -632,6 +664,7 @@ fn run_shot_in(
         gates_since_check: prog.init_gates,
         injected: Vec::new(),
         noise: &config.noise,
+        map: prog.start_map.map(|m| m.to_vec()),
     };
     let mut record = String::new();
     for (idx, op) in ops.iter().enumerate().skip(prog.start) {
@@ -643,6 +676,16 @@ fn run_shot_in(
                 }
             }
             ProgramOp::Fence(_) => {}
+            ProgramOp::Permute { perm, map } => {
+                // pure data movement: never perturbs amplitude bits,
+                // never consumes RNG draws
+                kernel::permute_state(s.state, s.n, perm, false);
+                s.map = if map.iter().enumerate().all(|(q, &p)| q == p) {
+                    None
+                } else {
+                    Some(map.clone())
+                };
+            }
             ProgramOp::Measure(m) => {
                 if let Some(ch) = s.noise.before_measure {
                     s.inject(&ch, m.qubit(), idx, &mut rng);
@@ -656,7 +699,8 @@ fn run_shot_in(
                 }
                 let bit = s.sample_z(*q, &mut rng);
                 if bit == 1 {
-                    s.apply(&Gate::PauliX(*q));
+                    let pq = s.physical(*q);
+                    s.apply(&Gate::PauliX(pq));
                 }
             }
         }
@@ -728,11 +772,18 @@ fn evolve_prefix(
         gates_since_check: 0,
         injected: Vec::new(),
         noise: &noise,
+        map: None,
     };
     for op in &ops[..prefix] {
         match op {
             ProgramOp::Gate(g) => s.apply(g),
             ProgramOp::Fence(_) => {}
+            ProgramOp::Permute { perm, .. } => {
+                // the layout the prefix ends in is published as
+                // `CompiledProgram::prefix_map`; forked shots resume
+                // their tracking from there
+                kernel::permute_state(s.state, s.n, perm, false);
+            }
             // the classifier ends the prefix at the first Measure/Reset
             ProgramOp::Measure(_) | ProgramOp::Reset(_) => unreachable!(),
         }
@@ -852,6 +903,7 @@ pub fn run_single_trajectory(
         start: 0,
         init_norm: NormStats::default(),
         init_gates: 0,
+        start_map: None,
     };
     let (record, injected, norm) = run_shot_in(&prog, shot, &mut state, &mut scratch);
     Ok(Trajectory {
@@ -926,6 +978,13 @@ pub fn run_trajectories_from(
         start: prefix_ops,
         init_norm,
         init_gates,
+        // the snapshot is stored in the prefix-end layout; each forked
+        // shot resumes the permutation tracking from it
+        start_map: if prefix_ops > 0 {
+            program.prefix_map()
+        } else {
+            None
+        },
     };
     let path = if prefix_ops > 0 {
         ShotPath::Forked { prefix_ops }

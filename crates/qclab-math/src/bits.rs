@@ -63,6 +63,22 @@ pub fn scatter_bits(i: usize, sub: usize, qubits: &[usize], n: usize) -> usize {
     out
 }
 
+/// Maps basis-state index `i` through a qubit permutation: the bit that
+/// lives on qubit `q` of `i` moves to qubit `perm[q]` of the result.
+///
+/// With `perm` read as a logical→physical map this converts a
+/// *logical* basis index into the *physical* index of the same basis
+/// state after qubit relabeling (see `qclab_core::program` — the
+/// locality pass). The identity permutation is the identity map.
+pub fn permute_index(i: usize, perm: &[usize], n: usize) -> usize {
+    debug_assert_eq!(perm.len(), n);
+    let mut out = 0usize;
+    for (q, &p) in perm.iter().enumerate() {
+        out |= qubit_bit(i, q, n) << qubit_shift(p, n);
+    }
+    out
+}
+
 /// Parses a bitstring like `"010"` (qubit 0 first) into a basis-state index.
 ///
 /// Returns `None` if the string contains characters other than `'0'`/`'1'`.
@@ -143,6 +159,43 @@ mod tests {
         // start from all ones, write 00 onto qubits 1 and 2 -> |1001> = 9.
         let i = 0b1111;
         assert_eq!(scatter_bits(i, 0b00, &[1, 2], n), 0b1001);
+    }
+
+    #[test]
+    fn permute_index_moves_qubit_bits() {
+        let n = 3;
+        // identity is a no-op
+        for i in 0..(1usize << n) {
+            assert_eq!(permute_index(i, &[0, 1, 2], n), i);
+        }
+        // rotate qubits 0->1->2->0: the bit on logical qubit q lands on
+        // physical qubit perm[q]
+        let perm = [1, 2, 0];
+        for i in 0..(1usize << n) {
+            let j = permute_index(i, &perm, n);
+            for (q, &p) in perm.iter().enumerate() {
+                assert_eq!(qubit_bit(j, p, n), qubit_bit(i, q, n));
+            }
+        }
+        // permuting is a bijection
+        let mut seen = vec![false; 1 << n];
+        for i in 0..(1usize << n) {
+            seen[permute_index(i, &perm, n)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permute_index_inverse_round_trips() {
+        let n = 4;
+        let perm = [2, 0, 3, 1];
+        let mut inv = [0usize; 4];
+        for (q, &p) in perm.iter().enumerate() {
+            inv[p] = q;
+        }
+        for i in 0..(1usize << n) {
+            assert_eq!(permute_index(permute_index(i, &perm, n), &inv, n), i);
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! LRU behaviour of the global plan cache: filling it past
+//! [`PLAN_CACHE_CAPACITY`] evicts the least-recently-used plan, a hit
+//! refreshes an entry's position, and a re-lowered plan after
+//! [`clear_plan_cache`] is indistinguishable from the evicted one.
+//!
+//! Everything lives in ONE test function: the cache and its counters
+//! are process-global, and the default parallel test runner would race
+//! them across `#[test]`s.
+
+use qclab::prelude::*;
+use qclab_core::program::{self, PlanOptions, PLAN_CACHE_CAPACITY};
+
+/// Circuits with pairwise-distinct fingerprints (the angle encodes `i`).
+fn distinct_circuit(i: usize) -> QCircuit {
+    let mut c = QCircuit::new(3);
+    c.push_back(Hadamard::new(0));
+    c.push_back(RotationZ::new(1, 0.01 * (i as f64 + 1.0)));
+    c.push_back(CNOT::new(0, 1));
+    c.push_back(Measurement::z(2));
+    c
+}
+
+#[test]
+fn plan_cache_is_lru_and_relowering_matches() {
+    let opts = PlanOptions::default();
+    program::clear_plan_cache();
+
+    // fill exactly to capacity: circuits 0..CAP, front-to-back in age
+    for i in 0..PLAN_CACHE_CAPACITY {
+        program::compile(&distinct_circuit(i), &opts);
+    }
+    let full = program::plan_cache_stats();
+    assert_eq!(full.entries, PLAN_CACHE_CAPACITY, "cache must be full");
+
+    // a hit refreshes circuit 0's position (front -> back)
+    let before = program::plan_cache_stats();
+    let plan0 = program::compile(&distinct_circuit(0), &opts);
+    let after = program::plan_cache_stats();
+    assert_eq!(
+        after.hits,
+        before.hits + 1,
+        "refill of a resident plan must hit"
+    );
+    assert_eq!(
+        after.misses, before.misses,
+        "refill of a resident plan must not lower"
+    );
+
+    // the 33rd distinct circuit evicts the *oldest* entry — which is
+    // now circuit 1, because circuit 0 was just touched
+    let before = program::plan_cache_stats();
+    program::compile(&distinct_circuit(PLAN_CACHE_CAPACITY), &opts);
+    let after = program::plan_cache_stats();
+    assert_eq!(after.misses, before.misses + 1);
+    assert_eq!(
+        after.entries, PLAN_CACHE_CAPACITY,
+        "insertion at capacity must evict, not grow"
+    );
+
+    // circuit 0 survived the eviction thanks to the LRU touch…
+    let before = program::plan_cache_stats();
+    program::compile(&distinct_circuit(0), &opts);
+    let after = program::plan_cache_stats();
+    assert_eq!(
+        after.hits,
+        before.hits + 1,
+        "recently-used plan must survive eviction"
+    );
+
+    // …and circuit 1 (the true LRU) is gone: recompiling it misses
+    let before = program::plan_cache_stats();
+    program::compile(&distinct_circuit(1), &opts);
+    let after = program::plan_cache_stats();
+    assert_eq!(
+        after.misses,
+        before.misses + 1,
+        "the LRU plan must have been evicted"
+    );
+
+    // re-lowering after a clear reproduces the cached plan exactly:
+    // same ops, same stats, same shot classification
+    let cached_ops = plan0.ops().to_vec();
+    let cached_stats = *plan0.stats();
+    let cached_shot = plan0.shot_plan().clone();
+    program::clear_plan_cache();
+    assert_eq!(program::plan_cache_stats().entries, 0);
+    let fresh = program::compile(&distinct_circuit(0), &opts);
+    assert_eq!(fresh.ops(), &cached_ops[..], "re-lowered ops diverged");
+    assert_eq!(*fresh.stats(), cached_stats, "re-lowered stats diverged");
+    assert_eq!(
+        *fresh.shot_plan(),
+        cached_shot,
+        "re-lowered shot plan diverged"
+    );
+}
