@@ -1,0 +1,159 @@
+//! Figure F14 — dense/sparse crossover and automatic backend dispatch.
+//!
+//! Three questions, one per section of the table:
+//!
+//! 1. **Crossover** — for a low-entanglement workload (GHZ: two live
+//!    amplitudes regardless of width), where does the hashmap executor
+//!    overtake the dense state vector? Dense cost is `O(2^n·gates)`;
+//!    sparse cost is `O(support·gates)`, so the gap widens exponentially
+//!    with `n` while the support stays flat.
+//! 2. **Chooser** — does the lowering-time support bound route each
+//!    program to the right executor under `auto`? An entangling random
+//!    circuit saturates the bound and stays dense; a wide GHZ register
+//!    resolves sparse. Both verdicts are asserted, not just printed.
+//! 3. **Beyond dense** — a 30-qubit GHZ register the dense guard
+//!    refuses outright (16 GiB > the 4 GiB default cap) completes on
+//!    the sparse executor with two live entries.
+//!
+//! `--smoke` shrinks the sweep for CI; the chooser and beyond-dense
+//! assertions still run there, so CI proves the dispatch fires, not
+//! just that the bin exits.
+
+use qclab_bench::{fmt_seconds, median_time, random_circuit, Table};
+use qclab_core::prelude::*;
+use qclab_core::program::{choose_backend, BackendChoice, PlanOptions};
+use qclab_core::sim::guard::ResourceLimits;
+use qclab_core::sim::sparse::{self, SparseOptions, SparseState};
+use std::hint::black_box;
+
+/// GHZ preparation: one Hadamard plus a CNOT ladder. The state never
+/// holds more than two nonzero amplitudes, at any width.
+fn ghz(n: usize) -> QCircuit {
+    let mut c = QCircuit::new(n);
+    c.push_back(Hadamard::new(0));
+    for q in 1..n {
+        c.push_back(CNOT::new(q - 1, q));
+    }
+    c
+}
+
+fn run_sparse(circuit: &QCircuit) -> sparse::SparseSimulation {
+    let program = circuit.compile_with(&PlanOptions::sparse());
+    let initial = SparseState::basis_state(circuit.nb_qubits(), 0);
+    sparse::execute(&program, initial, &SparseOptions::default()).unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runs = if smoke { 1 } else { 3 };
+    let sweep: &[usize] = if smoke {
+        &[8, 12]
+    } else {
+        &[8, 12, 16, 20, 24]
+    };
+
+    let mut t = Table::new(
+        "F14: dense/sparse crossover (GHZ workload) + backend chooser",
+        &["section", "qubits", "config", "time", "note"],
+    );
+
+    // -- section 1: crossover sweep ------------------------------------
+    let limits = ResourceLimits::default();
+    for &n in sweep {
+        let circuit = ghz(n);
+        let zeros = "0".repeat(n);
+        let t_dense = median_time(runs, || {
+            black_box(
+                circuit
+                    .simulate_bitstring_with(&zeros, &SimOptions::default())
+                    .unwrap(),
+            );
+        });
+        let t_sparse = median_time(runs, || {
+            black_box(run_sparse(&circuit));
+        });
+        // correctness anchor: the sparse run lives on exactly two entries
+        let sim = run_sparse(&circuit);
+        let state = sim.branches()[0].state();
+        assert_eq!(state.nnz(), 2, "GHZ support must be 2 at n={n}");
+        assert!((state.amplitude(0).norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((state.amplitude((1 << n) - 1).norm_sqr() - 0.5).abs() < 1e-12);
+        t.row(&[
+            "crossover".into(),
+            n.to_string(),
+            "dense".into(),
+            fmt_seconds(t_dense),
+            "1.0x".into(),
+        ]);
+        t.row(&[
+            "crossover".into(),
+            n.to_string(),
+            "sparse".into(),
+            fmt_seconds(t_sparse),
+            format!("{:.1}x", t_dense / t_sparse),
+        ]);
+    }
+
+    // -- section 2: the chooser routes by the support bound ------------
+    let entangling = {
+        let n = if smoke { 8 } else { 12 };
+        random_circuit(n, 4, 3)
+    };
+    let program = entangling.compile_with(&PlanOptions::sparse());
+    let dense_choice = choose_backend(program.stats(), entangling.nb_qubits(), &limits).unwrap();
+    assert!(
+        matches!(dense_choice, BackendChoice::Dense),
+        "entangling circuit must stay dense under auto, got {dense_choice}"
+    );
+    t.row(&[
+        "chooser".into(),
+        entangling.nb_qubits().to_string(),
+        "random entangling".into(),
+        "-".into(),
+        format!("auto -> {dense_choice}"),
+    ]);
+    let wide = ghz(if smoke { 16 } else { 24 });
+    let program = wide.compile_with(&PlanOptions::sparse());
+    let sparse_choice = choose_backend(program.stats(), wide.nb_qubits(), &limits).unwrap();
+    assert!(
+        matches!(sparse_choice, BackendChoice::Sparse { .. }),
+        "wide GHZ must resolve sparse under auto, got {sparse_choice}"
+    );
+    t.row(&[
+        "chooser".into(),
+        wide.nb_qubits().to_string(),
+        "GHZ ladder".into(),
+        "-".into(),
+        format!("auto -> {sparse_choice}"),
+    ]);
+
+    // -- section 3: past the dense guard -------------------------------
+    let n = 30;
+    assert!(
+        limits.check_register(n).is_err(),
+        "a {n}-qubit dense register must be refused by the default limits"
+    );
+    let circuit = ghz(n);
+    let t_beyond = median_time(runs, || {
+        black_box(run_sparse(&circuit));
+    });
+    let sim = run_sparse(&circuit);
+    assert_eq!(sim.peak_entries(), 2, "GHZ-{n} peaks at two live entries");
+    let state = sim.branches()[0].state();
+    assert!((state.amplitude(0).norm_sqr() - 0.5).abs() < 1e-12);
+    assert!((state.amplitude((1usize << n) - 1).norm_sqr() - 0.5).abs() < 1e-12);
+    t.row(&[
+        "beyond-dense".into(),
+        n.to_string(),
+        "sparse (dense refused)".into(),
+        fmt_seconds(t_beyond),
+        "peak 2 entries".into(),
+    ]);
+
+    t.emit("BENCH_f14_sparse_crossover");
+    println!(
+        "chooser: entangling -> {dense_choice}, GHZ -> {sparse_choice};\n\
+         GHZ-{n} runs sparse in {} where the dense guard refuses the register",
+        fmt_seconds(t_beyond)
+    );
+}

@@ -22,6 +22,12 @@
 //! * `--max-qubits N` — refuse registers above `N` qubits instead of
 //!   relying on the 4 GiB default memory cap (any command that
 //!   simulates),
+//! * `--backend auto|dense|sparse` — pick the state representation
+//!   (`simulate`, `counts`, `sample`, `compile`). `dense` (the default)
+//!   keeps today's state-vector engine, `sparse` pins the hashmap
+//!   executor, and `auto` lets the compile-time support estimate route
+//!   each program — opening low-entanglement registers the dense guard
+//!   refuses (30+ qubits),
 //! * `--seed N` — RNG seed for `counts` and `sample`,
 //! * `--shots N` — alternative to the positional shot count,
 //! * `--noise CH:P` / `--idle-noise CH:P` / `--measure-noise CH:P` —
@@ -39,10 +45,11 @@
 //! Mirrors the workflow of the paper: construct (or import) a circuit,
 //! inspect it, simulate it, and sample repeated experiments.
 
-use qclab_core::sim::guard::ResourceLimits;
+use qclab_core::program::BackendRequest;
+use qclab_core::sim::guard::{ResourceLimits, SPARSE_ENTRY_BYTES};
 use qclab_core::sim::kernel::KernelConfig;
 use qclab_core::sim::trajectory::{run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig};
-use qclab_core::sim::SimOptions;
+use qclab_core::sim::{DispatchedSimulation, SimOptions};
 use qclab_core::{QCircuit, QclabError};
 use std::process::ExitCode;
 
@@ -93,6 +100,7 @@ struct EngineOpts {
     simd: bool,
     remap: bool,
     max_qubits: Option<usize>,
+    backend: BackendRequest,
 }
 
 impl Default for EngineOpts {
@@ -102,6 +110,7 @@ impl Default for EngineOpts {
             simd: true,
             remap: true,
             max_qubits: None,
+            backend: BackendRequest::Dense,
         }
     }
 }
@@ -179,6 +188,7 @@ fn usage() -> String {
      --no-simd               force scalar kernels\n  \
      --no-remap              disable the qubit-locality pass\n  \
      --max-qubits <n>        refuse larger registers\n  \
+     --backend <b>           state representation: auto|dense|sparse (simulate/counts/sample/compile)\n  \
      --seed <n>              RNG seed (counts/sample)\n  \
      --shots <n>             shot count (counts/sample)\n  \
      --noise <ch:p>          after-gate noise (sample); ch = bitflip|phaseflip|depolarizing\n  \
@@ -258,6 +268,20 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 })?);
                 flags.used.push("--max-qubits");
             }
+            "--backend" => {
+                let v = value("backend name")?;
+                flags.opts.backend = match v.as_str() {
+                    "auto" => BackendRequest::Auto,
+                    "dense" => BackendRequest::Dense,
+                    "sparse" => BackendRequest::Sparse,
+                    other => {
+                        return Err(usage_err(format!(
+                            "unknown backend '{other}' (expected auto, dense or sparse)"
+                        )))
+                    }
+                };
+                flags.used.push("--backend");
+            }
             "--seed" => {
                 let v = value("seed")?;
                 flags.seed = Some(
@@ -299,12 +323,19 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
     // flag/command compatibility
     let allowed: &[&str] = match cmd.as_str() {
-        "simulate" => &["--no-fuse", "--no-simd", "--no-remap", "--max-qubits"],
+        "simulate" => &[
+            "--no-fuse",
+            "--no-simd",
+            "--no-remap",
+            "--max-qubits",
+            "--backend",
+        ],
         "counts" => &[
             "--no-fuse",
             "--no-simd",
             "--no-remap",
             "--max-qubits",
+            "--backend",
             "--seed",
             "--shots",
         ],
@@ -313,6 +344,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-simd",
             "--no-remap",
             "--max-qubits",
+            "--backend",
             "--seed",
             "--shots",
             "--noise",
@@ -320,7 +352,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--measure-noise",
             "--no-fast-path",
         ],
-        "compile" => &["--no-fuse", "--no-remap", "--max-qubits"],
+        "compile" => &["--no-fuse", "--no-remap", "--max-qubits", "--backend"],
         _ => &[],
     };
     if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
@@ -389,22 +421,33 @@ fn load(path: &str) -> Result<QCircuit, CliError> {
 fn simulate(circuit: &QCircuit, init: Option<&str>, opts: &EngineOpts) -> Result<String, CliError> {
     let zeros = "0".repeat(circuit.nb_qubits());
     let bits = init.unwrap_or(&zeros);
-    let sim = circuit.simulate_bitstring_with(bits, &opts.sim_opts())?;
+    let sim = circuit.simulate_bitstring_routed(bits, &opts.sim_opts(), opts.backend)?;
     let mut out = String::new();
-    out.push_str(&format!(
-        "simulated {} qubits from |{}>: {} branch(es)\n",
-        circuit.nb_qubits(),
-        bits,
-        sim.branches().len()
-    ));
-    for b in sim.branches() {
-        if b.result().is_empty() {
+    match &sim {
+        DispatchedSimulation::Dense(sim) => {
             out.push_str(&format!(
-                "  (no measurements)  p = {:.6}\n",
-                b.probability()
+                "simulated {} qubits from |{}>: {} branch(es)\n",
+                circuit.nb_qubits(),
+                bits,
+                sim.branches().len()
             ));
+        }
+        DispatchedSimulation::Sparse(sim) => {
+            out.push_str(&format!(
+                "simulated {} qubits from |{}>: {} branch(es) (sparse backend, peak {} live entr{})\n",
+                circuit.nb_qubits(),
+                bits,
+                sim.branches().len(),
+                sim.peak_entries(),
+                if sim.peak_entries() == 1 { "y" } else { "ies" }
+            ));
+        }
+    }
+    for (result, p) in sim.results().iter().zip(sim.probabilities()) {
+        if result.is_empty() {
+            out.push_str(&format!("  (no measurements)  p = {p:.6}\n"));
         } else {
-            out.push_str(&format!("  '{}'  p = {:.6}\n", b.result(), b.probability()));
+            out.push_str(&format!("  '{result}'  p = {p:.6}\n"));
         }
     }
     Ok(out)
@@ -417,8 +460,12 @@ fn counts(
     opts: &EngineOpts,
 ) -> Result<String, CliError> {
     let zeros = "0".repeat(circuit.nb_qubits());
-    let sim = circuit.simulate_bitstring_with(&zeros, &opts.sim_opts())?;
-    let mut out = format!("counts over {shots} shots (seed {seed}):\n");
+    let sim = circuit.simulate_bitstring_routed(&zeros, &opts.sim_opts(), opts.backend)?;
+    let mut out = if sim.is_sparse() {
+        format!("counts over {shots} shots (seed {seed}, sparse backend):\n")
+    } else {
+        format!("counts over {shots} shots (seed {seed}):\n")
+    };
     for (result, n) in sim.counts(shots, seed) {
         out.push_str(&format!("  '{result}': {n}\n"));
     }
@@ -440,6 +487,7 @@ fn sample(
         kernel: opts.kernel(),
         limits: opts.limits(),
         fast_path,
+        backend: opts.backend,
         ..TrajectoryConfig::default()
     };
     let result = run_trajectories(circuit, &config)?;
@@ -490,14 +538,21 @@ fn fmt_bytes(bytes: Option<u128>) -> String {
 
 /// `qclab compile`: lowers the circuit through the shared pipeline and
 /// prints the plan — op counts before/after fusion, fences, the guard's
-/// state-byte estimate, and the op schedule itself. The same resource
-/// limits the simulating commands enforce gate the report (exit 6), so
-/// "compiles here" means "would simulate here".
+/// state-byte estimate, the sparse support bound, the backend the
+/// requested routing resolves to, and the op schedule itself. The same
+/// backend resolution the simulating commands perform gates the report
+/// (exit 6), so "compiles here" means "would simulate here" under the
+/// same `--backend` request.
 fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliError> {
-    opts.limits().check_register(circuit.nb_qubits())?;
     let kernel = opts.kernel();
     let program = circuit.compile_with(&qclab_core::PlanOptions::from(&kernel));
     let stats = program.stats();
+    let choice = qclab_core::program::resolve_backend(
+        opts.backend,
+        stats,
+        circuit.nb_qubits(),
+        &opts.limits(),
+    )?;
     let mut out = format!(
         "compiled {} qubits (fingerprint {:016x}, fusion {}, remap {}):\n",
         program.nb_qubits(),
@@ -516,6 +571,22 @@ fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliEr
     out.push_str(&format!(
         "  state bytes:  {}\n",
         fmt_bytes(stats.state_bytes)
+    ));
+    out.push_str(&format!(
+        "  sparse bound: {} live entr{} ({})\n",
+        stats.sparse_entries,
+        if stats.sparse_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        fmt_bytes(Some(
+            stats.sparse_entries.saturating_mul(SPARSE_ENTRY_BYTES)
+        ))
+    ));
+    out.push_str(&format!(
+        "  backend:      {choice} (requested {})\n",
+        opts.backend
     ));
     let plan = program.shot_plan();
     out.push_str(&format!(
@@ -981,6 +1052,132 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.code, EXIT_RESOURCE);
         assert!(e.msg.contains("--max-qubits"), "message: {}", e.msg);
+    }
+
+    #[test]
+    fn parse_backend_flag() {
+        let cmd = parse_args(&args(&["simulate", "--backend", "auto", "f.qasm"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Simulate { ref opts, .. } if opts.backend == BackendRequest::Auto)
+        );
+        let cmd = parse_args(&args(&["counts", "f.qasm", "10", "--backend", "sparse"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Counts { ref opts, .. } if opts.backend == BackendRequest::Sparse)
+        );
+        let cmd = parse_args(&args(&["compile", "--backend", "dense", "f.qasm"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Compile { ref opts, .. } if opts.backend == BackendRequest::Dense)
+        );
+        let cmd = parse_args(&args(&["sample", "f.qasm", "10", "--backend", "auto"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Sample { ref opts, .. } if opts.backend == BackendRequest::Auto)
+        );
+        // bad values and non-engine commands are usage errors
+        let e = parse_args(&args(&["simulate", "--backend", "magic", "f.qasm"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.msg.contains("unknown backend 'magic'"), "{}", e.msg);
+        assert!(parse_args(&args(&["draw", "--backend", "auto", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["simulate", "--backend"])).is_err());
+    }
+
+    /// Writes a 30-qubit Grover-oracle-shaped circuit: X flips plus a
+    /// Toffoli ladder. Pure permutation — one live sparse entry — but a
+    /// dense register would need 16 GiB, past the 4 GiB default cap.
+    fn write_grover_oracle_30() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oracle30.qasm");
+        let mut src = String::from(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[30];\ncreg c[30];\n\
+             x q[0];\nx q[1];\n",
+        );
+        for t in 2..30 {
+            src.push_str(&format!("ccx q[{}], q[{}], q[{t}];\n", t - 2, t - 1));
+        }
+        src.push_str("measure q -> c;\n");
+        std::fs::write(&path, src).unwrap();
+        path
+    }
+
+    #[test]
+    fn thirty_qubit_oracle_needs_the_sparse_backend() {
+        let p = write_grover_oracle_30().to_str().unwrap().to_string();
+        // the dense default refuses the register outright (exit 6) …
+        let e = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            opts: EngineOpts::default(),
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        // … and so does `compile` under the same dense request
+        let e = run(Command::Compile {
+            path: p.clone(),
+            opts: EngineOpts::default(),
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        // --backend auto routes to the sparse executor and completes:
+        // the ladder propagates the two X flips through every ccx
+        let cmd = parse_args(&args(&["simulate", "--backend", "auto", &p])).unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("sparse backend"), "{out}");
+        assert!(
+            out.contains(&format!("'{}'  p = 1.000000", "1".repeat(30))),
+            "{out}"
+        );
+        // the compile report states the resolved choice
+        let cmd = parse_args(&args(&["compile", "--backend", "auto", &p])).unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("backend:      sparse"), "{report}");
+        assert!(report.contains("(requested auto)"), "{report}");
+        assert!(report.contains("sparse bound: 1 live entry"), "{report}");
+        // counts and sample work on the same register through the flag
+        let cmd = parse_args(&args(&["counts", &p, "20", "--backend", "auto"])).unwrap();
+        let cts = run(cmd).unwrap();
+        assert!(cts.contains("sparse backend"), "{cts}");
+        assert!(cts.contains(&format!("'{}': 20", "1".repeat(30))), "{cts}");
+        let cmd = parse_args(&args(&["sample", &p, "20", "--backend", "auto"])).unwrap();
+        let smp = run(cmd).unwrap();
+        assert!(smp.contains("path: sparse-sampled"), "{smp}");
+        assert!(smp.contains(&format!("'{}': 20", "1".repeat(30))), "{smp}");
+    }
+
+    #[test]
+    fn backend_flag_on_small_circuits_keeps_dense_output() {
+        let p = write_bell().to_str().unwrap().to_string();
+        // a Bell pair is cheap dense; auto stays on the dense engine and
+        // the output is byte-identical to the unrouted default
+        let default_out = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        let auto_out = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            opts: EngineOpts {
+                backend: BackendRequest::Auto,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert_eq!(default_out, auto_out);
+        assert!(!auto_out.contains("sparse"), "{auto_out}");
+        // pinning sparse works too and agrees on the distribution
+        let pinned = run(Command::Simulate {
+            path: p,
+            init: None,
+            opts: EngineOpts {
+                backend: BackendRequest::Sparse,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(pinned.contains("sparse backend"), "{pinned}");
+        assert!(pinned.contains("'00'  p = 0.500000"), "{pinned}");
+        assert!(pinned.contains("'11'  p = 0.500000"), "{pinned}");
     }
 
     #[test]

@@ -33,11 +33,15 @@ pub use gates::Gate;
 pub use measurement::{Basis, Measurement};
 pub use observable::{Observable, Pauli, PauliString};
 pub use optimize::{optimize, OptimizeStats};
-pub use program::{CompiledProgram, PlanCacheStats, PlanOptions, PlanStats, ProgramOp, ShotPlan};
+pub use program::{
+    BackendChoice, BackendRequest, CompiledProgram, PlanCacheStats, PlanOptions, PlanStats,
+    ProgramOp, ShotPlan,
+};
 pub use reduced::{contract_qubit, reduced_statevector};
 pub use sim::density::{DensityState, NoiseChannel, NoiseModel};
+pub use sim::sparse::{SparseSimulation, SparseState};
 pub use sim::stabilizer::{run_stabilizer, MeasureOutcome, StabilizerRun, StabilizerState};
-pub use sim::{Backend, Branch, SimOptions, Simulation};
+pub use sim::{Backend, Branch, DispatchedSimulation, SimOptions, Simulation};
 
 /// Everything needed to write paper-style circuit code.
 pub mod prelude {

@@ -47,10 +47,11 @@
 //! serves callers with different limits.
 
 use crate::circuit::{CircuitItem, QCircuit};
+use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::Measurement;
 use crate::sim::fusion::{self, FusionStats, MAX_FUSED_QUBITS_LIMIT};
-use crate::sim::guard::ResourceLimits;
+use crate::sim::guard::{self, ResourceLimits};
 use crate::sim::kernel::{KernelConfig, SWEEP_TILE_QUBITS};
 use qclab_math::CVec;
 use std::fmt;
@@ -132,8 +133,23 @@ impl fmt::Display for ProgramOp {
     }
 }
 
+/// State representation a plan is lowered for. Part of
+/// [`PlanOptions`] — and therefore of the plan-cache key — so plans
+/// lowered for the dense executors never cross-contaminate plans
+/// lowered for the sparse one, even when every other knob coincides.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlanBackend {
+    /// Dense `2^n`-amplitude state vector (all historical executors).
+    #[default]
+    Dense,
+    /// Hashmap-of-nonzero-amplitudes state
+    /// ([`crate::sim::sparse`]).
+    Sparse,
+}
+
 /// Options of the lowering pipeline — exactly the knobs that change the
-/// produced op stream (and therefore part of the plan-cache key).
+/// produced op stream, plus the [`PlanBackend`] tag that keys plans per
+/// state representation (all of it is part of the plan-cache key).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanOptions {
     /// Run the gate-fusion pre-pass on the flattened op stream.
@@ -146,6 +162,8 @@ pub struct PlanOptions {
     /// LSB-stride SIMD kernels apply (inert for registers of
     /// ≤ [`SWEEP_TILE_QUBITS`] qubits).
     pub remap: bool,
+    /// State representation the plan targets (cache-key tag).
+    pub backend: PlanBackend,
 }
 
 impl Default for PlanOptions {
@@ -154,6 +172,7 @@ impl Default for PlanOptions {
             fuse: true,
             max_fused_qubits: fusion::DEFAULT_MAX_FUSED_QUBITS,
             remap: true,
+            backend: PlanBackend::Dense,
         }
     }
 }
@@ -172,6 +191,19 @@ impl PlanOptions {
         }
     }
 
+    /// Lowering for the sparse executor: fused dense blocks and index-bit
+    /// locality buy a hashmap-of-amplitudes nothing (there is no stride
+    /// to optimize and fusion only coarsens the support bound), so both
+    /// passes are off and the plan is tagged [`PlanBackend::Sparse`].
+    pub fn sparse() -> Self {
+        PlanOptions {
+            fuse: false,
+            remap: false,
+            backend: PlanBackend::Sparse,
+            ..PlanOptions::default()
+        }
+    }
+
     /// Clamps the fusion cap so equivalent option sets share one cache
     /// entry.
     fn normalized(mut self) -> Self {
@@ -186,6 +218,7 @@ impl From<&KernelConfig> for PlanOptions {
             fuse: cfg.fuse,
             max_fused_qubits: cfg.max_fused_qubits,
             remap: cfg.remap,
+            backend: PlanBackend::Dense,
         }
     }
 }
@@ -208,7 +241,18 @@ pub struct PlanStats {
     /// Bytes a dense state vector for this register occupies (`None`
     /// when `2^n · 16` overflows a `u128`) — the guard estimate the CLI
     /// reports and executors re-check against their [`ResourceLimits`].
+    /// This is the *dense* cost only; sparse admission goes through
+    /// [`sparse_entries`](Self::sparse_entries) instead, so a program
+    /// whose dense footprint is refused is not over-refused for the
+    /// sparse executor.
     pub state_bytes: Option<u128>,
+    /// Upper bound on the nonzero-amplitude count a sparse execution of
+    /// this program can reach from a basis initial state, propagated
+    /// op-by-op over the flat stream: permutation-class gates (X, CX,
+    /// SWAP, …) and diagonal gates preserve support, a general gate on
+    /// `k` targets multiplies it by at most `2^k` (H and Ry double),
+    /// measurements and resets only shrink it. Saturates at `2^n`.
+    pub sparse_entries: u128,
     /// Ops in the deterministic shot prefix (see [`ShotPlan`]).
     pub shot_prefix_ops: usize,
     /// Ops in the stochastic shot suffix (see [`ShotPlan`]).
@@ -762,6 +806,166 @@ fn remap_ops(ops: Vec<ProgramOp>, n: usize, stats: &mut PlanStats) -> Vec<Progra
     out
 }
 
+/// `true` when every column of `m` has at most one nonzero entry — the
+/// gate maps basis states to (phased) basis states, so it cannot grow
+/// the nonzero support of a sparse state. Covers X, Y, Z, phases, S, T,
+/// SWAP, controlled versions thereof, and any diagonal.
+fn is_permutation_matrix(m: &qclab_math::CMat) -> bool {
+    const TOL: f64 = 1e-12;
+    for col in 0..m.cols() {
+        let mut nonzero = 0usize;
+        for row in 0..m.rows() {
+            if m[(row, col)].norm_sqr() > TOL * TOL {
+                nonzero += 1;
+                if nonzero > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Upper-bound nonzero-amplitude count of a sparse execution of the flat
+/// stream from a basis initial state (see [`PlanStats::sparse_entries`]).
+/// Computed on the *unfused* stream so the bound is identical across
+/// dense- and sparse-tagged plans of one circuit: fusion would coarsen a
+/// run of support-preserving gates into one dense block.
+fn estimate_sparse_entries(flat: &[CircuitItem], nb_qubits: usize) -> u128 {
+    let cap: u128 = if nb_qubits >= 127 {
+        u128::MAX
+    } else {
+        1u128 << nb_qubits
+    };
+    let mut support: u128 = 1;
+    for item in flat {
+        if let CircuitItem::Gate(g) = item {
+            // diagonal and permutation-class target matrices preserve
+            // support; a general k-target gate spreads each basis state
+            // over at most 2^k partners (controls never spread)
+            if g.is_diagonal() || is_permutation_matrix(&g.target_matrix()) {
+                continue;
+            }
+            let k = g.nb_targets().min(127) as u32;
+            support = support.saturating_mul(1u128 << k).min(cap);
+        }
+        // measurements and resets collapse: support can only shrink
+    }
+    support
+}
+
+/// Executor family a caller asks for. [`Auto`](BackendRequest::Auto)
+/// defers to [`choose_backend`]; the other two pin the decision (and
+/// fail if that executor's guard refuses the program).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendRequest {
+    /// Let [`choose_backend`] pick per program.
+    Auto,
+    /// Dense state vector, guard-checked against `2^n` bytes.
+    #[default]
+    Dense,
+    /// Sparse hashmap state, guard-checked against the live-entry cap.
+    Sparse,
+}
+
+impl fmt::Display for BackendRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendRequest::Auto => write!(f, "auto"),
+            BackendRequest::Dense => write!(f, "dense"),
+            BackendRequest::Sparse => write!(f, "sparse"),
+        }
+    }
+}
+
+/// The executor the chooser selected for one program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Dense `2^n`-amplitude execution.
+    Dense,
+    /// Sparse execution; `est_entries` is the support bound the
+    /// decision was based on ([`PlanStats::sparse_entries`]).
+    Sparse {
+        /// Upper bound on live entries used for admission.
+        est_entries: u128,
+    },
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendChoice::Dense => write!(f, "dense"),
+            BackendChoice::Sparse { est_entries } => {
+                write!(f, "sparse (est ≤ {est_entries} entries)")
+            }
+        }
+    }
+}
+
+/// Work-ratio margin of the dense/sparse chooser: hashmap traffic makes
+/// one sparse entry cost roughly this many dense amplitude updates, so
+/// sparse only wins when its estimated footprint is at least this factor
+/// below the dense one.
+pub const SPARSE_CROSSOVER_FACTOR: u128 = 8;
+
+/// Picks the executor for a lowered program under `limits`: sparse when
+/// the support bound fits the live-entry budget *and* either undercuts
+/// the dense footprint by [`SPARSE_CROSSOVER_FACTOR`] or the dense state
+/// is guard-refused outright; dense otherwise. Errs with the dense
+/// refusal when neither representation fits.
+pub fn choose_backend(
+    stats: &PlanStats,
+    nb_qubits: usize,
+    limits: &ResourceLimits,
+) -> Result<BackendChoice, QclabError> {
+    let est = stats.sparse_entries;
+    let dense_ok = limits.check_register(nb_qubits).is_ok();
+    let sparse_ok = limits.check_sparse_register(nb_qubits).is_ok()
+        && limits.check_sparse_entries(nb_qubits, est).is_ok();
+    let sparse_wins = match stats.state_bytes {
+        Some(dense_bytes) => {
+            est.saturating_mul(guard::SPARSE_ENTRY_BYTES)
+                .saturating_mul(SPARSE_CROSSOVER_FACTOR)
+                <= dense_bytes
+        }
+        // a dense state beyond u128 bytes loses to any admitted support
+        None => true,
+    };
+    if sparse_ok && (sparse_wins || !dense_ok) {
+        Ok(BackendChoice::Sparse { est_entries: est })
+    } else if dense_ok {
+        Ok(BackendChoice::Dense)
+    } else {
+        Err(limits
+            .check_register(nb_qubits)
+            .expect_err("dense admission failed above"))
+    }
+}
+
+/// Resolves a [`BackendRequest`] against a program's stats: `Auto` runs
+/// the chooser, a pinned request only checks that executor's own guard.
+pub fn resolve_backend(
+    request: BackendRequest,
+    stats: &PlanStats,
+    nb_qubits: usize,
+    limits: &ResourceLimits,
+) -> Result<BackendChoice, QclabError> {
+    match request {
+        BackendRequest::Auto => choose_backend(stats, nb_qubits, limits),
+        BackendRequest::Dense => {
+            limits.check_register(nb_qubits)?;
+            Ok(BackendChoice::Dense)
+        }
+        BackendRequest::Sparse => {
+            limits.check_sparse_register(nb_qubits)?;
+            limits.check_sparse_entries(nb_qubits, stats.sparse_entries)?;
+            Ok(BackendChoice::Sparse {
+                est_entries: stats.sparse_entries,
+            })
+        }
+    }
+}
+
 /// Lowers a circuit to a [`CompiledProgram`] without consulting the plan
 /// cache. Use [`compile`] unless you are measuring lowering cost itself
 /// (the F11 ablation) or deliberately want a private plan.
@@ -775,6 +979,7 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
 
     let mut stats = PlanStats {
         state_bytes: ResourceLimits::state_bytes(nb_qubits),
+        sparse_entries: estimate_sparse_entries(&flat, nb_qubits),
         ..PlanStats::default()
     };
 

@@ -17,6 +17,13 @@ use crate::error::QclabError;
 /// Bytes per amplitude (`C64` = two `f64`).
 pub const AMPLITUDE_BYTES: u128 = 16;
 
+/// Bytes one live entry of the sparse hashmap state costs: a `usize`
+/// basis index, a `C64` amplitude, and hashmap slot/load-factor
+/// overhead. The sparse executor's live-entry budget is
+/// `max_state_bytes / SPARSE_ENTRY_BYTES`, so dense and sparse runs
+/// answer to the same byte cap.
+pub const SPARSE_ENTRY_BYTES: u128 = 48;
+
 /// Default cap on a single state allocation: 4 GiB, i.e. a 28-qubit
 /// state vector (or a 14-qubit density matrix, which lives on a doubled
 /// register).
@@ -93,6 +100,56 @@ impl ResourceLimits {
                 limit_bytes: self.max_state_bytes,
             }),
         }
+    }
+
+    /// Live-entry budget of a sparse execution under these limits: the
+    /// byte cap divided by [`SPARSE_ENTRY_BYTES`].
+    pub fn max_sparse_entries(&self) -> u128 {
+        self.max_state_bytes / SPARSE_ENTRY_BYTES
+    }
+
+    /// Checks that a sparse state over `nb_qubits` qubits may exist at
+    /// all: the explicit qubit cap still applies and basis indices must
+    /// be addressable (`n < 64`), but — unlike
+    /// [`check_register`](Self::check_register) — no `2^n` byte estimate
+    /// is charged. Memory admission for sparse states is per live entry
+    /// via [`check_sparse_entries`](Self::check_sparse_entries).
+    pub fn check_sparse_register(&self, nb_qubits: usize) -> Result<(), QclabError> {
+        if let Some(max_q) = self.max_qubits {
+            if nb_qubits > max_q {
+                return Err(QclabError::ResourceExhausted {
+                    qubits: nb_qubits,
+                    bytes_needed: Self::state_bytes(nb_qubits),
+                    limit_bytes: Self::state_bytes(max_q).unwrap_or(u128::MAX),
+                });
+            }
+        }
+        // basis indices are `usize`; the sparse maps need `1usize << n`
+        // nowhere, but `qubit_shift`-style bit math does need n < 64
+        if nb_qubits >= usize::BITS as usize {
+            return Err(QclabError::ResourceExhausted {
+                qubits: nb_qubits,
+                bytes_needed: Self::state_bytes(nb_qubits),
+                limit_bytes: self.max_state_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that `entries` live sparse entries fit the byte cap
+    /// (`entries · `[`SPARSE_ENTRY_BYTES`]` ≤ max_state_bytes`). The
+    /// sparse executor calls this after every op; the chooser calls it
+    /// on the lowering-time support bound.
+    pub fn check_sparse_entries(&self, nb_qubits: usize, entries: u128) -> Result<(), QclabError> {
+        let bytes = entries.saturating_mul(SPARSE_ENTRY_BYTES);
+        if bytes > self.max_state_bytes {
+            return Err(QclabError::ResourceExhausted {
+                qubits: nb_qubits,
+                bytes_needed: Some(bytes),
+                limit_bytes: self.max_state_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// Checks that a dense `2^n × 2^n` matrix over `nb_qubits` qubits may

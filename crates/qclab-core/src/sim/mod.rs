@@ -23,6 +23,7 @@ pub mod kernel;
 pub mod kron;
 pub mod sampler;
 pub(crate) mod simd;
+pub mod sparse;
 pub mod stabilizer;
 pub mod trajectory;
 
@@ -30,7 +31,7 @@ use crate::circuit::QCircuit;
 use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
-use crate::program::ProgramOp;
+use crate::program::{self, BackendChoice, BackendRequest, PlanOptions, ProgramOp};
 use crate::reduced::contract_qubit;
 use qclab_math::CVec;
 use rand::rngs::StdRng;
@@ -363,6 +364,101 @@ impl QCircuit {
             nb_qubits: n,
             branches,
         })
+    }
+}
+
+/// A simulation that ran on whichever state representation the
+/// dense/sparse chooser picked — the return type of
+/// [`QCircuit::simulate_bitstring_routed`].
+#[derive(Clone, Debug)]
+pub enum DispatchedSimulation {
+    /// Ran on the dense engine ([`Simulation`]).
+    Dense(Simulation),
+    /// Ran on the sparse executor ([`sparse::SparseSimulation`]).
+    Sparse(sparse::SparseSimulation),
+}
+
+impl DispatchedSimulation {
+    /// Number of register qubits.
+    pub fn nb_qubits(&self) -> usize {
+        match self {
+            DispatchedSimulation::Dense(s) => s.nb_qubits(),
+            DispatchedSimulation::Sparse(s) => s.nb_qubits(),
+        }
+    }
+
+    /// The observed measurement result strings, one per branch.
+    pub fn results(&self) -> Vec<&str> {
+        match self {
+            DispatchedSimulation::Dense(s) => s.results(),
+            DispatchedSimulation::Sparse(s) => s.results(),
+        }
+    }
+
+    /// Branch probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        match self {
+            DispatchedSimulation::Dense(s) => s.probabilities(),
+            DispatchedSimulation::Sparse(s) => s.probabilities(),
+        }
+    }
+
+    /// Sampled counts — both representations use the same sampler and
+    /// tally shape, so for one seed the draws match when the branch
+    /// distributions do.
+    pub fn counts(&self, shots: u64, seed: u64) -> Vec<(String, u64)> {
+        match self {
+            DispatchedSimulation::Dense(s) => s.counts(shots, seed),
+            DispatchedSimulation::Sparse(s) => s.counts(shots, seed),
+        }
+    }
+
+    /// `true` when the sparse executor ran.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, DispatchedSimulation::Sparse(_))
+    }
+}
+
+impl QCircuit {
+    /// Simulates from a basis-state bitstring on the backend a
+    /// [`BackendRequest`] resolves to: `Auto` lets
+    /// [`program::choose_backend`] pick dense or sparse per program
+    /// (using the lowering-time support bound), `Dense`/`Sparse` pin
+    /// the executor and fail if its guard refuses. This is the routing
+    /// entry the CLI `--backend` flag drives.
+    pub fn simulate_bitstring_routed(
+        &self,
+        bits: &str,
+        opts: &SimOptions,
+        request: BackendRequest,
+    ) -> Result<DispatchedSimulation, QclabError> {
+        if bits.len() != self.nb_qubits() {
+            return Err(QclabError::InvalidBitstring(bits.to_string()));
+        }
+        // the support bound is computed on the unfused stream, so any
+        // plan of this circuit reports the same estimate; lowering the
+        // sparse-tagged plan avoids building dense fused blocks for a
+        // register the dense engine may not even admit
+        let probe = self.compile_with(&PlanOptions::sparse());
+        let choice =
+            program::resolve_backend(request, probe.stats(), self.nb_qubits(), &opts.limits)?;
+        match choice {
+            BackendChoice::Dense => Ok(DispatchedSimulation::Dense(
+                self.simulate_bitstring_with(bits, opts)?,
+            )),
+            BackendChoice::Sparse { .. } => {
+                let initial = sparse::SparseState::from_bitstring(bits)
+                    .ok_or_else(|| QclabError::InvalidBitstring(bits.to_string()))?;
+                let sopts = sparse::SparseOptions {
+                    branch_tol: opts.branch_tol,
+                    limits: opts.limits,
+                    ..sparse::SparseOptions::default()
+                };
+                Ok(DispatchedSimulation::Sparse(sparse::execute(
+                    &probe, initial, &sopts,
+                )?))
+            }
+        }
     }
 }
 

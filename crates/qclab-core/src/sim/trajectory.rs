@@ -56,10 +56,13 @@ use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
 use crate::observable::{Observable, Pauli};
-use crate::program::{CompiledProgram, PlanOptions, ProgramOp};
+use crate::program::{
+    self, BackendChoice, BackendRequest, CompiledProgram, PlanOptions, ProgramOp,
+};
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
 use crate::sim::sampler::DiscreteSampler;
+use crate::sim::sparse;
 use crate::sim::{collapse, kernel};
 use qclab_math::{bits, CVec};
 use rand::rngs::StdRng;
@@ -256,6 +259,13 @@ pub struct TrajectoryConfig {
     /// alias path draws shots from the exact measured-qubit marginal.
     /// Disable to force the plain per-shot engine (the F12 ablation).
     pub fast_path: bool,
+    /// State representation of the shot engine. The default pins the
+    /// dense engine (bit-compatible with every earlier release);
+    /// [`BackendRequest::Auto`]/[`BackendRequest::Sparse`] route
+    /// noiseless terminal-measurement programs through the sparse
+    /// prefix-sampling path ([`ShotPath::SparseSampled`]), which admits
+    /// 30+ qubit low-entanglement registers the dense guard refuses.
+    pub backend: BackendRequest,
 }
 
 impl Default for TrajectoryConfig {
@@ -271,6 +281,7 @@ impl Default for TrajectoryConfig {
             reuse_buffers: true,
             observables: Vec::new(),
             fast_path: true,
+            backend: BackendRequest::Dense,
         }
     }
 }
@@ -294,6 +305,13 @@ pub enum ShotPath {
         /// Ops evolved once before sampling.
         prefix_ops: usize,
     },
+    /// Like [`AliasSampled`](Self::AliasSampled), but the prefix was
+    /// evolved on the sparse executor and the marginal built over the
+    /// live entries only — the dense `2^n` state never exists.
+    SparseSampled {
+        /// Ops evolved once (sparsely) before sampling.
+        prefix_ops: usize,
+    },
 }
 
 impl fmt::Display for ShotPath {
@@ -305,6 +323,9 @@ impl fmt::Display for ShotPath {
             }
             ShotPath::AliasSampled { prefix_ops } => {
                 write!(f, "alias-sampled (prefix {prefix_ops} ops)")
+            }
+            ShotPath::SparseSampled { prefix_ops } => {
+                write!(f, "sparse-sampled (prefix {prefix_ops} ops)")
             }
         }
     }
@@ -411,6 +432,7 @@ fn plan_options(config: &TrajectoryConfig) -> PlanOptions {
         fuse: config.kernel.fuse && config.noise.is_noiseless(),
         max_fused_qubits: config.kernel.max_fused_qubits,
         remap: config.kernel.remap && config.noise.is_noiseless(),
+        ..PlanOptions::default()
     }
 }
 
@@ -878,6 +900,98 @@ fn run_alias_sampled(
     })
 }
 
+/// Sparse variant of the terminal-measurement fast path: the prefix is
+/// evolved on the sparse executor from `|0…0⟩`, the joint marginal over
+/// the measured qubits is accumulated over the *live entries only*
+/// (keyed and sorted, so the sampler's outcome order is deterministic),
+/// and the shots draw from the same per-shot `(seed, shot)` RNG streams
+/// as [`run_alias_sampled`]. A dense `2^n` buffer never exists, so
+/// 30+ qubit low-entanglement programs sample in support-sized memory.
+fn run_sparse_sampled(
+    program: &CompiledProgram,
+    n: usize,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    config.noise.validate()?;
+    config.limits.check_sparse_register(n)?;
+    let plan = program.shot_plan();
+    let ops = program.ops();
+    let sopts = sparse::SparseOptions {
+        limits: config.limits,
+        ..sparse::SparseOptions::default()
+    };
+    let mut state = sparse::SparseState::basis_state(n, 0);
+    for op in &ops[..plan.prefix_ops] {
+        match op {
+            ProgramOp::Gate(g) => {
+                state.apply_gate(g, sopts.prune_eps);
+                config.limits.check_sparse_entries(n, state.nnz() as u128)?;
+            }
+            ProgramOp::Fence(_) => {}
+            // sparse-tagged plans never emit layout permutes, but a
+            // caller handing in a dense plan still gets correct results
+            ProgramOp::Permute { perm, .. } => state.permute(perm),
+            ProgramOp::Measure(_) | ProgramOp::Reset(_) => {
+                unreachable!("measurement inside a shot-plan prefix")
+            }
+        }
+    }
+    // rotate non-Z measured qubits into their bases, as in the dense path
+    for op in &ops[plan.prefix_ops..] {
+        if let ProgramOp::Measure(m) = op {
+            if !matches!(m.basis(), Basis::Z) {
+                let v = m.basis().change_matrix();
+                let vdg = Gate::Custom {
+                    name: "V†".into(),
+                    qubits: vec![m.qubit()],
+                    matrix: v.dagger(),
+                };
+                state.apply_gate(&vdg, sopts.prune_eps);
+            }
+        }
+    }
+    let measured = &plan.measured_qubits;
+    let m = measured.len();
+    // joint marginal over the live support; BTreeMap gives the sampler a
+    // deterministic outcome order independent of hashmap iteration
+    let mut marginal: BTreeMap<usize, f64> = BTreeMap::new();
+    for (i, amp) in state.iter() {
+        *marginal
+            .entry(bits::gather_bits(i, measured, n))
+            .or_insert(0.0) += amp.norm_sqr();
+    }
+    let outcomes: Vec<usize> = marginal.keys().copied().collect();
+    let weights: Vec<f64> = marginal.values().copied().collect();
+    let sampler = DiscreteSampler::new(&weights)
+        .expect("marginal of a normalized state is a valid distribution");
+    let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
+    for shot in 0..config.shots {
+        let mut rng = shot_rng(config.seed, shot);
+        *tally.entry(outcomes[sampler.sample(&mut rng)]).or_insert(0) += 1;
+    }
+    // outcome index → record string, same layout as the dense path:
+    // measurement j (execution order) is bit m−1−j
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, c) in tally {
+        let mut record = String::with_capacity(m);
+        for j in (0..m).rev() {
+            record.push(if (k >> j) & 1 == 1 { '1' } else { '0' });
+        }
+        counts.insert(record, c);
+    }
+    Ok(TrajectoryResult {
+        nb_qubits: n,
+        shots: config.shots,
+        counts,
+        injected_errors: 0,
+        expectations: Vec::new(),
+        norm: NormStats::default(),
+        path: ShotPath::SparseSampled {
+            prefix_ops: plan.prefix_ops,
+        },
+    })
+}
+
 /// Runs a single trajectory (shot index `shot`) and returns its final
 /// state, measurement record and injected errors. Deterministic in
 /// `(config.seed, shot)`.
@@ -920,7 +1034,34 @@ pub fn run_trajectories(
     circuit: &QCircuit,
     config: &TrajectoryConfig,
 ) -> Result<TrajectoryResult, QclabError> {
-    let dim = config.limits.check_register(circuit.nb_qubits())?;
+    let n = circuit.nb_qubits();
+    // Backend routing happens before the dense `|0…0⟩` guard/allocation,
+    // so sparse-eligible wide registers are not refused on the dense
+    // byte estimate.
+    if config.backend != BackendRequest::Dense {
+        let program = circuit.compile_with(&PlanOptions::sparse());
+        let choice = program::resolve_backend(config.backend, program.stats(), n, &config.limits)?;
+        if let BackendChoice::Sparse { .. } = choice {
+            let prefix_sampleable = config.fast_path
+                && config.noise.is_noiseless()
+                && program.shot_plan().terminal_measurements
+                && config.observables.is_empty();
+            if prefix_sampleable {
+                return run_sparse_sampled(&program, n, config);
+            }
+            if config.backend == BackendRequest::Sparse {
+                return Err(QclabError::Unavailable(
+                    "sparse trajectory execution covers noiseless terminal-measurement \
+                     programs (prefix sampling) only — run with the dense or auto backend"
+                        .into(),
+                ));
+            }
+            // Auto preferred sparse but the program shape is not
+            // prefix-sampleable: fall through to the dense engine,
+            // whose own guard decides admission.
+        }
+    }
+    let dim = config.limits.check_register(n)?;
     run_trajectories_from(circuit, &CVec::basis_state(dim, 0), config)
 }
 

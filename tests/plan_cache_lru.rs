@@ -92,4 +92,43 @@ fn plan_cache_is_lru_and_relowering_matches() {
         cached_shot,
         "re-lowered shot plan diverged"
     );
+
+    // the cache key is backend-aware: the same circuit lowered under
+    // the dense defaults and under the sparse-tagged options are two
+    // distinct entries — the second request must miss, not alias
+    program::clear_plan_cache();
+    let dense_plan = program::compile(&distinct_circuit(0), &PlanOptions::default());
+    let before = program::plan_cache_stats();
+    let sparse_plan = program::compile(&distinct_circuit(0), &PlanOptions::sparse());
+    let after = program::plan_cache_stats();
+    assert_eq!(
+        after.misses,
+        before.misses + 1,
+        "a sparse-tagged lowering of a dense-cached circuit must miss"
+    );
+    assert_eq!(after.entries, 2, "dense and sparse plans must coexist");
+    assert!(
+        !std::sync::Arc::ptr_eq(&dense_plan, &sparse_plan),
+        "dense and sparse requests must not share a plan"
+    );
+    // …and each variant hits its own entry afterwards, no cross-talk
+    let before = program::plan_cache_stats();
+    let dense_again = program::compile(&distinct_circuit(0), &PlanOptions::default());
+    let sparse_again = program::compile(&distinct_circuit(0), &PlanOptions::sparse());
+    let after = program::plan_cache_stats();
+    assert_eq!(
+        after.hits,
+        before.hits + 2,
+        "both variants must be resident"
+    );
+    assert_eq!(after.misses, before.misses, "no re-lowering on either side");
+    assert!(std::sync::Arc::ptr_eq(&dense_plan, &dense_again));
+    assert!(std::sync::Arc::ptr_eq(&sparse_plan, &sparse_again));
+    // the support bound is computed on the flat unfused stream, so both
+    // variants of one circuit report the same estimate
+    assert_eq!(
+        dense_plan.stats().sparse_entries,
+        sparse_plan.stats().sparse_entries,
+        "the sparse-entry bound must not depend on the plan variant"
+    );
 }

@@ -1,0 +1,303 @@
+//! Property tests: the sparse hashmap executor must be indistinguishable
+//! from the dense state-vector engine wherever both run — a differential
+//! oracle over random circuits that interleave unitary gates, barriers,
+//! mid-circuit measurements (all three bases), resets and nested
+//! sub-circuits. Branch records must match exactly, probabilities and
+//! every amplitude to 1e-12. A chi-square leg checks that sparse
+//! `counts` draws follow the dense engine's exact branch marginal, and
+//! an acceptance test locks in the headline capability: a 30-qubit
+//! low-entanglement circuit the dense guard refuses completes under
+//! `BackendRequest::Auto` on the sparse executor.
+
+mod common;
+
+use common::{measured_circuit, state};
+use proptest::prelude::*;
+use qclab::prelude::*;
+use qclab_core::program::{BackendRequest, PlanOptions};
+use qclab_core::sim::guard::ResourceLimits;
+use qclab_core::sim::sparse::{self, SparseOptions, SparseSimulation, SparseState};
+use qclab_core::sim::trajectory::{run_trajectories, ShotPath, TrajectoryConfig};
+use qclab_core::{CircuitItem, QclabError};
+use std::collections::BTreeMap;
+
+const N: usize = 4;
+
+/// Honour `QCLAB_PROPTEST_CASES` to run more (or fewer) cases per
+/// property (the hardened CI job raises it).
+fn fuzz_cases() -> u32 {
+    std::env::var("QCLAB_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A random circuit that exercises the whole item vocabulary the two
+/// executors must agree on: a measured prefix, a nested sub-circuit at a
+/// random offset (lowering flattens it into the shared op stream), and
+/// a measured suffix.
+fn rich_circuit() -> impl Strategy<Value = QCircuit> {
+    (
+        measured_circuit(N, 8),
+        measured_circuit(3, 5),
+        0..=N - 3,
+        measured_circuit(N, 4),
+    )
+        .prop_map(|(mut outer, inner, offset, suffix)| {
+            outer.push_back(CircuitItem::SubCircuit {
+                offset,
+                circuit: inner,
+            });
+            for item in suffix.items() {
+                outer.push_back(item.clone());
+            }
+            outer
+        })
+}
+
+/// Runs the sparse executor over the circuit's unfused plan from an
+/// arbitrary dense initial state.
+fn run_sparse(c: &QCircuit, init: &CVec) -> SparseSimulation {
+    let program = c.compile_with(&PlanOptions::sparse());
+    let initial = SparseState::from_dense(init, 0.0);
+    sparse::execute(&program, initial, &SparseOptions::default()).unwrap()
+}
+
+/// Asserts the sparse run reproduces the dense run: identical branch
+/// records, probabilities to 1e-12, and every amplitude to 1e-12 (via
+/// the dense bridge, which also re-checks the byte guard).
+fn assert_sparse_matches_dense(sp: &SparseSimulation, dense: &Simulation, what: &str) {
+    assert_eq!(
+        sp.results(),
+        dense.results(),
+        "{what}: branch records diverged"
+    );
+    for (pa, pb) in sp.probabilities().iter().zip(dense.probabilities()) {
+        assert!(
+            (pa - pb).abs() < 1e-12,
+            "{what}: branch probabilities diverged ({pa} vs {pb})"
+        );
+    }
+    let bridged = sp.to_dense(&ResourceLimits::default()).unwrap();
+    for (sa, sb) in bridged.states().iter().zip(dense.states()) {
+        for (a, b) in sa.iter().zip(sb.iter()) {
+            assert!(
+                (a - b).norm() < 1e-12,
+                "{what}: amplitudes diverged ({a:?} vs {b:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Differential oracle from the all-zeros basis state: the workload
+    /// shape the CLI and the trajectory prefix path run.
+    #[test]
+    fn sparse_matches_dense_from_basis_state(c in rich_circuit()) {
+        let init = CVec::basis_state(1 << N, 0);
+        let dense = c.simulate_with(&init, &SimOptions::default()).unwrap();
+        let sp = run_sparse(&c, &init);
+        assert_sparse_matches_dense(&sp, &dense, "basis-state start");
+    }
+
+    /// Differential oracle from a random dense state: every entry of the
+    /// hashmap is live, so the general apply path, pruning and the
+    /// measurement collapse all run with full support.
+    #[test]
+    fn sparse_matches_dense_from_random_state(c in rich_circuit(), init in state(N)) {
+        let dense = c.simulate_with(&init, &SimOptions::default()).unwrap();
+        let sp = run_sparse(&c, &init);
+        assert_sparse_matches_dense(&sp, &dense, "random-state start");
+    }
+
+    /// The routed front end agrees with the dense engine regardless of
+    /// which backend the request resolves to.
+    #[test]
+    fn routed_simulation_is_backend_transparent(c in rich_circuit()) {
+        let zeros = "0".repeat(N);
+        let dense = c.simulate_bitstring_with(&zeros, &SimOptions::default()).unwrap();
+        for request in [BackendRequest::Auto, BackendRequest::Dense, BackendRequest::Sparse] {
+            let routed = c
+                .simulate_bitstring_routed(&zeros, &SimOptions::default(), request)
+                .unwrap();
+            prop_assert_eq!(routed.results(), dense.results(), "records under {}", request);
+            for (pa, pb) in routed.probabilities().iter().zip(dense.probabilities()) {
+                prop_assert!(
+                    (pa - pb).abs() < 1e-12,
+                    "probabilities diverged under {} ({} vs {})", request, pa, pb
+                );
+            }
+        }
+    }
+}
+
+/// Pearson chi-square over labelled counts against exact probabilities,
+/// skipping bins whose expectation is below the standard applicability
+/// threshold (mirrors the sampler's own statistical tests).
+fn chi_square(
+    counts: &BTreeMap<String, u64>,
+    probs: &BTreeMap<String, f64>,
+    draws: u64,
+) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut dof = 0usize;
+    for (label, p) in probs {
+        let expect = p * draws as f64;
+        if expect < 5.0 {
+            continue; // standard applicability rule
+        }
+        let c = counts.get(label).copied().unwrap_or(0);
+        let d = c as f64 - expect;
+        stat += d * d / expect;
+        dof += 1;
+    }
+    (stat, dof.saturating_sub(1))
+}
+
+/// Loose acceptance bound: mean + 5 sigma of the chi-square distribution
+/// plus slack, so a correct sampler fails with negligible probability.
+fn chi_bound(dof: usize) -> f64 {
+    dof as f64 + 5.0 * (2.0 * dof as f64).sqrt() + 10.0
+}
+
+/// A branching workload for the statistical legs: superposition,
+/// entanglement, a mid-circuit X-basis measurement and a reset, so the
+/// outcome marginal is spread over several result strings.
+fn branching_circuit() -> QCircuit {
+    let mut c = QCircuit::new(3);
+    c.push_back(Hadamard::new(0));
+    c.push_back(CRY::new(0, 1, 1.1));
+    c.push_back(CNOT::new(1, 2));
+    c.push_back(Measurement::x(1));
+    c.push_back(RotationY::new(2, 0.7));
+    c.push_back(CircuitItem::Reset(0));
+    c.push_back(Hadamard::new(0));
+    c.push_back(Measurement::z(0));
+    c.push_back(Measurement::z(2));
+    c
+}
+
+/// Sparse `counts` draws must follow the dense engine's exact branch
+/// marginal — the F10/F12-style statistical cross-check of the sampled
+/// surface, not just the amplitudes.
+#[test]
+fn sparse_counts_match_dense_marginal_chi_square() {
+    let c = branching_circuit();
+    let init = CVec::basis_state(1 << 3, 0);
+    let dense = c.simulate_with(&init, &SimOptions::default()).unwrap();
+    // exact marginal over result strings (resets can make several
+    // branches share a record: merge by summing)
+    let mut probs: BTreeMap<String, f64> = BTreeMap::new();
+    for (r, p) in dense.results().iter().zip(dense.probabilities()) {
+        *probs.entry(r.to_string()).or_insert(0.0) += p;
+    }
+    assert!(probs.len() >= 4, "workload must branch, got {probs:?}");
+
+    let sp = run_sparse(&c, &init);
+    let draws = 40_000u64;
+    for seed in [1u64, 7, 42] {
+        let counts: BTreeMap<String, u64> = sp.counts(draws, seed).into_iter().collect();
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, draws);
+        let (stat, dof) = chi_square(&counts, &probs, draws);
+        assert!(dof >= 3, "chi-square must retain bins, got dof {dof}");
+        assert!(
+            stat <= chi_bound(dof),
+            "seed {seed}: sparse counts drifted from the dense marginal \
+             (chi2 {stat:.1} > bound {:.1}, dof {dof})",
+            chi_bound(dof)
+        );
+    }
+}
+
+/// The trajectory sparse prefix-sampling path draws from the same
+/// distribution as the dense engine's exact marginal.
+#[test]
+fn sparse_sampled_trajectories_match_dense_marginal_chi_square() {
+    // terminal-measurement shape: gates, then measure every qubit
+    let mut c = QCircuit::new(3);
+    c.push_back(Hadamard::new(0));
+    c.push_back(CRY::new(0, 1, 0.9));
+    c.push_back(CNOT::new(1, 2));
+    c.push_back(RotationY::new(2, 0.4));
+    for q in 0..3 {
+        c.push_back(Measurement::z(q));
+    }
+    let init = CVec::basis_state(1 << 3, 0);
+    let dense = c.simulate_with(&init, &SimOptions::default()).unwrap();
+    let mut probs: BTreeMap<String, f64> = BTreeMap::new();
+    for (r, p) in dense.results().iter().zip(dense.probabilities()) {
+        *probs.entry(r.to_string()).or_insert(0.0) += p;
+    }
+
+    let shots = 40_000u64;
+    let config = TrajectoryConfig {
+        shots,
+        seed: 13,
+        backend: BackendRequest::Sparse,
+        ..TrajectoryConfig::default()
+    };
+    let result = run_trajectories(&c, &config).unwrap();
+    assert!(
+        matches!(result.path(), ShotPath::SparseSampled { .. }),
+        "pinned sparse trajectory must take the prefix-sampling path, got {}",
+        result.path()
+    );
+    let counts: BTreeMap<String, u64> = result
+        .counts()
+        .iter()
+        .map(|(r, n)| (r.clone(), *n))
+        .collect();
+    let (stat, dof) = chi_square(&counts, &probs, shots);
+    assert!(dof >= 2, "chi-square must retain bins, got dof {dof}");
+    assert!(
+        stat <= chi_bound(dof),
+        "sparse-sampled counts drifted from the dense marginal \
+         (chi2 {stat:.1} > bound {:.1}, dof {dof})",
+        chi_bound(dof)
+    );
+}
+
+/// The headline capability, locked in at the library level: a 30-qubit
+/// low-entanglement circuit the dense guard refuses runs to completion
+/// under `Auto`, which resolves it to the sparse executor.
+#[test]
+fn thirty_qubit_circuit_dense_refuses_auto_completes() {
+    let n = 30;
+    let mut c = QCircuit::new(n);
+    // Grover-oracle shape: X flips plus a Toffoli ladder — a pure
+    // permutation, so the support never leaves one basis state
+    c.push_back(PauliX::new(0));
+    c.push_back(PauliX::new(1));
+    for t in 2..n {
+        c.push_back(Toffoli::new(t - 2, t - 1, t));
+    }
+    for q in 0..n {
+        c.push_back(Measurement::z(q));
+    }
+    let zeros = "0".repeat(n);
+    let opts = SimOptions::default();
+    // dense refuses the register outright …
+    assert!(matches!(
+        c.simulate_bitstring_with(&zeros, &opts),
+        Err(QclabError::ResourceExhausted { .. })
+    ));
+    // … and so does an explicit dense request through the router
+    assert!(matches!(
+        c.simulate_bitstring_routed(&zeros, &opts, BackendRequest::Dense),
+        Err(QclabError::ResourceExhausted { .. })
+    ));
+    // Auto resolves sparse and completes: the ladder propagates the two
+    // X flips through every Toffoli, ending in the all-ones state
+    let sim = c
+        .simulate_bitstring_routed(&zeros, &opts, BackendRequest::Auto)
+        .unwrap();
+    assert!(
+        sim.is_sparse(),
+        "30-qubit run must route to the sparse executor"
+    );
+    assert_eq!(sim.results(), vec!["1".repeat(n)]);
+    assert!((sim.probabilities()[0] - 1.0).abs() < 1e-12);
+}
