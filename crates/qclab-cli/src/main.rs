@@ -36,22 +36,30 @@
 //! * `--no-fast-path` — force the plain per-shot trajectory engine for
 //!   `sample` (disables deterministic-prefix forking and
 //!   terminal-measurement alias sampling; results are drawn from the
-//!   same distribution either way).
+//!   same distribution either way),
+//! * `--timeout-ms N` — wall-clock deadline for the run (`simulate`,
+//!   `counts`, `sample`). A run that exceeds it stops at the next op
+//!   boundary and exits with code `7`; `sample` additionally prints the
+//!   shots completed so far as a partial-result JSON document on stdout.
 //!
 //! Errors go to stderr with a distinct exit code per failure class:
 //! `2` usage, `3` I/O, `4` QASM parse, `5` simulation, `6` resource
-//! limits.
+//! limits, `7` timeout/cancellation (partial results may be printed).
 //!
 //! Mirrors the workflow of the paper: construct (or import) a circuit,
 //! inspect it, simulate it, and sample repeated experiments.
 
 use qclab_core::program::BackendRequest;
+use qclab_core::sim::control::ExecutionControl;
 use qclab_core::sim::guard::{ResourceLimits, SPARSE_ENTRY_BYTES};
 use qclab_core::sim::kernel::KernelConfig;
-use qclab_core::sim::trajectory::{run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig};
+use qclab_core::sim::trajectory::{
+    run_trajectories, NoiseSpec, PauliChannel, TrajectoryConfig, TrajectoryResult,
+};
 use qclab_core::sim::{DispatchedSimulation, SimOptions};
 use qclab_core::{QCircuit, QclabError};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Exit code for command-line misuse (bad flags, bad noise specs).
 const EXIT_USAGE: u8 = 2;
@@ -63,18 +71,24 @@ const EXIT_PARSE: u8 = 4;
 const EXIT_SIM: u8 = 5;
 /// Exit code for resource-limit refusals.
 const EXIT_RESOURCE: u8 = 6;
+/// Exit code for deadline/cancellation stops (`--timeout-ms`). Partial
+/// results, when available, are printed on stdout before exiting.
+const EXIT_TIMEOUT: u8 = 7;
 
-/// A failure carrying its exit code; the message goes to stderr.
+/// A failure carrying its exit code; the message goes to stderr. A
+/// timed-out run may also carry a partial-result document for stdout.
 #[derive(Debug, PartialEq)]
 struct CliError {
     code: u8,
     msg: String,
+    stdout: Option<String>,
 }
 
 fn usage_err(msg: impl Into<String>) -> CliError {
     CliError {
         code: EXIT_USAGE,
         msg: format!("{}\n{}", msg.into(), usage()),
+        stdout: None,
     }
 }
 
@@ -84,11 +98,13 @@ impl From<QclabError> for CliError {
             QclabError::QasmParse { .. } => EXIT_PARSE,
             QclabError::ResourceExhausted { .. } => EXIT_RESOURCE,
             QclabError::InvalidNoiseSpec(_) => EXIT_USAGE,
+            QclabError::Cancelled(_) | QclabError::DeadlineExceeded(_) => EXIT_TIMEOUT,
             _ => EXIT_SIM,
         };
         CliError {
             code,
             msg: e.to_string(),
+            stdout: None,
         }
     }
 }
@@ -101,6 +117,7 @@ struct EngineOpts {
     remap: bool,
     max_qubits: Option<usize>,
     backend: BackendRequest,
+    timeout_ms: Option<u64>,
 }
 
 impl Default for EngineOpts {
@@ -111,6 +128,7 @@ impl Default for EngineOpts {
             remap: true,
             max_qubits: None,
             backend: BackendRequest::Dense,
+            timeout_ms: None,
         }
     }
 }
@@ -132,10 +150,20 @@ impl EngineOpts {
         }
     }
 
+    /// The deadline (if any) starts ticking here, at options
+    /// construction — i.e. when the command begins executing.
+    fn control(&self) -> ExecutionControl {
+        match self.timeout_ms {
+            Some(ms) => ExecutionControl::with_timeout(Duration::from_millis(ms)),
+            None => ExecutionControl::none(),
+        }
+    }
+
     fn sim_opts(&self) -> SimOptions {
         SimOptions {
             kernel: self.kernel(),
             limits: self.limits(),
+            control: self.control(),
             ..SimOptions::default()
         }
     }
@@ -194,7 +222,8 @@ fn usage() -> String {
      --noise <ch:p>          after-gate noise (sample); ch = bitflip|phaseflip|depolarizing\n  \
      --idle-noise <ch:p>     idle-qubit noise (sample)\n  \
      --measure-noise <ch:p>  pre-measurement noise (sample)\n  \
-     --no-fast-path          force the per-shot engine (sample)"
+     --no-fast-path          force the per-shot engine (sample)\n  \
+     --timeout-ms <n>        wall-clock deadline; exit 7 with partial results (simulate/counts/sample)"
         .to_string()
 }
 
@@ -314,6 +343,15 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 flags.no_fast_path = true;
                 flags.used.push("--no-fast-path");
             }
+            "--timeout-ms" => {
+                let v = value("millisecond count")?;
+                flags.opts.timeout_ms = Some(v.parse().map_err(|_| {
+                    usage_err(format!(
+                        "--timeout-ms value '{v}' is not a millisecond count"
+                    ))
+                })?);
+                flags.used.push("--timeout-ms");
+            }
             other if other.starts_with("--") => {
                 return Err(usage_err(format!("unknown option '{other}'")));
             }
@@ -329,6 +367,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-remap",
             "--max-qubits",
             "--backend",
+            "--timeout-ms",
         ],
         "counts" => &[
             "--no-fuse",
@@ -338,6 +377,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--backend",
             "--seed",
             "--shots",
+            "--timeout-ms",
         ],
         "sample" => &[
             "--no-fuse",
@@ -351,6 +391,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--idle-noise",
             "--measure-noise",
             "--no-fast-path",
+            "--timeout-ms",
         ],
         "compile" => &["--no-fuse", "--no-remap", "--max-qubits", "--backend"],
         _ => &[],
@@ -410,6 +451,7 @@ fn load(path: &str) -> Result<QCircuit, CliError> {
     let src = std::fs::read_to_string(path).map_err(|e| CliError {
         code: EXIT_IO,
         msg: format!("cannot read {path}: {e}"),
+        stdout: None,
     })?;
     qclab_qasm::from_qasm(&src).map_err(|e| {
         let mut c = CliError::from(e);
@@ -488,9 +530,21 @@ fn sample(
         limits: opts.limits(),
         fast_path,
         backend: opts.backend,
+        control: opts.control(),
         ..TrajectoryConfig::default()
     };
     let result = run_trajectories(circuit, &config)?;
+    if let Some(cause) = result.stop_cause() {
+        return Err(CliError {
+            code: EXIT_TIMEOUT,
+            msg: format!(
+                "sample stopped early ({cause}): {}/{} shots completed",
+                result.shots(),
+                result.requested_shots()
+            ),
+            stdout: Some(partial_json(&result)),
+        });
+    }
     let mut out = format!(
         "sampled {shots} trajectories (seed {seed}, {} injected error(s), path: {}):\n",
         result.injected_errors(),
@@ -515,6 +569,49 @@ fn sample(
         ));
     }
     Ok(out)
+}
+
+/// Escapes a string for inclusion in a JSON document. Measurement
+/// records are plain `0`/`1` strings today, but the contract should not
+/// silently break if record labels ever grow richer.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a stopped trajectory run as the partial-result JSON document
+/// printed on stdout alongside exit code 7. Counts cover the completed
+/// shots only; the cause is `"cancelled"` or `"deadline exceeded"`.
+fn partial_json(result: &TrajectoryResult) -> String {
+    let cause = result
+        .stop_cause()
+        .map(|c| c.to_string())
+        .unwrap_or_default();
+    let mut out = format!(
+        "{{\"partial\":true,\"cause\":\"{}\",\"shots_requested\":{},\"shots_completed\":{},\"counts\":{{",
+        json_escape(&cause),
+        result.requested_shots(),
+        result.shots()
+    );
+    for (i, (record, n)) in result.counts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{n}", json_escape(record)));
+    }
+    out.push_str("}}\n");
+    out
 }
 
 /// Renders a byte count like `64 B` / `16.0 MiB`; `None` means the
@@ -634,6 +731,12 @@ fn stats(circuit: &QCircuit) -> String {
 }
 
 fn run(cmd: Command) -> Result<String, CliError> {
+    // Fault-injection hook for the panic-containment path: the
+    // integration suite sets this variable to prove a panic anywhere in
+    // command dispatch becomes a clean exit code instead of an abort.
+    if std::env::var_os("QCLAB_INJECT_PANIC").is_some() {
+        panic!("injected panic for containment test");
+    }
     match cmd {
         Command::Draw { path } => Ok(qclab_draw::draw_circuit(&load(&path)?)),
         Command::Tex { path } => Ok(qclab_draw::to_tex(&load(&path)?)),
@@ -659,14 +762,28 @@ fn run(cmd: Command) -> Result<String, CliError> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).and_then(run) {
-        Ok(output) => {
+    // The default panic hook stays installed, so an unwinding thread
+    // still prints its message (and a backtrace under RUST_BACKTRACE=1)
+    // to stderr before we convert the panic into a clean exit code.
+    match std::panic::catch_unwind(|| parse_args(&args).and_then(run)) {
+        Ok(Ok(output)) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        Ok(Err(e)) => {
+            if let Some(payload) = &e.stdout {
+                print!("{payload}");
+            }
             eprintln!("qclab: {}", e.msg);
             ExitCode::from(e.code)
+        }
+        Err(_) => {
+            eprintln!(
+                "qclab: internal error: the command panicked. This is a bug — please report \
+                 it with the command line and input circuit that triggered it (rerun with \
+                 RUST_BACKTRACE=1 for a backtrace)."
+            );
+            ExitCode::from(EXIT_SIM)
         }
     }
 }
@@ -1178,6 +1295,148 @@ mod tests {
         assert!(pinned.contains("sparse backend"), "{pinned}");
         assert!(pinned.contains("'00'  p = 0.500000"), "{pinned}");
         assert!(pinned.contains("'11'  p = 0.500000"), "{pinned}");
+    }
+
+    /// A 2-qubit circuit with 100 unfusable-by-flag ops so the default
+    /// check interval (64 ops) is crossed during a dense simulation.
+    fn write_long_chain() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.qasm");
+        let mut src = String::from("qreg q[2];\ncreg c[2];\n");
+        for i in 0..50 {
+            src.push_str(&format!("h q[{}];\ncx q[0], q[1];\n", i % 2));
+        }
+        src.push_str("measure q -> c;\n");
+        std::fs::write(&path, src).unwrap();
+        path
+    }
+
+    #[test]
+    fn parse_timeout_flag() {
+        let cmd = parse_args(&args(&["simulate", "--timeout-ms", "500", "f.qasm"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate { ref opts, .. } if opts.timeout_ms == Some(500)
+        ));
+        let cmd = parse_args(&args(&["counts", "f.qasm", "10", "--timeout-ms", "250"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Counts { ref opts, .. } if opts.timeout_ms == Some(250)
+        ));
+        let cmd = parse_args(&args(&["sample", "f.qasm", "10", "--timeout-ms", "250"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sample { ref opts, .. } if opts.timeout_ms == Some(250)
+        ));
+        // no deadline applies to the non-simulating commands
+        assert!(parse_args(&args(&["draw", "--timeout-ms", "5", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["stats", "--timeout-ms", "5", "f.qasm"])).is_err());
+        assert!(parse_args(&args(&["compile", "--timeout-ms", "5", "f.qasm"])).is_err());
+        // bad values are usage errors
+        let e = parse_args(&args(&["simulate", "--timeout-ms", "soon", "f.qasm"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(parse_args(&args(&["simulate", "--timeout-ms"])).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_stops_dense_simulation_with_timeout_code() {
+        let p = write_long_chain().to_str().unwrap().to_string();
+        // a 0 ms deadline is already expired at the first interval check
+        let e = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            opts: EngineOpts {
+                fuse: false,
+                timeout_ms: Some(0),
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_TIMEOUT);
+        assert!(e.msg.contains("deadline exceeded"), "message: {}", e.msg);
+        // a generous deadline changes nothing about the output
+        let plain = run(Command::Simulate {
+            path: p.clone(),
+            init: None,
+            opts: EngineOpts {
+                fuse: false,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        let timed = run(Command::Simulate {
+            path: p,
+            init: None,
+            opts: EngineOpts {
+                fuse: false,
+                timeout_ms: Some(3_600_000),
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert_eq!(plain, timed);
+    }
+
+    #[test]
+    fn expired_deadline_makes_sample_partial_with_json_payload() {
+        let p = write_bell().to_str().unwrap().to_string();
+        // the per-shot engine observes the deadline in each shot's
+        // prologue: 0 of 50 shots complete, and the partial contract
+        // still produces a payload for stdout
+        let e = run(Command::Sample {
+            path: p,
+            shots: 50,
+            seed: 5,
+            noise: NoiseSpec::default(),
+            fast_path: false,
+            opts: EngineOpts {
+                timeout_ms: Some(0),
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_TIMEOUT);
+        assert!(e.msg.contains("0/50 shots completed"), "message: {}", e.msg);
+        let payload = e.stdout.expect("partial runs carry a stdout payload");
+        assert!(payload.contains("\"partial\":true"), "{payload}");
+        assert!(
+            payload.contains("\"cause\":\"deadline exceeded\""),
+            "{payload}"
+        );
+        assert!(payload.contains("\"shots_requested\":50"), "{payload}");
+        assert!(payload.contains("\"shots_completed\":0"), "{payload}");
+    }
+
+    #[test]
+    fn generous_deadline_sample_is_bit_identical_to_untimed() {
+        let p = write_bell().to_str().unwrap().to_string();
+        let base = |timeout_ms| Command::Sample {
+            path: p.clone(),
+            shots: 200,
+            seed: 5,
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::Depolarizing(0.05)),
+                ..NoiseSpec::default()
+            },
+            fast_path: false,
+            opts: EngineOpts {
+                timeout_ms,
+                ..EngineOpts::default()
+            },
+        };
+        // control checks never touch the RNG streams: the timed run's
+        // output is byte-identical to the untimed one
+        let untimed = run(base(None)).unwrap();
+        let timed = run(base(Some(3_600_000))).unwrap();
+        assert_eq!(untimed, timed);
+    }
+
+    #[test]
+    fn json_escape_quotes_and_controls() {
+        assert_eq!(json_escape("0110"), "0110");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\u{1}"), "x\\ny\\u0001");
     }
 
     #[test]

@@ -10,6 +10,7 @@ const EXIT_IO: i32 = 3;
 const EXIT_PARSE: i32 = 4;
 const EXIT_SIM: i32 = 5;
 const EXIT_RESOURCE: i32 = 6;
+const EXIT_TIMEOUT: i32 = 7;
 
 fn qclab(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_qclab"))
@@ -209,6 +210,94 @@ fn compile_honors_the_full_exit_code_contract() {
     let unfused = qclab(&["compile", "--no-fuse", &bell()]);
     assert_eq!(unfused.status.code(), Some(0));
     assert!(stdout(&unfused).contains("fusion off"));
+}
+
+/// A 2-qubit circuit with enough ops (100) to cross the default
+/// op-boundary check interval when fusion is off.
+fn long_chain() -> String {
+    let mut src = String::from("qreg q[2];\ncreg c[2];\n");
+    for i in 0..50 {
+        src.push_str(&format!("h q[{}];\ncx q[0], q[1];\n", i % 2));
+    }
+    src.push_str("measure q -> c;\n");
+    write_qasm("chain.qasm", &src)
+}
+
+#[test]
+fn expired_deadline_is_a_timeout_error() {
+    // a 0 ms deadline has already passed at the first interval check,
+    // so the outcome is deterministic, not a race against the clock
+    let chain = long_chain();
+    assert_fails(
+        &["simulate", "--no-fuse", "--timeout-ms", "0", &chain],
+        EXIT_TIMEOUT,
+        "deadline exceeded",
+    );
+    assert_fails(
+        &["counts", "--no-fuse", "--timeout-ms", "0", &chain, "10"],
+        EXIT_TIMEOUT,
+        "deadline exceeded",
+    );
+    // a generous deadline is invisible: same bytes as the untimed run
+    let timed = qclab(&["simulate", &chain, "--timeout-ms", "3600000"]);
+    let untimed = qclab(&["simulate", &chain]);
+    assert_eq!(timed.status.code(), Some(0), "{}", stderr(&timed));
+    assert_eq!(stdout(&timed), stdout(&untimed));
+}
+
+#[test]
+fn timed_out_sample_reports_partial_results_on_stdout() {
+    // the per-shot engine observes an already-expired deadline in each
+    // shot prologue: 0 of 20 shots complete, deterministically
+    let out = qclab(&[
+        "sample",
+        &bell(),
+        "20",
+        "--no-fast-path",
+        "--timeout-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(EXIT_TIMEOUT), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("sample stopped early"), "stderr: {err}");
+    assert!(err.contains("0/20 shots completed"), "stderr: {err}");
+    let json = stdout(&out);
+    assert!(json.contains("\"partial\":true"), "stdout: {json}");
+    assert!(
+        json.contains("\"cause\":\"deadline exceeded\""),
+        "stdout: {json}"
+    );
+    assert!(json.contains("\"shots_requested\":20"), "stdout: {json}");
+    assert!(json.contains("\"shots_completed\":0"), "stdout: {json}");
+}
+
+#[test]
+fn timeout_flag_is_rejected_where_meaningless() {
+    assert_fails(
+        &["draw", "--timeout-ms", "5", &bell()],
+        EXIT_USAGE,
+        "does not apply",
+    );
+    assert_fails(
+        &["simulate", "--timeout-ms", "soon", &bell()],
+        EXIT_USAGE,
+        "not a millisecond count",
+    );
+}
+
+#[test]
+fn panics_in_dispatch_become_a_clean_sim_error() {
+    // the injected panic proves the containment wrapper: a bug report
+    // message on stderr and the simulation-failure exit code, no abort
+    let out = Command::new(env!("CARGO_BIN_EXE_qclab"))
+        .args(["stats", &bell()])
+        .env("QCLAB_INJECT_PANIC", "1")
+        .output()
+        .expect("binary must spawn");
+    assert_eq!(out.status.code(), Some(EXIT_SIM), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("internal error"), "stderr: {err}");
+    assert!(err.contains("report"), "stderr: {err}");
 }
 
 #[test]

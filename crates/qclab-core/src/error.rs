@@ -51,6 +51,32 @@ pub enum QclabError {
     /// A noise-channel specification is malformed (probability outside
     /// `[0, 1]`, NaN strength, …).
     InvalidNoiseSpec(String),
+    /// A run was stopped by its shared cancel token (see
+    /// `sim::control::ExecutionControl`). Carries the progress the run
+    /// had made; trajectory ensembles instead return a partial result.
+    Cancelled(ExecProgress),
+    /// A run overran its monotonic deadline. Same partial-progress
+    /// contract as [`QclabError::Cancelled`].
+    DeadlineExceeded(ExecProgress),
+}
+
+/// How far an execution got before it was cancelled or timed out —
+/// the payload of [`QclabError::Cancelled`] /
+/// [`QclabError::DeadlineExceeded`].
+///
+/// `ops_done` counts op boundaries crossed by the execution unit that
+/// observed the stop (for a trajectory shot, ops within that shot);
+/// `shots_done` is nonzero only for shot ensembles. Trajectory ensemble
+/// entry points do not surface these errors at all — they keep the
+/// completed shots and return a result flagged partial — so the payload
+/// matters mainly for the single-pass executors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecProgress {
+    /// Program ops fully applied before the stop was observed.
+    pub ops_done: u64,
+    /// Shots completed before the stop was observed (0 outside shot
+    /// ensembles).
+    pub shots_done: u64,
 }
 
 impl fmt::Display for QclabError {
@@ -109,6 +135,20 @@ impl fmt::Display for QclabError {
                 ),
             },
             QclabError::InvalidNoiseSpec(msg) => write!(f, "invalid noise spec: {msg}"),
+            QclabError::Cancelled(p) => {
+                write!(f, "run cancelled after {} ops", p.ops_done)?;
+                if p.shots_done > 0 {
+                    write!(f, " ({} shots completed)", p.shots_done)?;
+                }
+                Ok(())
+            }
+            QclabError::DeadlineExceeded(p) => {
+                write!(f, "deadline exceeded after {} ops", p.ops_done)?;
+                if p.shots_done > 0 {
+                    write!(f, " ({} shots completed)", p.shots_done)?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -794,7 +794,14 @@ fn remap_ops(ops: Vec<ProgramOp>, n: usize, stats: &mut PlanStats) -> Vec<Progra
         } else {
             stats.remap_moves += 1;
         }
-        let at = last_gate.expect("layout left identity without any gate") + 1;
+        // `cur` only leaves identity when `remap_window` adopted a
+        // relabeling, which it does for gate-bearing windows only — so a
+        // gate was emitted and `last_gate` is set. Lowering is
+        // infallible by contract, so rather than panicking on a broken
+        // invariant (the old `expect` here could abort a whole service
+        // process), degrade gracefully: append the restore permute at
+        // the end of the schedule, which is still layout-correct.
+        let at = last_gate.map_or(out.len(), |g| g + 1);
         out.insert(
             at,
             ProgramOp::Permute {
@@ -1068,6 +1075,28 @@ static PLAN_CACHE: Mutex<Vec<(CacheKey, Arc<CompiledProgram>)>> = Mutex::new(Vec
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Locks the plan cache, recovering from poisoning. A thread that
+/// panicked while holding the lock (an executor panic can propagate
+/// through a caller that compiles under the lock, or a chaos-injected
+/// fault) poisons the `Mutex`; every entry is an immutable
+/// `Arc<CompiledProgram>` and the `Vec` itself is never left
+/// half-mutated by the short critical sections below, but the
+/// conservative recovery is to drop the cached plans and keep serving —
+/// unrelated callers must never see the panic. The poison flag is
+/// cleared so the cache refills instead of being emptied on every
+/// subsequent lock.
+fn lock_plan_cache() -> std::sync::MutexGuard<'static, Vec<(CacheKey, Arc<CompiledProgram>)>> {
+    match PLAN_CACHE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            PLAN_CACHE.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
+}
+
 /// Counters of the global plan cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
@@ -1084,7 +1113,7 @@ pub fn plan_cache_stats() -> PlanCacheStats {
     PlanCacheStats {
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
-        entries: PLAN_CACHE.lock().map(|c| c.len()).unwrap_or(0),
+        entries: lock_plan_cache().len(),
     }
 }
 
@@ -1092,9 +1121,7 @@ pub fn plan_cache_stats() -> PlanCacheStats {
 /// to measure cold lowering; long-lived processes may use it to drop
 /// plans holding large fused blocks.
 pub fn clear_plan_cache() {
-    if let Ok(mut cache) = PLAN_CACHE.lock() {
-        cache.clear();
-    }
+    lock_plan_cache().clear();
 }
 
 /// Lowers `circuit` through the global plan cache: the fingerprint is
@@ -1106,7 +1133,8 @@ pub fn compile(circuit: &QCircuit, options: &PlanOptions) -> Arc<CompiledProgram
     let options = options.normalized();
     let key: CacheKey = (fingerprint(circuit), circuit.nb_qubits(), options);
 
-    if let Ok(mut cache) = PLAN_CACHE.lock() {
+    {
+        let mut cache = lock_plan_cache();
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
             // move to the back: the front is the eviction candidate
             let entry = cache.remove(pos);
@@ -1120,7 +1148,8 @@ pub fn compile(circuit: &QCircuit, options: &PlanOptions) -> Arc<CompiledProgram
     // lower outside the lock — fusion does real work
     let plan = Arc::new(lower(circuit, &options));
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    if let Ok(mut cache) = PLAN_CACHE.lock() {
+    {
+        let mut cache = lock_plan_cache();
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
             // someone else lowered concurrently; share their plan
             return Arc::clone(&cache[pos].1);
@@ -1390,6 +1419,33 @@ mod tests {
             compile(&c, &PlanOptions::default());
         }
         assert!(plan_cache_stats().entries <= PLAN_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn plan_cache_recovers_from_poison() {
+        // Poison the cache mutex on purpose: panic while holding the lock.
+        let poisoner = std::thread::spawn(|| {
+            let _guard = PLAN_CACHE.lock().unwrap();
+            panic!("deliberate poison for recovery test");
+        });
+        assert!(poisoner.join().is_err());
+        // Note: we do NOT assert PLAN_CACHE.is_poisoned() here — another
+        // test compiling concurrently may already have recovered it.
+
+        // Every cache entry point must keep working after the poison.
+        let stats = plan_cache_stats();
+        assert!(stats.entries <= PLAN_CACHE_CAPACITY);
+
+        let mut c = QCircuit::new(2);
+        c.push_back(RotationY::new(0, 0.777_000_111));
+        c.push_back(CNOT::new(1, 0));
+        let a = compile(&c, &PlanOptions::default());
+        let b = compile(&c, &PlanOptions::default());
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "cache must serve hits again after poison recovery"
+        );
+        clear_plan_cache();
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::circuit::QCircuit;
 use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::program::ProgramOp;
+use crate::sim::control::ExecutionControl;
 use crate::sim::kernel;
 use qclab_math::scalar::{c, cr, zero, C64};
 use qclab_math::{CMat, CVec, DensityMatrix};
@@ -307,6 +308,19 @@ pub fn run_noisy(
     initial: &DensityState,
     noise: &NoiseModel,
 ) -> Result<DensityState, QclabError> {
+    run_noisy_controlled(circuit, initial, noise, &ExecutionControl::none())
+}
+
+/// [`run_noisy`] under an [`ExecutionControl`]: the per-op loop polls
+/// the deadline/cancel token at op boundaries, so a long density run
+/// stops cooperatively with [`QclabError::DeadlineExceeded`] /
+/// [`QclabError::Cancelled`] instead of running to completion.
+pub fn run_noisy_controlled(
+    circuit: &QCircuit,
+    initial: &DensityState,
+    noise: &NoiseModel,
+    control: &ExecutionControl,
+) -> Result<DensityState, QclabError> {
     if let Some(ch) = noise.after_gate {
         ch.validate()?;
     }
@@ -314,6 +328,7 @@ pub fn run_noisy(
     // lower unfused: the noise model attaches a channel to every gate,
     // so fusing gates would change the noise locations
     let program = circuit.compile_with(&crate::program::PlanOptions::unfused());
+    let mut ticker = control.ticker();
     for op in program.ops() {
         match op {
             ProgramOp::Gate(g) => {
@@ -333,6 +348,7 @@ pub fn run_noisy(
                 unreachable!("density backend executes unremapped plans only")
             }
         }
+        ticker.tick()?;
     }
     Ok(state)
 }

@@ -219,4 +219,79 @@ mod tests {
         assert!(lim.check_matrix(15).is_err());
         assert!(lim.check_matrix(usize::MAX / 2 + 1).is_err());
     }
+
+    // Boundary exactness: the caps are inclusive (`<=`), so a request
+    // landing exactly on the cap is admitted and one unit above it is
+    // refused. Off-by-one drift here silently shrinks (or blows) the
+    // memory budget by a factor of two at the qubit granularity.
+
+    #[test]
+    fn register_cap_boundary_is_exact() {
+        for n in [4usize, 10, 20] {
+            // cap == exactly one n-qubit state vector
+            let lim = ResourceLimits {
+                max_qubits: None,
+                max_state_bytes: (1u128 << n) * AMPLITUDE_BYTES,
+            };
+            assert_eq!(lim.check_register(n), Ok(1 << n), "at-cap n={n}");
+            assert!(lim.check_register(n + 1).is_err(), "above-cap n={n}");
+            // one byte less than the state refuses it
+            let tight = ResourceLimits {
+                max_state_bytes: lim.max_state_bytes - 1,
+                ..lim
+            };
+            assert!(tight.check_register(n).is_err(), "cap-minus-one n={n}");
+            assert!(tight.check_register(n - 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn qubit_cap_boundary_is_exact() {
+        let lim = ResourceLimits::with_max_qubits(17);
+        assert_eq!(lim.check_register(17), Ok(1 << 17));
+        assert!(lim.check_register(18).is_err());
+        assert!(lim.check_sparse_register(17).is_ok());
+        assert!(lim.check_sparse_register(18).is_err());
+    }
+
+    #[test]
+    fn sparse_entry_cap_boundary_is_exact() {
+        let entries = 1000u128;
+        let lim = ResourceLimits {
+            max_qubits: None,
+            max_state_bytes: entries * SPARSE_ENTRY_BYTES,
+        };
+        assert_eq!(lim.max_sparse_entries(), entries);
+        assert!(lim.check_sparse_entries(30, entries).is_ok(), "at cap");
+        assert!(
+            lim.check_sparse_entries(30, entries + 1).is_err(),
+            "one entry above"
+        );
+        // a cap one byte short of the entry total refuses it
+        let tight = ResourceLimits {
+            max_state_bytes: entries * SPARSE_ENTRY_BYTES - 1,
+            ..lim
+        };
+        assert!(tight.check_sparse_entries(30, entries).is_err());
+        assert!(tight.check_sparse_entries(30, entries - 1).is_ok());
+        // saturating byte math keeps absurd entry counts an error
+        assert!(lim.check_sparse_entries(30, u128::MAX).is_err());
+    }
+
+    #[test]
+    fn matrix_cap_boundary_is_exact() {
+        // an n-qubit matrix costs as much as a 2n-qubit state
+        let n = 6usize;
+        let lim = ResourceLimits {
+            max_qubits: None,
+            max_state_bytes: (1u128 << (2 * n)) * AMPLITUDE_BYTES,
+        };
+        assert_eq!(lim.check_matrix(n), Ok(1 << n), "at cap");
+        assert!(lim.check_matrix(n + 1).is_err(), "above cap");
+        let tight = ResourceLimits {
+            max_state_bytes: lim.max_state_bytes - 1,
+            ..lim
+        };
+        assert!(tight.check_matrix(n).is_err(), "cap minus one byte");
+    }
 }

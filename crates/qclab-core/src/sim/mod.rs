@@ -16,6 +16,7 @@
 //! in experiment F1.
 
 pub mod collapse;
+pub mod control;
 pub mod density;
 pub mod fusion;
 pub mod guard;
@@ -65,6 +66,10 @@ pub struct SimOptions {
     /// registers come back as [`QclabError::ResourceExhausted`] instead
     /// of aborting the process.
     pub limits: guard::ResourceLimits,
+    /// Cooperative deadline/cancellation, polled at op boundaries. The
+    /// default ([`control::ExecutionControl::none`]) is a no-op and
+    /// leaves results bit-identical to runs without control.
+    pub control: control::ExecutionControl,
 }
 
 impl Default for SimOptions {
@@ -74,6 +79,7 @@ impl Default for SimOptions {
             branch_tol: 1e-12,
             kernel: kernel::KernelConfig::default(),
             limits: guard::ResourceLimits::default(),
+            control: control::ExecutionControl::none(),
         }
     }
 }
@@ -302,6 +308,9 @@ impl QCircuit {
         let ops = program.ops();
         // logical→physical layout of the amplitudes; `None` = identity
         let mut map: Option<Vec<usize>> = None;
+        // op-boundary deadline/cancel checks; a no-op for the default
+        // (disabled) control, so results are unaffected by its presence
+        let mut ticker = opts.control.ticker();
         let mut i = 0;
         while i < ops.len() {
             match &ops[i] {
@@ -327,6 +336,7 @@ impl QCircuit {
                             for b in branches.iter_mut() {
                                 kernel::apply_window(&mut b.state, n, &gates, &opts.kernel);
                             }
+                            ticker.tick_n(j - i)?;
                             i = j;
                             continue;
                         }
@@ -334,9 +344,13 @@ impl QCircuit {
                     for b in branches.iter_mut() {
                         apply_backend(g, &mut b.state, n, opts);
                     }
+                    ticker.tick()?;
                     i += 1;
                 }
-                ProgramOp::Fence(_) => i += 1,
+                ProgramOp::Fence(_) => {
+                    ticker.tick()?;
+                    i += 1;
+                }
                 ProgramOp::Permute { perm, map: new_map } => {
                     let parallel =
                         opts.kernel.allow_parallel && n >= kernel::PARALLEL_THRESHOLD_QUBITS;
@@ -348,14 +362,17 @@ impl QCircuit {
                     } else {
                         Some(new_map.clone())
                     };
+                    ticker.tick()?;
                     i += 1;
                 }
                 ProgramOp::Measure(m) => {
                     branches = measure_branches(&branches, m, opts, n, map.as_deref());
+                    ticker.tick()?;
                     i += 1;
                 }
                 ProgramOp::Reset(q) => {
                     branches = reset_branches(&branches, *q, opts, n, map.as_deref());
+                    ticker.tick()?;
                     i += 1;
                 }
             }
@@ -442,22 +459,51 @@ impl QCircuit {
         let probe = self.compile_with(&PlanOptions::sparse());
         let choice =
             program::resolve_backend(request, probe.stats(), self.nb_qubits(), &opts.limits)?;
+        let run_sparse = || -> Result<DispatchedSimulation, QclabError> {
+            let initial = sparse::SparseState::from_bitstring(bits)
+                .ok_or_else(|| QclabError::InvalidBitstring(bits.to_string()))?;
+            let sopts = sparse::SparseOptions {
+                branch_tol: opts.branch_tol,
+                limits: opts.limits,
+                ..sparse::SparseOptions::default()
+            };
+            Ok(DispatchedSimulation::Sparse(sparse::execute_controlled(
+                &probe,
+                initial,
+                &sopts,
+                &opts.control,
+            )?))
+        };
         match choice {
-            BackendChoice::Dense => Ok(DispatchedSimulation::Dense(
-                self.simulate_bitstring_with(bits, opts)?,
-            )),
-            BackendChoice::Sparse { .. } => {
-                let initial = sparse::SparseState::from_bitstring(bits)
-                    .ok_or_else(|| QclabError::InvalidBitstring(bits.to_string()))?;
-                let sopts = sparse::SparseOptions {
-                    branch_tol: opts.branch_tol,
-                    limits: opts.limits,
-                    ..sparse::SparseOptions::default()
-                };
-                Ok(DispatchedSimulation::Sparse(sparse::execute(
-                    &probe, initial, &sopts,
-                )?))
-            }
+            BackendChoice::Dense => match self.simulate_bitstring_with(bits, opts) {
+                Ok(sim) => Ok(DispatchedSimulation::Dense(sim)),
+                // graceful degradation: under Auto, a dense run that was
+                // refused mid-flight (allocation) or overran its deadline
+                // falls back to the sparse executor — if the chooser's
+                // sparse guard admits the program — before giving up. A
+                // post-timeout retry keeps the original deadline: sparse
+                // ops are cheap enough that a small program can finish
+                // before the next check fires, and otherwise the retry
+                // stops within one check interval.
+                Err(
+                    err @ (QclabError::ResourceExhausted { .. } | QclabError::DeadlineExceeded(_)),
+                ) if request == BackendRequest::Auto => {
+                    if program::resolve_backend(
+                        BackendRequest::Sparse,
+                        probe.stats(),
+                        self.nb_qubits(),
+                        &opts.limits,
+                    )
+                    .is_ok()
+                    {
+                        run_sparse()
+                    } else {
+                        Err(err)
+                    }
+                }
+                Err(err) => Err(err),
+            },
+            BackendChoice::Sparse { .. } => run_sparse(),
         }
     }
 }

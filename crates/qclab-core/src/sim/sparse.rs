@@ -30,6 +30,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use super::control::ExecutionControl;
 use super::guard::ResourceLimits;
 use super::sampler::DiscreteSampler;
 use super::{Branch, Simulation};
@@ -383,6 +384,19 @@ pub fn execute(
     initial: SparseState,
     opts: &SparseOptions,
 ) -> Result<SparseSimulation, QclabError> {
+    execute_controlled(program, initial, opts, &ExecutionControl::none())
+}
+
+/// [`execute`] under an [`ExecutionControl`]: the per-op loop polls the
+/// deadline/cancel token at op boundaries (every
+/// `control.check_every` ops), so a long sparse run stops cooperatively
+/// with [`QclabError::DeadlineExceeded`] / [`QclabError::Cancelled`].
+pub fn execute_controlled(
+    program: &CompiledProgram,
+    initial: SparseState,
+    opts: &SparseOptions,
+    control: &ExecutionControl,
+) -> Result<SparseSimulation, QclabError> {
     let n = program.nb_qubits();
     opts.limits.check_sparse_register(n)?;
     if initial.nb_qubits() != n {
@@ -403,6 +417,7 @@ pub fn execute(
         state: initial,
         measured: BTreeMap::new(),
     }];
+    let mut ticker = control.ticker();
     for op in program.ops() {
         match op {
             ProgramOp::Gate(g) => {
@@ -426,6 +441,7 @@ pub fn execute(
                 branches = reset_sparse(&branches, *q, opts);
             }
         }
+        ticker.tick()?;
     }
     Ok(SparseSimulation {
         nb_qubits: n,

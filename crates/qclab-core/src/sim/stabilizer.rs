@@ -34,6 +34,7 @@ use crate::error::QclabError;
 use crate::gates::Gate;
 use crate::measurement::{Basis, Measurement};
 use crate::program::{CompiledProgram, PlanOptions, ProgramOp};
+use crate::sim::control::ExecutionControl;
 use rand::Rng;
 
 /// A Pauli row of the tableau: `x`/`z` bit vectors plus a sign.
@@ -419,8 +420,22 @@ pub fn run_program(
     program: &CompiledProgram,
     rng: &mut impl Rng,
 ) -> Result<StabilizerRun, QclabError> {
+    run_program_controlled(program, rng, &ExecutionControl::none())
+}
+
+/// [`run_program`] under an [`ExecutionControl`]: polls the
+/// deadline/cancel token at op boundaries, so long tableau runs stop
+/// cooperatively. The checks never draw from `rng`, so a run that
+/// completes under a generous deadline is bit-identical to one without
+/// control.
+pub fn run_program_controlled(
+    program: &CompiledProgram,
+    rng: &mut impl Rng,
+    control: &ExecutionControl,
+) -> Result<StabilizerRun, QclabError> {
     let mut state = StabilizerState::new(program.nb_qubits());
     let mut record = String::new();
+    let mut ticker = control.ticker();
     for op in program.ops() {
         match op {
             ProgramOp::Gate(g) => state.apply_gate(g)?,
@@ -446,6 +461,7 @@ pub fn run_program(
                 ))
             }
         }
+        ticker.tick()?;
     }
     Ok(StabilizerRun { state, record })
 }

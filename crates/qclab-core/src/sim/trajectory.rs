@@ -59,6 +59,7 @@ use crate::observable::{Observable, Pauli};
 use crate::program::{
     self, BackendChoice, BackendRequest, CompiledProgram, PlanOptions, ProgramOp,
 };
+use crate::sim::control::{ExecutionControl, StopCause, StopLatch};
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
 use crate::sim::sampler::DiscreteSampler;
@@ -266,6 +267,14 @@ pub struct TrajectoryConfig {
     /// prefix-sampling path ([`ShotPath::SparseSampled`]), which admits
     /// 30+ qubit low-entanglement registers the dense guard refuses.
     pub backend: BackendRequest,
+    /// Cooperative deadline/cancellation, polled at op boundaries inside
+    /// every shot and once per shot in the fan-out prologue. A stopped
+    /// ensemble keeps the shots it completed and returns a result
+    /// flagged partial ([`TrajectoryResult::stop_cause`]); the checks
+    /// never draw from the per-shot RNG streams, so completed shots are
+    /// bit-identical to the same shots of an uncontrolled run. The
+    /// default ([`ExecutionControl::none`]) is a no-op.
+    pub control: ExecutionControl,
 }
 
 impl Default for TrajectoryConfig {
@@ -282,6 +291,7 @@ impl Default for TrajectoryConfig {
             observables: Vec::new(),
             fast_path: true,
             backend: BackendRequest::Dense,
+            control: ExecutionControl::none(),
         }
     }
 }
@@ -362,11 +372,16 @@ pub struct Trajectory {
 pub struct TrajectoryResult {
     nb_qubits: usize,
     shots: u64,
+    requested_shots: u64,
     counts: BTreeMap<String, u64>,
     injected_errors: u64,
     expectations: Vec<f64>,
     norm: NormStats,
     path: ShotPath,
+    /// `Some` when the ensemble was stopped early by its
+    /// [`ExecutionControl`]; `shots` then counts only the completed
+    /// trajectories.
+    stopped: Option<StopCause>,
 }
 
 impl TrajectoryResult {
@@ -375,9 +390,31 @@ impl TrajectoryResult {
         self.nb_qubits
     }
 
-    /// Number of trajectories sampled.
+    /// Number of trajectories actually sampled. Equal to
+    /// [`requested_shots`](Self::requested_shots) unless the run was
+    /// stopped early (see [`stop_cause`](Self::stop_cause)).
     pub fn shots(&self) -> u64 {
         self.shots
+    }
+
+    /// Number of trajectories the configuration asked for.
+    pub fn requested_shots(&self) -> u64 {
+        self.requested_shots
+    }
+
+    /// Why the run stopped early, if it did. A `Some` here means the
+    /// result is **partial**: counts, expectations and watchdog stats
+    /// aggregate only the [`shots`](Self::shots) completed
+    /// trajectories — each of which is still bit-identical to the same
+    /// shot of an uninterrupted run.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.stopped
+    }
+
+    /// `true` when the run was cancelled or timed out before completing
+    /// every requested shot.
+    pub fn is_partial(&self) -> bool {
+        self.stopped.is_some()
     }
 
     /// Measurement-record frequencies (circuits without measurements
@@ -665,17 +702,23 @@ struct ShotProgram<'a> {
 /// Runs one trajectory over the lowered op schedule, using the
 /// caller-provided `state`/`scratch` buffers (refilled from the initial
 /// state; the final state is left in `state`). Returns the measurement
-/// record, injected errors and watchdog statistics.
+/// record, injected errors and watchdog statistics. Polls
+/// `config.control` at op boundaries — the checks never touch `rng`, so
+/// a shot that completes under an enabled control is bit-identical to
+/// the same shot without one; a stopped shot surfaces
+/// [`QclabError::Cancelled`] / [`QclabError::DeadlineExceeded`].
+#[allow(clippy::type_complexity)]
 fn run_shot_in(
     prog: &ShotProgram<'_>,
     shot: u64,
     state: &mut CVec,
     scratch: &mut CVec,
-) -> (String, Vec<InjectedPauli>, NormStats) {
+) -> Result<(String, Vec<InjectedPauli>, NormStats), QclabError> {
     let (ops, config) = (prog.ops, prog.config);
     state.0.clear();
     state.0.extend_from_slice(&prog.initial.0);
     let mut rng = shot_rng(config.seed, shot);
+    let mut ticker = config.control.ticker();
     let mut s = ShotState {
         state,
         scratch,
@@ -726,11 +769,12 @@ fn run_shot_in(
                 }
             }
         }
+        ticker.tick()?;
     }
     if s.watchdog.check_every > 0 && s.gates_since_check > 0 {
         s.check_norm();
     }
-    (record, s.injected, s.stats)
+    Ok((record, s.injected, s.stats))
 }
 
 /// Hands the closure a per-thread `(state, scratch)` buffer pair when
@@ -780,7 +824,7 @@ fn evolve_prefix(
     config: &TrajectoryConfig,
     kernel: KernelConfig,
     final_check: bool,
-) -> (CVec, NormStats, usize) {
+) -> Result<(CVec, NormStats, usize), QclabError> {
     let mut state = initial.clone();
     let mut scratch = CVec(Vec::new());
     let noise = NoiseSpec::default();
@@ -796,6 +840,7 @@ fn evolve_prefix(
         noise: &noise,
         map: None,
     };
+    let mut ticker = config.control.ticker();
     for op in &ops[..prefix] {
         match op {
             ProgramOp::Gate(g) => s.apply(g),
@@ -809,12 +854,40 @@ fn evolve_prefix(
             // the classifier ends the prefix at the first Measure/Reset
             ProgramOp::Measure(_) | ProgramOp::Reset(_) => unreachable!(),
         }
+        ticker.tick()?;
     }
     if final_check && s.watchdog.check_every > 0 && s.gates_since_check > 0 {
         s.check_norm();
     }
     let (stats, gates) = (s.stats, s.gates_since_check);
-    (state, stats, gates)
+    Ok((state, stats, gates))
+}
+
+/// A partial [`TrajectoryResult`] for a run stopped before any shot
+/// completed (e.g. the one-time prefix evolution hit the deadline).
+fn partial_empty(
+    n: usize,
+    config: &TrajectoryConfig,
+    cause: StopCause,
+    path: ShotPath,
+) -> TrajectoryResult {
+    TrajectoryResult {
+        nb_qubits: n,
+        shots: 0,
+        requested_shots: config.shots,
+        counts: BTreeMap::new(),
+        injected_errors: 0,
+        expectations: vec![0.0; config.observables.len()],
+        norm: NormStats::default(),
+        path,
+        stopped: Some(cause),
+    }
+}
+
+/// Splits a control stop (cancel/deadline — the partial-result cases)
+/// from a genuine execution error, which propagates.
+fn stop_or_err(err: QclabError) -> Result<StopCause, QclabError> {
+    StopCause::from_error(&err).ok_or(err)
 }
 
 /// Terminal-measurement fast path: the program is a unitary prefix
@@ -832,9 +905,12 @@ fn run_alias_sampled(
 ) -> Result<TrajectoryResult, QclabError> {
     let plan = program.shot_plan();
     let ops = program.ops();
+    let path = ShotPath::AliasSampled {
+        prefix_ops: plan.prefix_ops,
+    };
     // one-time evolution: no per-shot RNG stream to stay compatible
     // with, so the parallel kernels are allowed here
-    let (mut state, norm, _) = evolve_prefix(
+    let (mut state, norm, _) = match evolve_prefix(
         ops,
         plan.prefix_ops,
         initial,
@@ -842,7 +918,11 @@ fn run_alias_sampled(
         config,
         config.kernel,
         true,
-    );
+    ) {
+        Ok(v) => v,
+        // stopped before any shot existed: empty partial result
+        Err(e) => return Ok(partial_empty(n, config, stop_or_err(e)?, path)),
+    };
     // rotate every non-Z measured qubit into its basis; the suffix
     // qubits are pairwise distinct, so the rotations commute and the
     // Z-basis joint marginal below is exactly the joint outcome
@@ -871,11 +951,20 @@ fn run_alias_sampled(
     // tally by outcome index — O(log distinct) per draw, never 2^m
     // storage for sparse outcomes
     let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut ticker = config.control.ticker();
+    let mut done = 0u64;
+    let mut stopped = None;
     for shot in 0..config.shots {
         // one draw from the shot's own (seed, shot) stream keeps the
-        // sample deterministic and independent of execution order
+        // sample deterministic and independent of execution order; a
+        // stop between draws keeps the tally of the shots already drawn
+        if let Err(e) = ticker.tick() {
+            stopped = Some(stop_or_err(e)?);
+            break;
+        }
         let mut rng = shot_rng(config.seed, shot);
         *tally.entry(sampler.sample(&mut rng)).or_insert(0) += 1;
+        done += 1;
     }
     // outcome index → record string: measurement j (execution order) is
     // bit m−1−j, matching the per-shot engine's record layout
@@ -889,14 +978,14 @@ fn run_alias_sampled(
     }
     Ok(TrajectoryResult {
         nb_qubits: n,
-        shots: config.shots,
+        shots: done,
+        requested_shots: config.shots,
         counts,
         injected_errors: 0,
         expectations: Vec::new(),
         norm,
-        path: ShotPath::AliasSampled {
-            prefix_ops: plan.prefix_ops,
-        },
+        path,
+        stopped,
     })
 }
 
@@ -916,11 +1005,15 @@ fn run_sparse_sampled(
     config.limits.check_sparse_register(n)?;
     let plan = program.shot_plan();
     let ops = program.ops();
+    let path = ShotPath::SparseSampled {
+        prefix_ops: plan.prefix_ops,
+    };
     let sopts = sparse::SparseOptions {
         limits: config.limits,
         ..sparse::SparseOptions::default()
     };
     let mut state = sparse::SparseState::basis_state(n, 0);
+    let mut ticker = config.control.ticker();
     for op in &ops[..plan.prefix_ops] {
         match op {
             ProgramOp::Gate(g) => {
@@ -934,6 +1027,10 @@ fn run_sparse_sampled(
             ProgramOp::Measure(_) | ProgramOp::Reset(_) => {
                 unreachable!("measurement inside a shot-plan prefix")
             }
+        }
+        if let Err(e) = ticker.tick() {
+            // stopped before any shot existed: empty partial result
+            return Ok(partial_empty(n, config, stop_or_err(e)?, path));
         }
     }
     // rotate non-Z measured qubits into their bases, as in the dense path
@@ -965,9 +1062,16 @@ fn run_sparse_sampled(
     let sampler = DiscreteSampler::new(&weights)
         .expect("marginal of a normalized state is a valid distribution");
     let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut done = 0u64;
+    let mut stopped = None;
     for shot in 0..config.shots {
+        if let Err(e) = ticker.tick() {
+            stopped = Some(stop_or_err(e)?);
+            break;
+        }
         let mut rng = shot_rng(config.seed, shot);
         *tally.entry(outcomes[sampler.sample(&mut rng)]).or_insert(0) += 1;
+        done += 1;
     }
     // outcome index → record string, same layout as the dense path:
     // measurement j (execution order) is bit m−1−j
@@ -981,14 +1085,14 @@ fn run_sparse_sampled(
     }
     Ok(TrajectoryResult {
         nb_qubits: n,
-        shots: config.shots,
+        shots: done,
+        requested_shots: config.shots,
         counts,
         injected_errors: 0,
         expectations: Vec::new(),
         norm: NormStats::default(),
-        path: ShotPath::SparseSampled {
-            prefix_ops: plan.prefix_ops,
-        },
+        path,
+        stopped,
     })
 }
 
@@ -1019,7 +1123,7 @@ pub fn run_single_trajectory(
         init_gates: 0,
         start_map: None,
     };
-    let (record, injected, norm) = run_shot_in(&prog, shot, &mut state, &mut scratch);
+    let (record, injected, norm) = run_shot_in(&prog, shot, &mut state, &mut scratch)?;
     Ok(Trajectory {
         state,
         record,
@@ -1099,12 +1203,21 @@ pub fn run_trajectories_from(
         0
     };
     let kernel = shot_kernel_config(config);
+    let path = if prefix_ops > 0 {
+        ShotPath::Forked { prefix_ops }
+    } else {
+        ShotPath::PerShot
+    };
     let snapshot;
     let (start_state, init_norm, init_gates) = if prefix_ops > 0 {
         // same kernel config as the shots themselves, so the snapshot is
         // bit-identical to what each unforked shot would have computed
         let (state, stats, gates) =
-            evolve_prefix(program.ops(), prefix_ops, initial, n, config, kernel, false);
+            match evolve_prefix(program.ops(), prefix_ops, initial, n, config, kernel, false) {
+                Ok(v) => v,
+                // stopped during the one-time prefix: no shot completed
+                Err(e) => return Ok(partial_empty(n, config, stop_or_err(e)?, path)),
+            };
         snapshot = state;
         (&snapshot, stats, gates)
     } else {
@@ -1127,12 +1240,6 @@ pub fn run_trajectories_from(
             None
         },
     };
-    let path = if prefix_ops > 0 {
-        ShotPath::Forked { prefix_ops }
-    } else {
-        ShotPath::PerShot
-    };
-
     /// Per-shot summary kept after the state is dropped.
     struct ShotSummary {
         record: String,
@@ -1141,20 +1248,40 @@ pub fn run_trajectories_from(
         norm: NormStats,
     }
 
-    let summarize = |shot: u64| -> ShotSummary {
+    // Shared stop latch: the first shot to observe a cancel/deadline
+    // (or hit an injected fault) trips it; every shot's prologue checks
+    // the latch — and probes the control directly, so short shots that
+    // never reach a ticker check still stop between shots — and returns
+    // `None`, leaving its slot empty. Completed slots are unaffected:
+    // each shot's RNG stream depends only on (seed, shot index).
+    let latch = StopLatch::new();
+    let control = &config.control;
+    let summarize = |shot: u64| -> Option<ShotSummary> {
+        if latch.is_tripped() {
+            return None;
+        }
+        if let Some(cause) = control.probe() {
+            latch.trip(cause.into_error(crate::error::ExecProgress::default()));
+            return None;
+        }
         with_shot_buffers(config.reuse_buffers, |state, scratch| {
-            let (record, injected, norm) = run_shot_in(&prog, shot, state, scratch);
-            ShotSummary {
-                // expectations read the final state straight out of the
-                // arena — no per-shot copy
-                expectations: config
-                    .observables
-                    .iter()
-                    .map(|o| o.expectation(state))
-                    .collect(),
-                record,
-                injected: injected.len() as u64,
-                norm,
+            match run_shot_in(&prog, shot, state, scratch) {
+                Ok((record, injected, norm)) => Some(ShotSummary {
+                    // expectations read the final state straight out of
+                    // the arena — no per-shot copy
+                    expectations: config
+                        .observables
+                        .iter()
+                        .map(|o| o.expectation(state))
+                        .collect(),
+                    record,
+                    injected: injected.len() as u64,
+                    norm,
+                }),
+                Err(e) => {
+                    latch.trip(e);
+                    None
+                }
             }
         })
     };
@@ -1166,17 +1293,24 @@ pub fn run_trajectories_from(
         slots
             .par_iter_mut()
             .enumerate()
-            .for_each(|(i, slot)| *slot = Some(summarize(i as u64)));
+            .for_each(|(i, slot)| *slot = summarize(i as u64));
     } else {
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(summarize(i as u64));
+            *slot = summarize(i as u64);
         }
     }
 
+    // a tripped latch means a partial run (cancel/deadline) — completed
+    // shots are kept and flagged — or a genuine error, which propagates
+    let stopped = match latch.take() {
+        None => None,
+        Some(e) => Some(stop_or_err(e)?),
+    };
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut injected_errors = 0u64;
     let mut expectations = vec![0.0; config.observables.len()];
     let mut norm = NormStats::default();
+    let mut completed = 0u64;
     for summary in slots.into_iter().flatten() {
         *counts.entry(summary.record).or_insert(0) += 1;
         injected_errors += summary.injected;
@@ -1184,20 +1318,23 @@ pub fn run_trajectories_from(
             *acc += e;
         }
         norm.merge(&summary.norm);
+        completed += 1;
     }
-    if shots > 0 {
+    if completed > 0 {
         for e in expectations.iter_mut() {
-            *e /= shots as f64;
+            *e /= completed as f64;
         }
     }
     Ok(TrajectoryResult {
         nb_qubits: n,
-        shots,
+        shots: completed,
         counts,
         injected_errors,
         expectations,
         norm,
         path,
+        requested_shots: shots,
+        stopped,
     })
 }
 
