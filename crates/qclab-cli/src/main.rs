@@ -37,10 +37,19 @@
 //!   `sample` (disables deterministic-prefix forking and
 //!   terminal-measurement alias sampling; results are drawn from the
 //!   same distribution either way),
+//! * `--no-bytecode` — execute the op schedule through the interpreter
+//!   instead of the compiled bytecode stream (`simulate`, `counts`,
+//!   `sample`); results are bit-identical either way,
+//! * `--shot-batch N` — trajectory shot-batch width for `sample`
+//!   (default 64): the noisy per-shot engine advances `N` shot states
+//!   through one bytecode pass per batch instead of re-walking the
+//!   schedule per shot. Results are independent of the batch width,
 //! * `--timeout-ms N` — wall-clock deadline for the run (`simulate`,
 //!   `counts`, `sample`). A run that exceeds it stops at the next op
 //!   boundary and exits with code `7`; `sample` additionally prints the
 //!   shots completed so far as a partial-result JSON document on stdout.
+//!   `--timeout-ms 0` is rejected as a usage error: an already-expired
+//!   deadline is a bad invocation, not a timeout.
 //!
 //! Errors go to stderr with a distinct exit code per failure class:
 //! `2` usage, `3` I/O, `4` QASM parse, `5` simulation, `6` resource
@@ -115,6 +124,8 @@ struct EngineOpts {
     fuse: bool,
     simd: bool,
     remap: bool,
+    bytecode: bool,
+    shot_batch: Option<usize>,
     max_qubits: Option<usize>,
     backend: BackendRequest,
     timeout_ms: Option<u64>,
@@ -126,6 +137,8 @@ impl Default for EngineOpts {
             fuse: true,
             simd: true,
             remap: true,
+            bytecode: true,
+            shot_batch: None,
             max_qubits: None,
             backend: BackendRequest::Dense,
             timeout_ms: None,
@@ -139,6 +152,7 @@ impl EngineOpts {
             fuse: self.fuse,
             allow_simd: self.simd,
             remap: self.remap,
+            bytecode: self.bytecode,
             ..KernelConfig::default()
         }
     }
@@ -215,6 +229,8 @@ fn usage() -> String {
      flags:\n  --no-fuse               disable gate fusion\n  \
      --no-simd               force scalar kernels\n  \
      --no-remap              disable the qubit-locality pass\n  \
+     --no-bytecode           interpret the op schedule instead of compiled bytecode\n  \
+     --shot-batch <n>        trajectory shot-batch width (sample; default 64)\n  \
      --max-qubits <n>        refuse larger registers\n  \
      --backend <b>           state representation: auto|dense|sparse (simulate/counts/sample/compile)\n  \
      --seed <n>              RNG seed (counts/sample)\n  \
@@ -290,6 +306,21 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 flags.opts.remap = false;
                 flags.used.push("--no-remap");
             }
+            "--no-bytecode" => {
+                flags.opts.bytecode = false;
+                flags.used.push("--no-bytecode");
+            }
+            "--shot-batch" => {
+                let v = value("batch size")?;
+                let b: usize = v.parse().map_err(|_| {
+                    usage_err(format!("--shot-batch value '{v}' is not a batch size"))
+                })?;
+                if b == 0 {
+                    return Err(usage_err("--shot-batch must be at least 1"));
+                }
+                flags.opts.shot_batch = Some(b);
+                flags.used.push("--shot-batch");
+            }
             "--max-qubits" => {
                 let v = value("qubit count")?;
                 flags.opts.max_qubits = Some(v.parse().map_err(|_| {
@@ -345,11 +376,18 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--timeout-ms" => {
                 let v = value("millisecond count")?;
-                flags.opts.timeout_ms = Some(v.parse().map_err(|_| {
+                let ms: u64 = v.parse().map_err(|_| {
                     usage_err(format!(
                         "--timeout-ms value '{v}' is not a millisecond count"
                     ))
-                })?);
+                })?;
+                if ms == 0 {
+                    // A zero deadline is already expired before the run
+                    // starts; reporting it as a timeout (exit 7) would
+                    // dress a bad invocation up as a partial result.
+                    return Err(usage_err("--timeout-ms must be at least 1"));
+                }
+                flags.opts.timeout_ms = Some(ms);
                 flags.used.push("--timeout-ms");
             }
             other if other.starts_with("--") => {
@@ -365,6 +403,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-fuse",
             "--no-simd",
             "--no-remap",
+            "--no-bytecode",
             "--max-qubits",
             "--backend",
             "--timeout-ms",
@@ -373,6 +412,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-fuse",
             "--no-simd",
             "--no-remap",
+            "--no-bytecode",
             "--max-qubits",
             "--backend",
             "--seed",
@@ -383,6 +423,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--no-fuse",
             "--no-simd",
             "--no-remap",
+            "--no-bytecode",
+            "--shot-batch",
             "--max-qubits",
             "--backend",
             "--seed",
@@ -522,7 +564,7 @@ fn sample(
     fast_path: bool,
     opts: &EngineOpts,
 ) -> Result<String, CliError> {
-    let config = TrajectoryConfig {
+    let mut config = TrajectoryConfig {
         seed,
         shots,
         noise,
@@ -533,6 +575,9 @@ fn sample(
         control: opts.control(),
         ..TrajectoryConfig::default()
     };
+    if let Some(b) = opts.shot_batch {
+        config.shot_batch = b;
+    }
     let result = run_trajectories(circuit, &config)?;
     if let Some(cause) = result.stop_cause() {
         return Err(CliError {
@@ -1337,6 +1382,55 @@ mod tests {
         let e = parse_args(&args(&["simulate", "--timeout-ms", "soon", "f.qasm"])).unwrap_err();
         assert_eq!(e.code, EXIT_USAGE);
         assert!(parse_args(&args(&["simulate", "--timeout-ms"])).is_err());
+        // a zero deadline is a bad invocation, not a timeout: it must be
+        // rejected up front with the usage code, never reach the engine
+        // and come back as exit 7
+        let e = parse_args(&args(&["simulate", "--timeout-ms", "0", "f.qasm"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.msg.contains("--timeout-ms"), "message: {}", e.msg);
+        let e = parse_args(&args(&["sample", "f.qasm", "10", "--timeout-ms", "0"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+    }
+
+    #[test]
+    fn parse_bytecode_and_shot_batch_flags() {
+        // bytecode dispatch is on by default and --no-bytecode turns it off
+        let cmd = parse_args(&args(&["simulate", "f.qasm"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate { ref opts, .. } if opts.bytecode
+        ));
+        let cmd = parse_args(&args(&["simulate", "--no-bytecode", "f.qasm"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate { ref opts, .. } if !opts.bytecode && !opts.kernel().bytecode
+        ));
+        let cmd = parse_args(&args(&["counts", "--no-bytecode", "f.qasm", "10"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Counts { ref opts, .. } if !opts.bytecode
+        ));
+        // --shot-batch applies to sample only; 0 and garbage are usage errors
+        let cmd = parse_args(&args(&[
+            "sample",
+            "f.qasm",
+            "10",
+            "--no-bytecode",
+            "--shot-batch",
+            "8",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sample { ref opts, .. } if !opts.bytecode && opts.shot_batch == Some(8)
+        ));
+        let e = parse_args(&args(&["sample", "f.qasm", "10", "--shot-batch", "0"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        let e = parse_args(&args(&["sample", "f.qasm", "10", "--shot-batch", "many"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        let e = parse_args(&args(&["simulate", "--shot-batch", "8", "f.qasm"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(parse_args(&args(&["draw", "--no-bytecode", "f.qasm"])).is_err());
     }
 
     #[test]

@@ -374,6 +374,13 @@ pub struct CompiledProgram {
     stats: PlanStats,
     shot_plan: ShotPlan,
     prefix_map: Option<Vec<usize>>,
+    /// Lazily-compiled bytecode ([`crate::sim::bytecode`]): the op
+    /// schedule lowered one step further into flat instructions with
+    /// every kernel operand precomputed. Lives inside the plan, so the
+    /// fingerprint-keyed cache ([`compile`]) hands every executor the
+    /// same compiled instruction buffer — cache hits pay zero
+    /// re-preparation.
+    bytecode: std::sync::OnceLock<std::sync::Arc<crate::sim::bytecode::Bytecode>>,
 }
 
 impl CompiledProgram {
@@ -418,6 +425,17 @@ impl CompiledProgram {
     /// prefix state so forked suffixes resume under the right layout.
     pub fn prefix_map(&self) -> Option<&[usize]> {
         self.prefix_map.as_deref()
+    }
+
+    /// The program's compiled bytecode ([`crate::sim::bytecode`]),
+    /// lowered on first use and cached on the plan. Plans are shared as
+    /// `Arc<CompiledProgram>` through the fingerprint-keyed cache, so
+    /// every subsequent executor — and every shot of every trajectory
+    /// ensemble — reuses one instruction buffer.
+    pub fn bytecode(&self) -> std::sync::Arc<crate::sim::bytecode::Bytecode> {
+        self.bytecode
+            .get_or_init(|| std::sync::Arc::new(crate::sim::bytecode::Bytecode::compile(self)))
+            .clone()
     }
 
     /// `true` when the program contains no measurements or resets, i.e.
@@ -1057,6 +1075,7 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
         stats,
         shot_plan,
         prefix_map,
+        bytecode: std::sync::OnceLock::new(),
     }
 }
 

@@ -72,6 +72,13 @@ pub struct KernelConfig {
     /// windows as cache-blocked sweeps. Switching this off reproduces
     /// the pre-remap engine bit for bit (CLI `--no-remap`).
     pub remap: bool,
+    /// Execute dense programs through the compiled bytecode stream
+    /// cached on the plan ([`super::bytecode`]) instead of interpreting
+    /// `ProgramOp`s per run. Bit-identical by construction — both paths
+    /// run [`apply_prepared`] on the same [`PreparedOp`]s; the bytecode
+    /// path merely prepares them once at compile time (CLI
+    /// `--no-bytecode` restores the interpreter).
+    pub bytecode: bool,
 }
 
 impl Default for KernelConfig {
@@ -84,6 +91,7 @@ impl Default for KernelConfig {
             fuse: true,
             max_fused_qubits: super::fusion::DEFAULT_MAX_FUSED_QUBITS,
             remap: true,
+            bytecode: true,
         }
     }
 }
@@ -103,29 +111,116 @@ pub fn apply_gate_with(gate: &Gate, state: &mut CVec, n: usize, cfg: &KernelConf
 /// cache-blocked sweep uses this to apply tile-local gates to one
 /// `2^b`-amplitude tile at a time (with `n = b`).
 pub(crate) fn apply_gate_slice(gate: &Gate, state: &mut [C64], n: usize, cfg: &KernelConfig) {
-    debug_assert_eq!(state.len(), 1usize << n);
+    let pre = prepare_gate(gate, n, cfg.use_diagonal_kernel, cfg.use_swap_kernel);
+    apply_prepared(&pre, state, n, cfg);
+}
+
+/// Kernel class a gate resolves to, with every quantity the execution
+/// loop would otherwise re-derive per application precomputed: control
+/// masks, the dense target matrix, extracted diagonals, and the k-qubit
+/// kernel's sorted shifts and scatter-offset table. This is the operand
+/// payload of one bytecode instruction ([`super::bytecode`]); the
+/// interpreter builds it per call so both paths execute literally the
+/// same kernels on the same operands.
+#[derive(Clone)]
+pub(crate) struct PreparedOp {
+    kind: PreparedKind,
+    cm: CtrlMasks,
+}
+
+#[derive(Clone)]
+enum PreparedKind {
+    Swap { a: usize, b: usize },
+    Diagonal { targets: Vec<usize>, diag: Vec<C64> },
+    OneQ { q: usize, m: CMat },
+    Kq(KqPre),
+}
+
+/// Precomputed operands of the general k-qubit kernel: target shifts in
+/// target order (SIMD dispatch), ascending (base-index construction),
+/// and the scatter-index table `scatter_bits(0, sub, targets, n)` that
+/// [`apply_gate_slice`] previously rebuilt on every application — on
+/// plan-cache hits this now lives in the cached bytecode.
+#[derive(Clone)]
+pub(crate) struct KqPre {
+    targets: Vec<usize>,
+    m: CMat,
+    shifts: Vec<usize>,
+    shifts_sorted: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl KqPre {
+    fn new(targets: Vec<usize>, m: CMat, n: usize) -> Self {
+        let dim = 1usize << targets.len();
+        debug_assert_eq!(m.rows(), dim);
+        let shifts: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
+        let mut shifts_sorted = shifts.clone();
+        shifts_sorted.sort_unstable();
+        let offsets: Vec<usize> = (0..dim)
+            .map(|sub| bits::scatter_bits(0, sub, &targets, n))
+            .collect();
+        KqPre {
+            targets,
+            m,
+            shifts,
+            shifts_sorted,
+            offsets,
+        }
+    }
+}
+
+/// Classifies `gate` for an `n`-qubit register exactly as
+/// [`apply_gate_slice`] historically did — uncontrolled SWAP (when the
+/// swap kernel is enabled), then diagonal (when enabled), then
+/// single-qubit, then general k-qubit — and precomputes that kernel's
+/// operands. `use_diag`/`use_swap` are baked in because they select the
+/// kernel *class*; the remaining [`KernelConfig`] flags stay runtime
+/// parameters of [`apply_prepared`].
+pub(crate) fn prepare_gate(gate: &Gate, n: usize, use_diag: bool, use_swap: bool) -> PreparedOp {
     let controls = gate.controls();
     let cm = control_masks(&controls, n);
-    let parallel = cfg.allow_parallel && n >= PARALLEL_THRESHOLD_QUBITS;
 
     // dedicated permutation kernel for the uncontrolled SWAP
     if let Gate::Swap(a, b) = gate {
-        if controls.is_empty() && cfg.use_swap_kernel {
-            apply_swap(state, n, *a, *b, parallel);
-            return;
+        if controls.is_empty() && use_swap {
+            return PreparedOp {
+                kind: PreparedKind::Swap { a: *a, b: *b },
+                cm,
+            };
         }
     }
 
     let targets = gate.targets();
     let matrix = gate.target_matrix();
 
-    if cfg.use_diagonal_kernel && matrix.is_diagonal(0.0) {
+    let kind = if use_diag && matrix.is_diagonal(0.0) {
         let diag: Vec<C64> = (0..matrix.rows()).map(|i| matrix[(i, i)]).collect();
-        apply_diagonal(state, n, &targets, &diag, cm, parallel);
+        PreparedKind::Diagonal { targets, diag }
     } else if targets.len() == 1 {
-        apply_1q(state, n, targets[0], &matrix, cm, parallel, cfg.allow_simd);
+        PreparedKind::OneQ {
+            q: targets[0],
+            m: matrix,
+        }
     } else {
-        apply_kq(state, n, &targets, &matrix, cm, parallel, cfg.allow_simd);
+        PreparedKind::Kq(KqPre::new(targets, matrix, n))
+    };
+    PreparedOp { kind, cm }
+}
+
+/// Executes a [`PreparedOp`] against a `2^n`-amplitude slice. Runtime
+/// flags (`allow_parallel`, `allow_simd`) come from `cfg`; the kernel
+/// class and its operands were fixed by [`prepare_gate`].
+pub(crate) fn apply_prepared(pre: &PreparedOp, state: &mut [C64], n: usize, cfg: &KernelConfig) {
+    debug_assert_eq!(state.len(), 1usize << n);
+    let parallel = cfg.allow_parallel && n >= PARALLEL_THRESHOLD_QUBITS;
+    match &pre.kind {
+        PreparedKind::Swap { a, b } => apply_swap(state, n, *a, *b, parallel),
+        PreparedKind::Diagonal { targets, diag } => {
+            apply_diagonal(state, n, targets, diag, pre.cm, parallel)
+        }
+        PreparedKind::OneQ { q, m } => apply_1q(state, n, *q, m, pre.cm, parallel, cfg.allow_simd),
+        PreparedKind::Kq(kq) => apply_kq(state, n, kq, pre.cm, parallel, cfg.allow_simd),
     }
 }
 
@@ -292,16 +387,52 @@ fn tile_gate(gate: &Gate, n: usize) -> TileGate {
     }
 }
 
+/// One window gate pre-lowered all the way to its executable form: the
+/// tile-register [`PreparedOp`] plus the stripped-control base-index
+/// test. This is the operand payload of a bytecode `Window` instruction;
+/// [`apply_window`] builds the same thing per call.
+#[derive(Clone)]
+pub(crate) struct TilePre {
+    pre: PreparedOp,
+    hi_mask: usize,
+    hi_want: usize,
+    /// `true` if controls were stripped: the full-vector kernel would
+    /// have run the scalar path (controlled gates never vectorize), so
+    /// the tile must too for the sweep to stay bit-identical to the
+    /// per-gate walk.
+    scalar: bool,
+}
+
+/// Lowers a [`sweepable`] gate to its prepared tile form.
+pub(crate) fn prepare_tile(gate: &Gate, n: usize, use_diag: bool, use_swap: bool) -> TilePre {
+    let tg = tile_gate(gate, n);
+    TilePre {
+        pre: prepare_gate(&tg.gate, SWEEP_TILE_QUBITS, use_diag, use_swap),
+        hi_mask: tg.hi_mask,
+        hi_want: tg.hi_want,
+        scalar: tg.had_hi_controls,
+    }
+}
+
 /// Cache-blocked sweep: applies a window of gates tile-by-tile, so each
 /// `2^b`-amplitude tile stays cache-resident across *all* gates of the
 /// window instead of the state being walked once per gate. Every gate
 /// must satisfy [`sweepable`]. Tiles partition the register, so the
 /// parallel path hands Rayon disjoint `&mut` chunks.
 pub(crate) fn apply_window(state: &mut CVec, n: usize, gates: &[&Gate], cfg: &KernelConfig) {
-    let b = SWEEP_TILE_QUBITS;
     debug_assert!(gates.iter().all(|g| sweepable(g, n)));
+    let tgs: Vec<TilePre> = gates
+        .iter()
+        .map(|g| prepare_tile(g, n, cfg.use_diagonal_kernel, cfg.use_swap_kernel))
+        .collect();
+    apply_window_pre(state, n, &tgs, cfg);
+}
+
+/// [`apply_window`] on pre-lowered tile gates (the bytecode `Window`
+/// instruction's execution loop).
+pub(crate) fn apply_window_pre(state: &mut CVec, n: usize, tgs: &[TilePre], cfg: &KernelConfig) {
+    let b = SWEEP_TILE_QUBITS;
     let tile_len = 1usize << b;
-    let tgs: Vec<TileGate> = gates.iter().map(|g| tile_gate(g, n)).collect();
     // inside a tile the work is single-threaded; SIMD takes over where
     // the full-vector walk would have used it (see `use_simd`)
     let cfg_tile = KernelConfig {
@@ -325,14 +456,10 @@ pub(crate) fn apply_window(state: &mut CVec, n: usize, gates: &[&Gate], cfg: &Ke
             return;
         }
         let base = ti * tile_len;
-        for tg in &tgs {
+        for tg in tgs {
             if base & tg.hi_mask == tg.hi_want {
-                let c = if tg.had_hi_controls {
-                    &cfg_scalar
-                } else {
-                    &cfg_tile
-                };
-                apply_gate_slice(&tg.gate, tile, b, c);
+                let c = if tg.scalar { &cfg_scalar } else { &cfg_tile };
+                apply_prepared(&tg.pre, tile, b, c);
             }
         }
     };
@@ -676,22 +803,18 @@ unsafe fn kq_group(
 
 /// General k-target-qubit kernel: gathers the `2^k` amplitudes of each
 /// group, multiplies by the dense gate matrix, and scatters back. The
-/// scatter-index table is computed once per gate; each group only pays
-/// one base-index construction plus an OR per amplitude.
-fn apply_kq(
-    state: &mut [C64],
-    n: usize,
-    targets: &[usize],
-    m: &CMat,
-    cm: CtrlMasks,
-    parallel: bool,
-    simd: bool,
-) {
-    let k = targets.len();
+/// scatter-index table and sorted shifts come precomputed in [`KqPre`]
+/// (once per gate in the interpreter, once per *plan* in the bytecode);
+/// each group only pays one base-index construction plus an OR per
+/// amplitude.
+fn apply_kq(state: &mut [C64], n: usize, kq: &KqPre, cm: CtrlMasks, parallel: bool, simd: bool) {
+    let k = kq.targets.len();
     let dim = 1usize << k;
-    debug_assert_eq!(m.rows(), dim);
+    let m = &kq.m;
     #[cfg(not(target_arch = "x86_64"))]
-    let _ = simd;
+    let _ = (simd, n);
+    #[cfg(target_arch = "x86_64")]
+    let _ = n;
 
     // uncontrolled two-qubit gates — in particular the dense blocks the
     // fusion pass emits — take the vectorized path when the innermost
@@ -699,8 +822,7 @@ fn apply_kq(
     #[cfg(target_arch = "x86_64")]
     if cm.0 == 0 && use_simd(parallel, simd) {
         if k == 2 {
-            let s0 = bits::qubit_shift(targets[0], n);
-            let s1 = bits::qubit_shift(targets[1], n);
+            let (s0, s1) = (kq.shifts[0], kq.shifts[1]);
             unsafe {
                 if s0.min(s1) >= 1 {
                     super::simd::apply_2q_dense(state, s0, s1, m.as_slice());
@@ -713,28 +835,19 @@ fn apply_kq(
         // larger fused blocks (up to the fusion cap) use the generic
         // vectorized gather/matvec/scatter when no target sits on the
         // least significant qubit
-        if (3..=4).contains(&k) && state.len() >> k >= 2 {
-            let shifts_g: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
-            if shifts_g.iter().all(|&s| s >= 1) {
-                unsafe { super::simd::apply_kq_dense(state, &shifts_g, m.as_slice()) };
-                return;
-            }
+        if (3..=4).contains(&k) && state.len() >> k >= 2 && kq.shifts.iter().all(|&s| s >= 1) {
+            unsafe { super::simd::apply_kq_dense(state, &kq.shifts, m.as_slice()) };
+            return;
         }
     }
 
-    // shifts of the target qubits, ascending, for base-index construction
-    let mut shifts: Vec<usize> = targets.iter().map(|&q| bits::qubit_shift(q, n)).collect();
-    shifts.sort_unstable();
-
-    // scatter-index table: target-bit pattern of each sub-state
-    let offsets: Vec<usize> = (0..dim)
-        .map(|sub| bits::scatter_bits(0, sub, targets, n))
-        .collect();
+    let shifts = &kq.shifts_sorted;
+    let offsets = &kq.offsets;
 
     let groups = state.len() >> k;
     let base_of = |mcount: usize| {
         let mut base = mcount;
-        for &s in &shifts {
+        for &s in shifts {
             base = bits::insert_bit(base, s);
         }
         base
@@ -755,7 +868,7 @@ fn apply_kq(
                 let base = base_of(mcount);
                 if ctrl_ok(base, cm) {
                     unsafe {
-                        kq_group(ptr.get(), base, &offsets, m, &mut gathered, &mut out);
+                        kq_group(ptr.get(), base, offsets, m, &mut gathered, &mut out);
                     }
                 }
             }
@@ -772,7 +885,7 @@ fn apply_kq(
                 kq_group(
                     state.as_mut_ptr(),
                     base,
-                    &offsets,
+                    offsets,
                     m,
                     &mut gathered,
                     &mut out,

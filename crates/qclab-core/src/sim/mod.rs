@@ -15,6 +15,7 @@
 //! strategy). They are property-tested against each other and benchmarked
 //! in experiment F1.
 
+pub mod bytecode;
 pub mod collapse;
 pub mod control;
 pub mod density;
@@ -305,12 +306,23 @@ impl QCircuit {
             plan_opts.remap = false;
         }
         let program = self.compile_with(&plan_opts);
-        let ops = program.ops();
-        // logical→physical layout of the amplitudes; `None` = identity
-        let mut map: Option<Vec<usize>> = None;
         // op-boundary deadline/cancel checks; a no-op for the default
         // (disabled) control, so results are unaffected by its presence
         let mut ticker = opts.control.ticker();
+        // dispatch-loop path: execute the bytecode cached on the plan
+        // instead of interpreting the op schedule (bit-identical — both
+        // run the same prepared kernels; see `sim::bytecode`)
+        if opts.backend == Backend::Kernel && bytecode::eligible(&opts.kernel) {
+            let bc = program.bytecode();
+            bytecode::execute_dense(&program, &bc, &mut branches, opts, &mut ticker)?;
+            return Ok(Simulation {
+                nb_qubits: n,
+                branches,
+            });
+        }
+        let ops = program.ops();
+        // logical→physical layout of the amplitudes; `None` = identity
+        let mut map: Option<Vec<usize>> = None;
         let mut i = 0;
         while i < ops.len() {
             match &ops[i] {
@@ -508,7 +520,7 @@ impl QCircuit {
     }
 }
 
-fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
+pub(crate) fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
     match opts.backend {
         Backend::Kron => kron::apply_gate(gate, state, n),
         Backend::Kernel => kernel::apply_gate_with(gate, state, n, &opts.kernel),
@@ -519,7 +531,7 @@ fn apply_backend(gate: &Gate, state: &mut CVec, n: usize, opts: &SimOptions) {
 /// logical→physical layout (`None` = identity): the measurement's qubit
 /// is *logical*, so probabilities and collapse go through the mapped
 /// collapse routines and any basis rotation targets the physical slot.
-fn measure_branches(
+pub(crate) fn measure_branches(
     branches: &[Branch],
     m: &Measurement,
     opts: &SimOptions,
@@ -588,7 +600,7 @@ fn measure_branches(
 /// measurement outcome is *not* recorded in the result string. As with
 /// [`measure_branches`], `q` is logical and `map` locates its physical
 /// slot.
-fn reset_branches(
+pub(crate) fn reset_branches(
     branches: &[Branch],
     q: usize,
     opts: &SimOptions,

@@ -59,12 +59,14 @@ use crate::observable::{Observable, Pauli};
 use crate::program::{
     self, BackendChoice, BackendRequest, CompiledProgram, PlanOptions, ProgramOp,
 };
-use crate::sim::control::{ExecutionControl, StopCause, StopLatch};
+use crate::sim::bytecode;
+use crate::sim::control::{ControlTicker, ExecutionControl, StopCause, StopLatch};
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
 use crate::sim::sampler::DiscreteSampler;
 use crate::sim::sparse;
 use crate::sim::{collapse, kernel};
+use qclab_math::scalar::C64;
 use qclab_math::{bits, CVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -275,6 +277,17 @@ pub struct TrajectoryConfig {
     /// bit-identical to the same shots of an uncontrolled run. The
     /// default ([`ExecutionControl::none`]) is a no-op.
     pub control: ExecutionControl,
+    /// Number of shot states driven through the bytecode per batch on
+    /// the per-shot/forked paths: each instruction is applied across
+    /// all lanes of a batch before advancing, amortizing dispatch and
+    /// operand fetch over the whole batch. Per-shot `(seed, shot)` RNG
+    /// streams make every shot independent of the batch grouping, so
+    /// results are bit-identical to the serial engine at any batch
+    /// size. `<= 1` — or a kernel config the bytecode can't serve
+    /// ([`KernelConfig::bytecode`] off, or a diagonal/swap ablation) —
+    /// runs the serial per-shot engine. The effective size is capped so
+    /// one batch's lane states stay within a fixed memory budget.
+    pub shot_batch: usize,
 }
 
 impl Default for TrajectoryConfig {
@@ -292,8 +305,28 @@ impl Default for TrajectoryConfig {
             fast_path: true,
             backend: BackendRequest::Dense,
             control: ExecutionControl::none(),
+            shot_batch: DEFAULT_SHOT_BATCH,
         }
     }
+}
+
+/// Default [`TrajectoryConfig::shot_batch`]: large enough to amortize
+/// instruction dispatch across a batch, small enough that a batch is
+/// still a reasonable work unit for the parallel fan-out.
+pub const DEFAULT_SHOT_BATCH: usize = 64;
+
+/// Memory budget for one in-flight batch's lane states (state + scratch
+/// per lane): bounds the working set the batched engine multiplies by
+/// its batch width, which the serial engine never held.
+const BATCH_MEM_BYTES: usize = 128 << 20;
+
+/// The batch width actually used for an `n`-qubit register: the
+/// requested width, capped so `2 * batch * 2^n` amplitudes stay within
+/// [`BATCH_MEM_BYTES`]. Capping never changes results — shots depend
+/// only on `(seed, shot)` — it only bounds memory.
+fn effective_batch(requested: usize, n: usize) -> usize {
+    let state_bytes = std::mem::size_of::<C64>() << n;
+    requested.min((BATCH_MEM_BYTES / (2 * state_bytes)).max(1))
 }
 
 /// Which shot-execution strategy a trajectory run actually used
@@ -382,6 +415,8 @@ pub struct TrajectoryResult {
     /// [`ExecutionControl`]; `shots` then counts only the completed
     /// trajectories.
     stopped: Option<StopCause>,
+    /// Effective shot-batch width the run executed with (1 = serial).
+    batch: u64,
 }
 
 impl TrajectoryResult {
@@ -456,6 +491,15 @@ impl TrajectoryResult {
     pub fn path(&self) -> ShotPath {
         self.path
     }
+
+    /// Effective shot-batch width the run executed with: `> 1` when the
+    /// per-shot/forked path pushed batches of lane states through the
+    /// plan's bytecode, `1` for serial execution and the sampled paths
+    /// (which have no per-shot evolution to batch). Never affects
+    /// results — only how dispatch cost was amortized.
+    pub fn shot_batch(&self) -> u64 {
+        self.batch
+    }
 }
 
 /// The plan options of a trajectory run: fusion and the locality pass
@@ -523,12 +567,13 @@ fn validate(
     Ok(dim)
 }
 
-/// State of one in-flight shot: the (borrowed) vector plus watchdog
-/// bookkeeping. `state` and `scratch` are caller-owned so the trajectory
-/// driver can reuse one buffer pair across all shots of a thread.
+/// State of one in-flight shot: the vector plus watchdog bookkeeping.
+/// The buffers are owned (moved in from the per-thread arena and moved
+/// back out on completion) so a [`ShotBatch`] lane can hold a whole
+/// `ShotState` by value.
 struct ShotState<'a> {
-    state: &'a mut CVec,
-    scratch: &'a mut CVec,
+    state: CVec,
+    scratch: CVec,
     n: usize,
     kernel: KernelConfig,
     watchdog: WatchdogConfig,
@@ -545,7 +590,19 @@ struct ShotState<'a> {
 
 impl ShotState<'_> {
     fn apply(&mut self, gate: &Gate) {
-        kernel::apply_gate_with(gate, self.state, self.n, &self.kernel);
+        kernel::apply_gate_with(gate, &mut self.state, self.n, &self.kernel);
+        self.bump_watchdog();
+    }
+
+    /// [`apply`](Self::apply) for a pre-lowered bytecode gate: same
+    /// kernels, same watchdog bookkeeping, the classification work
+    /// already paid at plan-compile time.
+    fn apply_pre(&mut self, pre: &kernel::PreparedOp) {
+        kernel::apply_prepared(pre, &mut self.state, self.n, &self.kernel);
+        self.bump_watchdog();
+    }
+
+    fn bump_watchdog(&mut self) {
         if self.watchdog.check_every > 0 {
             self.gates_since_check += 1;
             if self.gates_since_check >= self.watchdog.check_every {
@@ -575,7 +632,7 @@ impl ShotState<'_> {
     fn inject(&mut self, channel: &PauliChannel, qubit: usize, op_index: usize, rng: &mut StdRng) {
         if let Some(p) = channel.sample(rng) {
             if let Some(g) = pauli_gate(p, qubit) {
-                kernel::apply_gate_with(&g, self.state, self.n, &self.kernel);
+                kernel::apply_gate_with(&g, &mut self.state, self.n, &self.kernel);
                 self.injected.push(InjectedPauli {
                     op_index,
                     qubit,
@@ -614,8 +671,8 @@ impl ShotState<'_> {
     /// bit — are bit-identical to the unremapped engine.
     fn sample_z(&mut self, q: usize, rng: &mut StdRng) -> usize {
         let (p0, p1) = match &self.map {
-            None => collapse::measure_probabilities(self.state, self.n, q),
-            Some(m) => collapse::measure_probabilities_mapped(self.state, self.n, q, m),
+            None => collapse::measure_probabilities(&self.state, self.n, q),
+            Some(m) => collapse::measure_probabilities_mapped(&self.state, self.n, q, m),
         };
         let r: f64 = rng.gen();
         // degenerate outcomes never collapse onto a zero-probability half
@@ -632,12 +689,12 @@ impl ShotState<'_> {
         // collapse into the scratch buffer and swap: same arithmetic as
         // `collapse::collapse`, zero allocation after the first shot
         match &self.map {
-            None => collapse::collapse_into(self.state, self.n, q, bit, p, self.scratch),
+            None => collapse::collapse_into(&self.state, self.n, q, bit, p, &mut self.scratch),
             Some(m) => {
-                collapse::collapse_into_mapped(self.state, self.n, q, bit, p, m, self.scratch)
+                collapse::collapse_into_mapped(&self.state, self.n, q, bit, p, m, &mut self.scratch)
             }
         }
-        std::mem::swap(self.state, self.scratch);
+        std::mem::swap(&mut self.state, &mut self.scratch);
         bit
     }
 
@@ -656,14 +713,14 @@ impl ShotState<'_> {
                 qubits: vec![pq],
                 matrix: v.dagger(),
             };
-            kernel::apply_gate_with(&vdg, self.state, self.n, &self.kernel);
+            kernel::apply_gate_with(&vdg, &mut self.state, self.n, &self.kernel);
             let bit = self.sample_z(q, rng);
             let vg = Gate::Custom {
                 name: "V".into(),
                 qubits: vec![pq],
                 matrix: v,
             };
-            kernel::apply_gate_with(&vg, self.state, self.n, &self.kernel);
+            kernel::apply_gate_with(&vg, &mut self.state, self.n, &self.kernel);
             bit
         } else {
             self.sample_z(q, rng)
@@ -719,9 +776,12 @@ fn run_shot_in(
     state.0.extend_from_slice(&prog.initial.0);
     let mut rng = shot_rng(config.seed, shot);
     let mut ticker = config.control.ticker();
+    // move the arena buffers into the shot state; they are moved back
+    // out on completion (an error abandons them — the arena simply
+    // reallocates on the next shot, and errors end the run anyway)
     let mut s = ShotState {
-        state,
-        scratch,
+        state: std::mem::replace(state, CVec(Vec::new())),
+        scratch: std::mem::replace(scratch, CVec(Vec::new())),
         n: prog.n,
         kernel: prog.kernel,
         watchdog: config.watchdog,
@@ -744,7 +804,7 @@ fn run_shot_in(
             ProgramOp::Permute { perm, map } => {
                 // pure data movement: never perturbs amplitude bits,
                 // never consumes RNG draws
-                kernel::permute_state(s.state, s.n, perm, false);
+                kernel::permute_state(&mut s.state, s.n, perm, false);
                 s.map = if map.iter().enumerate().all(|(q, &p)| q == p) {
                     None
                 } else {
@@ -774,7 +834,286 @@ fn run_shot_in(
     if s.watchdog.check_every > 0 && s.gates_since_check > 0 {
         s.check_norm();
     }
+    *state = s.state;
+    *scratch = s.scratch;
     Ok((record, s.injected, s.stats))
+}
+
+/// One lane of a [`run_shot_batch`] call: a full in-flight shot (state,
+/// RNG stream, control ticker, record).
+struct BatchLane<'a> {
+    s: ShotState<'a>,
+    rng: StdRng,
+    ticker: ControlTicker<'a>,
+    record: String,
+}
+
+/// Where one lane's trajectory first leaves the batch's shared
+/// noiseless evolution, found by replaying the lane's RNG stream
+/// without touching any state: every noise-site draw is a plain
+/// `rng.gen::<f64>()` whose *count and order* depend only on the op
+/// schedule, never on amplitudes, so the first op at which a shot can
+/// diverge — the first fired injection, measurement or reset — is a
+/// pure function of `(seed, shot)`.
+struct LaneFork {
+    /// Number of leading schedule ops whose unitary action the lane
+    /// shares with the reference evolution (absolute index into `ops`).
+    shared: usize,
+    /// `Some(idx)` when the fork was triggered by a fired gate-noise
+    /// draw at op `idx`: the reference covers the gate itself
+    /// (`shared == idx + 1`) and the lane replays that op's noise draws
+    /// from `rng` — parked just before them — before resuming.
+    noise_at: Option<usize>,
+    /// The lane's RNG stream, positioned exactly where the serial
+    /// engine's would be at the fork.
+    rng: StdRng,
+}
+
+/// Replays the noise draws of `(seed, shot)` over the schedule (no
+/// state, no kernels) and returns the lane's fork point. Draw order
+/// mirrors [`ShotState::gate_noise`] exactly: `after_gate` over the
+/// touched qubits in order, then `idle` over the rest in qubit order.
+/// A measurement or reset forks unconditionally — its draws consult the
+/// state. Forking *early* is always safe (the lane just replays more
+/// ops itself), so a fired draw forks even if the sampled Pauli turns
+/// out to act trivially.
+fn scan_fork(
+    ops: &[ProgramOp],
+    flat: &[bytecode::FlatInstr],
+    start: usize,
+    noise: &NoiseSpec,
+    n: usize,
+    mut rng: StdRng,
+) -> LaneFork {
+    let gate_draws = noise.after_gate.is_some() || noise.idle.is_some();
+    for idx in start..ops.len() {
+        match &ops[idx] {
+            ProgramOp::Gate(_) => {
+                if !gate_draws {
+                    continue;
+                }
+                let bytecode::FlatInstr::Gate { touched, .. } = &flat[idx] else {
+                    unreachable!("flat bytecode out of lockstep with the op schedule")
+                };
+                let before = rng.clone();
+                let mut fired = false;
+                if let Some(ch) = noise.after_gate {
+                    for _ in touched.iter() {
+                        fired |= ch.sample(&mut rng).is_some();
+                    }
+                }
+                if let Some(ch) = noise.idle {
+                    for q in 0..n {
+                        if !touched.contains(&q) {
+                            fired |= ch.sample(&mut rng).is_some();
+                        }
+                    }
+                }
+                if fired {
+                    return LaneFork {
+                        shared: idx + 1,
+                        noise_at: Some(idx),
+                        rng: before,
+                    };
+                }
+            }
+            ProgramOp::Measure(_) | ProgramOp::Reset(_) => {
+                return LaneFork {
+                    shared: idx,
+                    noise_at: None,
+                    rng,
+                };
+            }
+            ProgramOp::Fence(_) | ProgramOp::Permute { .. } => {}
+        }
+    }
+    LaneFork {
+        shared: ops.len(),
+        noise_at: None,
+        rng,
+    }
+}
+
+/// Hands every lane whose fork point is `at` its own copy of the
+/// reference trajectory: state, watchdog counters and layout as of
+/// `at` ops applied, plus the RNG stream the scan parked at the fork.
+fn fork_lanes<'a>(
+    lanes: &mut [Option<BatchLane<'a>>],
+    forks: &[LaneFork],
+    at: usize,
+    reference: &ShotState<'a>,
+    config: &'a TrajectoryConfig,
+) {
+    for (lane, f) in lanes.iter_mut().zip(forks) {
+        if f.shared == at && lane.is_none() {
+            *lane = Some(BatchLane {
+                s: ShotState {
+                    state: reference.state.clone(),
+                    scratch: CVec(Vec::new()),
+                    n: reference.n,
+                    kernel: reference.kernel,
+                    watchdog: reference.watchdog,
+                    stats: reference.stats,
+                    gates_since_check: reference.gates_since_check,
+                    injected: Vec::new(),
+                    noise: reference.noise,
+                    map: reference.map.clone(),
+                },
+                rng: f.rng.clone(),
+                ticker: config.control.ticker(),
+                record: String::new(),
+            });
+        }
+    }
+}
+
+/// Batched counterpart of [`run_shot_in`]: drives `count` shots
+/// (`first..first + count`) through the plan's flat bytecode by
+/// amortizing the evolution the shots *share*. Up to its first
+/// stochastic divergence — the first fired noise injection, or the
+/// first measurement/reset — every shot follows the same noiseless
+/// trajectory through the same kernels, and because noise-site RNG
+/// draws never consult the state, each lane's divergence point can be
+/// computed up front by replaying its `(seed, shot)` stream
+/// ([`scan_fork`]). The batch therefore evolves one reference state
+/// through the shared prefix *once*, forks each lane off it at that
+/// lane's own divergence point (state + watchdog counters + RNG
+/// position), and then finishes each lane serially — one lane at a
+/// time, so the suffix state stays cache-resident. Every per-lane op
+/// executes the exact per-op body of the serial engine in the same
+/// order with the same RNG stream, so every shot is bit-identical to
+/// the same shot of a serial run regardless of batch grouping. A
+/// control stop (reference pass or any lane's ticker) abandons the
+/// whole in-flight batch — completed batches are unaffected.
+fn run_shot_batch<'a>(
+    prog: &ShotProgram<'a>,
+    flat: &[bytecode::FlatInstr],
+    first: u64,
+    count: usize,
+) -> Result<Vec<BatchLane<'a>>, QclabError> {
+    let (ops, config) = (prog.ops, prog.config);
+    debug_assert_eq!(flat.len(), ops.len());
+
+    // 1. Pure-RNG pre-scan: where does each lane leave the shared
+    //    trajectory? (A few ns per noise site — no state, no kernels.)
+    let forks: Vec<LaneFork> = (0..count)
+        .map(|j| {
+            scan_fork(
+                ops,
+                flat,
+                prog.start,
+                &config.noise,
+                prog.n,
+                shot_rng(config.seed, first + j as u64),
+            )
+        })
+        .collect();
+    // every fork sits at or before the first measurement/reset, so the
+    // reference pass below never has to cross one
+    let max_shared = forks.iter().map(|f| f.shared).max().unwrap_or(prog.start);
+
+    // 2. Reference pass: evolve the shared noiseless prefix once,
+    //    snapshotting lanes off at their fork points as it goes.
+    let mut reference = ShotState {
+        state: prog.initial.clone(),
+        scratch: CVec(Vec::new()),
+        n: prog.n,
+        kernel: prog.kernel,
+        watchdog: config.watchdog,
+        stats: prog.init_norm,
+        gates_since_check: prog.init_gates,
+        injected: Vec::new(),
+        noise: &config.noise,
+        map: prog.start_map.map(|m| m.to_vec()),
+    };
+    let mut ticker = config.control.ticker();
+    let mut lanes: Vec<Option<BatchLane<'a>>> = (0..count).map(|_| None).collect();
+    fork_lanes(&mut lanes, &forks, prog.start, &reference, config);
+    for idx in prog.start..max_shared {
+        match (&ops[idx], &flat[idx]) {
+            (ProgramOp::Gate(_), bytecode::FlatInstr::Gate { pre, .. }) => {
+                reference.apply_pre(pre);
+            }
+            (ProgramOp::Fence(_), _) => {}
+            (ProgramOp::Permute { perm, map }, _) => {
+                kernel::permute_state(&mut reference.state, reference.n, perm, false);
+                reference.map = if map.iter().enumerate().all(|(q, &p)| q == p) {
+                    None
+                } else {
+                    Some(map.clone())
+                };
+            }
+            (ProgramOp::Measure(_) | ProgramOp::Reset(_), _) => {
+                unreachable!("reference pass crossed a measurement/reset")
+            }
+            (ProgramOp::Gate(_), bytecode::FlatInstr::Other) => {
+                unreachable!("flat bytecode out of lockstep with the op schedule")
+            }
+        }
+        ticker.tick()?;
+        fork_lanes(&mut lanes, &forks, idx + 1, &reference, config);
+    }
+
+    // 3. Per-lane suffix: finish each shot serially from its fork.
+    let mut out = Vec::with_capacity(count);
+    for (lane, f) in lanes.into_iter().zip(&forks) {
+        let mut l = lane.expect("every lane forks at or before the schedule end");
+        if let Some(idx) = f.noise_at {
+            // the reference applied the gate at `idx`; the lane owes
+            // that op's noise draws (its RNG is parked right before
+            // them, so it redraws exactly what the scan saw)
+            let bytecode::FlatInstr::Gate { touched, .. } = &flat[idx] else {
+                unreachable!("flat bytecode out of lockstep with the op schedule")
+            };
+            l.s.gate_noise(touched, idx, &mut l.rng);
+            l.ticker.tick()?;
+        }
+        for idx in f.shared..ops.len() {
+            match (&ops[idx], &flat[idx]) {
+                (ProgramOp::Gate(_), bytecode::FlatInstr::Gate { pre, touched }) => {
+                    l.s.apply_pre(pre);
+                    if !l.s.noise.is_noiseless() {
+                        l.s.gate_noise(touched, idx, &mut l.rng);
+                    }
+                }
+                (ProgramOp::Fence(_), _) => {}
+                (ProgramOp::Permute { perm, map }, _) => {
+                    kernel::permute_state(&mut l.s.state, l.s.n, perm, false);
+                    l.s.map = if map.iter().enumerate().all(|(q, &p)| q == p) {
+                        None
+                    } else {
+                        Some(map.clone())
+                    };
+                }
+                (ProgramOp::Measure(m), _) => {
+                    if let Some(ch) = l.s.noise.before_measure {
+                        l.s.inject(&ch, m.qubit(), idx, &mut l.rng);
+                    }
+                    let bit = l.s.sample_measurement(m, &mut l.rng);
+                    l.record.push(if bit == 0 { '0' } else { '1' });
+                }
+                (ProgramOp::Reset(q), _) => {
+                    if let Some(ch) = l.s.noise.before_measure {
+                        l.s.inject(&ch, *q, idx, &mut l.rng);
+                    }
+                    let bit = l.s.sample_z(*q, &mut l.rng);
+                    if bit == 1 {
+                        let pq = l.s.physical(*q);
+                        l.s.apply(&Gate::PauliX(pq));
+                    }
+                }
+                (ProgramOp::Gate(_), bytecode::FlatInstr::Other) => {
+                    unreachable!("flat bytecode out of lockstep with the op schedule")
+                }
+            }
+            l.ticker.tick()?;
+        }
+        if l.s.watchdog.check_every > 0 && l.s.gates_since_check > 0 {
+            l.s.check_norm();
+        }
+        out.push(l);
+    }
+    Ok(out)
 }
 
 /// Hands the closure a per-thread `(state, scratch)` buffer pair when
@@ -825,12 +1164,10 @@ fn evolve_prefix(
     kernel: KernelConfig,
     final_check: bool,
 ) -> Result<(CVec, NormStats, usize), QclabError> {
-    let mut state = initial.clone();
-    let mut scratch = CVec(Vec::new());
     let noise = NoiseSpec::default();
     let mut s = ShotState {
-        state: &mut state,
-        scratch: &mut scratch,
+        state: initial.clone(),
+        scratch: CVec(Vec::new()),
         n,
         kernel,
         watchdog: config.watchdog,
@@ -849,7 +1186,7 @@ fn evolve_prefix(
                 // the layout the prefix ends in is published as
                 // `CompiledProgram::prefix_map`; forked shots resume
                 // their tracking from there
-                kernel::permute_state(s.state, s.n, perm, false);
+                kernel::permute_state(&mut s.state, s.n, perm, false);
             }
             // the classifier ends the prefix at the first Measure/Reset
             ProgramOp::Measure(_) | ProgramOp::Reset(_) => unreachable!(),
@@ -860,7 +1197,7 @@ fn evolve_prefix(
         s.check_norm();
     }
     let (stats, gates) = (s.stats, s.gates_since_check);
-    Ok((state, stats, gates))
+    Ok((s.state, stats, gates))
 }
 
 /// A partial [`TrajectoryResult`] for a run stopped before any shot
@@ -881,6 +1218,7 @@ fn partial_empty(
         norm: NormStats::default(),
         path,
         stopped: Some(cause),
+        batch: 1,
     }
 }
 
@@ -986,6 +1324,7 @@ fn run_alias_sampled(
         norm,
         path,
         stopped,
+        batch: 1,
     })
 }
 
@@ -1093,6 +1432,7 @@ fn run_sparse_sampled(
         norm: NormStats::default(),
         path,
         stopped,
+        batch: 1,
     })
 }
 
@@ -1287,9 +1627,60 @@ pub fn run_trajectories_from(
     };
 
     let shots = config.shots;
+    // Shot-batched bytecode dispatch: when the plan's bytecode can serve
+    // this kernel config, push batches of lane states through one
+    // instruction stream (a batch is also the parallel work unit).
+    // Per-shot RNG streams make results independent of the grouping, so
+    // any batch width — including the serial fallback — is
+    // bit-identical.
+    let batch = if config.shot_batch > 1 && shots > 1 && bytecode::eligible(&kernel) {
+        effective_batch(config.shot_batch, n)
+    } else {
+        1
+    };
     let mut slots: Vec<Option<ShotSummary>> = Vec::new();
     slots.resize_with(shots as usize, || None);
-    if config.parallel && shots > 1 {
+    if batch > 1 {
+        let bc = program.bytecode();
+        let run_batch = |first: usize, chunk: &mut [Option<ShotSummary>]| {
+            if latch.is_tripped() {
+                return;
+            }
+            if let Some(cause) = control.probe() {
+                latch.trip(cause.into_error(crate::error::ExecProgress::default()));
+                return;
+            }
+            match run_shot_batch(&prog, &bc.flat, first as u64, chunk.len()) {
+                Ok(lanes) => {
+                    for (slot, lane) in chunk.iter_mut().zip(lanes) {
+                        *slot = Some(ShotSummary {
+                            expectations: config
+                                .observables
+                                .iter()
+                                .map(|o| o.expectation(&lane.s.state))
+                                .collect(),
+                            record: lane.record,
+                            injected: lane.s.injected.len() as u64,
+                            norm: lane.s.stats,
+                        });
+                    }
+                }
+                // the in-flight batch is dropped whole; batches that
+                // already completed keep their slots
+                Err(e) => latch.trip(e),
+            }
+        };
+        if config.parallel && shots > 1 {
+            slots
+                .par_chunks_mut(batch)
+                .enumerate()
+                .for_each(|(bi, chunk)| run_batch(bi * batch, chunk));
+        } else {
+            for (bi, chunk) in slots.chunks_mut(batch).enumerate() {
+                run_batch(bi * batch, chunk);
+            }
+        }
+    } else if config.parallel && shots > 1 {
         slots
             .par_iter_mut()
             .enumerate()
@@ -1335,6 +1726,7 @@ pub fn run_trajectories_from(
         path,
         requested_shots: shots,
         stopped,
+        batch: batch as u64,
     })
 }
 
