@@ -34,7 +34,7 @@ fn bench_features(crit: &mut Criterion) {
 
     group.bench_function("tableau_ghz_1024q", |b| {
         b.iter(|| {
-            let mut s = StabilizerState::new(1024);
+            let mut s = StabilizerState::new(1024).unwrap();
             s.h(0);
             for q in 1..1024 {
                 s.cnot(q - 1, q);

@@ -55,6 +55,10 @@ fn trajectory_time(n: usize) -> f64 {
             after_gate: Some(PauliChannel::Depolarizing(P)),
             ..NoiseSpec::default()
         },
+        // F10 measures the state-vector trajectory engine itself; the
+        // Clifford GHZ workload would otherwise route to the frame
+        // sampler (benchmarked separately in F16)
+        frames: false,
         ..TrajectoryConfig::default()
     };
     median_time(3, || {

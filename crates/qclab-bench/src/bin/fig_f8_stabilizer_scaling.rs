@@ -26,7 +26,7 @@ fn statevector_ghz(n: usize) -> f64 {
 
 fn tableau_ghz(n: usize) -> f64 {
     median_time(3, || {
-        let mut s = StabilizerState::new(n);
+        let mut s = StabilizerState::new(n).unwrap();
         s.h(0);
         for q in 1..n {
             s.cnot(q - 1, q);

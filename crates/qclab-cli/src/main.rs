@@ -37,6 +37,10 @@
 //!   `sample` (disables deterministic-prefix forking and
 //!   terminal-measurement alias sampling; results are drawn from the
 //!   same distribution either way),
+//! * `--no-frames` — disable the Pauli-frame sampler for `sample`
+//!   (noisy Clifford circuits fall back to the state-vector trajectory
+//!   engine; same distribution, different per-shot bits). For `compile`
+//!   the flag changes the reported noisy shot path,
 //! * `--no-bytecode` — execute the op schedule through the interpreter
 //!   instead of the compiled bytecode stream (`simulate`, `counts`,
 //!   `sample`); results are bit-identical either way,
@@ -125,6 +129,7 @@ struct EngineOpts {
     simd: bool,
     remap: bool,
     bytecode: bool,
+    frames: bool,
     shot_batch: Option<usize>,
     max_qubits: Option<usize>,
     backend: BackendRequest,
@@ -138,6 +143,7 @@ impl Default for EngineOpts {
             simd: true,
             remap: true,
             bytecode: true,
+            frames: true,
             shot_batch: None,
             max_qubits: None,
             backend: BackendRequest::Dense,
@@ -239,6 +245,7 @@ fn usage() -> String {
      --idle-noise <ch:p>     idle-qubit noise (sample)\n  \
      --measure-noise <ch:p>  pre-measurement noise (sample)\n  \
      --no-fast-path          force the per-shot engine (sample)\n  \
+     --no-frames             disable the Pauli-frame sampler (sample/compile)\n  \
      --timeout-ms <n>        wall-clock deadline; exit 7 with partial results (simulate/counts/sample)"
         .to_string()
 }
@@ -374,6 +381,10 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 flags.no_fast_path = true;
                 flags.used.push("--no-fast-path");
             }
+            "--no-frames" => {
+                flags.opts.frames = false;
+                flags.used.push("--no-frames");
+            }
             "--timeout-ms" => {
                 let v = value("millisecond count")?;
                 let ms: u64 = v.parse().map_err(|_| {
@@ -433,9 +444,16 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--idle-noise",
             "--measure-noise",
             "--no-fast-path",
+            "--no-frames",
             "--timeout-ms",
         ],
-        "compile" => &["--no-fuse", "--no-remap", "--max-qubits", "--backend"],
+        "compile" => &[
+            "--no-fuse",
+            "--no-remap",
+            "--max-qubits",
+            "--backend",
+            "--no-frames",
+        ],
         _ => &[],
     };
     if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
@@ -571,6 +589,7 @@ fn sample(
         kernel: opts.kernel(),
         limits: opts.limits(),
         fast_path,
+        frames: opts.frames,
         backend: opts.backend,
         control: opts.control(),
         ..TrajectoryConfig::default()
@@ -744,6 +763,36 @@ fn compile_report(circuit: &QCircuit, opts: &EngineOpts) -> Result<String, CliEr
             )
         } else {
             "not eligible (suffix has gates, resets or re-measured qubits)".to_string()
+        }
+    ));
+    // noisy sampling executes the unfused, unrelabeled stream (noise
+    // locations live on the source gates), so the Clifford
+    // classification and frame eligibility are taken from that plan,
+    // not from the fused schedule printed below
+    let noisy_plan = circuit.compile_with(&qclab_core::PlanOptions {
+        fuse: false,
+        remap: false,
+        ..qclab_core::PlanOptions::from(&kernel)
+    });
+    out.push_str(&format!(
+        "  clifford:     {}\n",
+        if noisy_plan.stats().is_clifford {
+            "yes (tableau-expressible)"
+        } else {
+            "no (contains non-Clifford gates)"
+        }
+    ));
+    // the frame lowering is the authoritative eligibility check: it also
+    // refuses custom measurement bases and permutation blocks
+    let frame_ready = noisy_plan.frame_program().is_some();
+    out.push_str(&format!(
+        "  noisy shots:  {}\n",
+        if !opts.frames {
+            "per-shot trajectories (--no-frames)"
+        } else if frame_ready {
+            "pauli-frame sampler"
+        } else {
+            "per-shot trajectories (program is not frame-expressible)"
         }
     ));
     out.push_str(&format!(
@@ -1153,6 +1202,100 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(e.code, EXIT_RESOURCE);
+    }
+
+    #[test]
+    fn frames_flag_routes_sampling_and_shapes_the_compile_report() {
+        // --no-frames applies to sample and compile only
+        let cmd = parse_args(&args(&["sample", "f.qasm", "10", "--no-frames"])).unwrap();
+        assert!(matches!(cmd, Command::Sample { ref opts, .. } if !opts.frames));
+        let cmd = parse_args(&args(&["compile", "--no-frames", "f.qasm"])).unwrap();
+        assert!(matches!(cmd, Command::Compile { ref opts, .. } if !opts.frames));
+        assert!(parse_args(&args(&["counts", "f.qasm", "10", "--no-frames"])).is_err());
+        assert!(parse_args(&args(&["draw", "--no-frames", "f.qasm"])).is_err());
+
+        // a noisy Clifford sample takes the frame engine; the opt-out
+        // falls back to the state-vector per-shot engine
+        let p = write_bell().to_str().unwrap().to_string();
+        let noise = NoiseSpec {
+            after_gate: Some(PauliChannel::Depolarizing(0.02)),
+            ..NoiseSpec::default()
+        };
+        let framed = run(Command::Sample {
+            path: p.clone(),
+            shots: 100,
+            seed: 3,
+            noise,
+            fast_path: true,
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        assert!(framed.contains("path: pauli-frame"), "output: {framed}");
+        let fallback = run(Command::Sample {
+            path: p.clone(),
+            shots: 100,
+            seed: 3,
+            noise,
+            fast_path: true,
+            opts: EngineOpts {
+                frames: false,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(fallback.contains("path: per-shot"), "output: {fallback}");
+
+        // the compile report states the classification and the path the
+        // noisy sampler would take, honoring the opt-out
+        let report = run(Command::Compile {
+            path: p.clone(),
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        assert!(
+            report.contains("clifford:     yes (tableau-expressible)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("noisy shots:  pauli-frame sampler"),
+            "{report}"
+        );
+        let report = run(Command::Compile {
+            path: p,
+            opts: EngineOpts {
+                frames: false,
+                ..EngineOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(
+            report.contains("noisy shots:  per-shot trajectories (--no-frames)"),
+            "{report}"
+        );
+
+        // a T gate declassifies the circuit
+        let dir = std::env::temp_dir().join("qclab_cli_test");
+        let t = dir.join("tgate.qasm");
+        std::fs::write(
+            &t,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\n\
+             h q[0];\nt q[0];\nmeasure q -> c;\n",
+        )
+        .unwrap();
+        let report = run(Command::Compile {
+            path: t.to_str().unwrap().into(),
+            opts: EngineOpts::default(),
+        })
+        .unwrap();
+        assert!(
+            report.contains("clifford:     no (contains non-Clifford gates)"),
+            "{report}"
+        );
+        assert!(
+            report
+                .contains("noisy shots:  per-shot trajectories (program is not frame-expressible)"),
+            "{report}"
+        );
     }
 
     #[test]

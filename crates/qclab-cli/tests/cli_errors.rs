@@ -361,6 +361,61 @@ fn bytecode_and_batch_flags_change_nothing_but_are_policed() {
 }
 
 #[test]
+fn frames_flag_is_policed_and_the_fallback_matches_the_distribution() {
+    let bell = bell();
+    // --no-frames belongs to sample and compile only
+    assert_fails(
+        &["counts", &bell, "10", "--no-frames"],
+        EXIT_USAGE,
+        "does not apply",
+    );
+    assert_fails(
+        &["draw", "--no-frames", &bell],
+        EXIT_USAGE,
+        "does not apply",
+    );
+    // a noisy Clifford sample reports the frame path; the opt-out
+    // reports the state-vector engine, and both runs exit cleanly
+    let framed = qclab(&[
+        "sample",
+        &bell,
+        "200",
+        "--seed",
+        "9",
+        "--noise",
+        "depolarizing:0.05",
+    ]);
+    assert_eq!(framed.status.code(), Some(0), "{}", stderr(&framed));
+    assert!(
+        stdout(&framed).contains("path: pauli-frame"),
+        "stdout: {}",
+        stdout(&framed)
+    );
+    let fallback = qclab(&[
+        "sample",
+        &bell,
+        "200",
+        "--seed",
+        "9",
+        "--noise",
+        "depolarizing:0.05",
+        "--no-frames",
+    ]);
+    assert_eq!(fallback.status.code(), Some(0), "{}", stderr(&fallback));
+    assert!(
+        stdout(&fallback).contains("path: per-shot"),
+        "stdout: {}",
+        stdout(&fallback)
+    );
+    // the compile report names the classification and the chosen path
+    let report = qclab(&["compile", &bell]);
+    assert_eq!(report.status.code(), Some(0), "{}", stderr(&report));
+    let text = stdout(&report);
+    assert!(text.contains("clifford:     yes"), "{text}");
+    assert!(text.contains("noisy shots:  pauli-frame sampler"), "{text}");
+}
+
+#[test]
 fn panics_in_dispatch_become_a_clean_sim_error() {
     // the injected panic proves the containment wrapper: a bug report
     // message on stderr and the simulation-failure exit code, no abort

@@ -271,6 +271,13 @@ pub struct PlanStats {
     /// [`crate::sim::kernel::permute_state`] instead of a full
     /// gather/scatter pass.
     pub remap_folds: usize,
+    /// `true` when every op of the compiled stream is exactly
+    /// representable on the stabilizer tableau: Clifford gates
+    /// ([`crate::sim::stabilizer::is_clifford_gate`]), Z/X/Y-basis
+    /// measurements and resets — no custom bases, no amplitude
+    /// permutations, no fused dense blocks. Such programs are eligible
+    /// for the Pauli-frame sampler ([`crate::sim::frame`]).
+    pub is_clifford: bool,
 }
 
 /// Shot-execution classification of a compiled program: the split the
@@ -381,6 +388,11 @@ pub struct CompiledProgram {
     /// same compiled instruction buffer — cache hits pay zero
     /// re-preparation.
     bytecode: std::sync::OnceLock<std::sync::Arc<crate::sim::bytecode::Bytecode>>,
+    /// Lazily-lowered Pauli-frame stream ([`crate::sim::frame`]):
+    /// per-op frame conjugations plus noise-site lists, compiled once
+    /// per plan (`None` when the stream is not Clifford). Rides the
+    /// same fingerprint-keyed cache as the bytecode.
+    frame: std::sync::OnceLock<Option<std::sync::Arc<crate::sim::frame::FrameProgram>>>,
 }
 
 impl CompiledProgram {
@@ -435,6 +447,17 @@ impl CompiledProgram {
     pub fn bytecode(&self) -> std::sync::Arc<crate::sim::bytecode::Bytecode> {
         self.bytecode
             .get_or_init(|| std::sync::Arc::new(crate::sim::bytecode::Bytecode::compile(self)))
+            .clone()
+    }
+
+    /// The program's Pauli-frame stream ([`crate::sim::frame`]), or
+    /// `None` when the op schedule is not Clifford
+    /// ([`PlanStats::is_clifford`]). Lowered on first use and cached on
+    /// the plan, so every frame-sampled ensemble over a cached plan
+    /// reuses one stream.
+    pub fn frame_program(&self) -> Option<std::sync::Arc<crate::sim::frame::FrameProgram>> {
+        self.frame
+            .get_or_init(|| crate::sim::frame::FrameProgram::compile(self).map(std::sync::Arc::new))
             .clone()
     }
 
@@ -1058,6 +1081,17 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
     stats.shot_suffix_ops = shot_plan.suffix_ops;
     stats.terminal_sampling = shot_plan.terminal_measurements;
 
+    // Clifford classification on the final stream: fused `Custom`
+    // blocks and permutes disqualify a plan even when the source gates
+    // were all Clifford — the noisy trajectory entry points lower
+    // unfused/unremapped, so their plans classify on the raw gates
+    stats.is_clifford = ops.iter().all(|op| match op {
+        ProgramOp::Gate(g) => crate::sim::stabilizer::is_clifford_gate(g),
+        ProgramOp::Measure(m) => !matches!(m.basis(), crate::measurement::Basis::Custom { .. }),
+        ProgramOp::Reset(_) | ProgramOp::Fence(_) => true,
+        ProgramOp::Permute { .. } => false,
+    });
+
     // the layout the prefix ends in (forked suffixes resume under it)
     let mut prefix_map: Option<Vec<usize>> = None;
     for op in &ops[..shot_plan.prefix_ops] {
@@ -1076,6 +1110,7 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
         shot_plan,
         prefix_map,
         bytecode: std::sync::OnceLock::new(),
+        frame: std::sync::OnceLock::new(),
     }
 }
 

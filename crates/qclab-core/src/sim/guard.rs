@@ -29,6 +29,10 @@ pub const SPARSE_ENTRY_BYTES: u128 = 48;
 /// register).
 pub const DEFAULT_MAX_STATE_BYTES: u128 = 4 << 30;
 
+/// Bytes one packed `u64` word-pair costs in the stabilizer tableau and
+/// the Pauli-frame planes: an `x` word plus a `z` word, 8 B each.
+pub const TABLEAU_WORD_BYTES: u128 = 16;
+
 /// Memory/size limits checked before dense state allocations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ResourceLimits {
@@ -142,6 +146,64 @@ impl ResourceLimits {
     /// on the lowering-time support bound.
     pub fn check_sparse_entries(&self, nb_qubits: usize, entries: u128) -> Result<(), QclabError> {
         let bytes = entries.saturating_mul(SPARSE_ENTRY_BYTES);
+        if bytes > self.max_state_bytes {
+            return Err(QclabError::ResourceExhausted {
+                qubits: nb_qubits,
+                bytes_needed: Some(bytes),
+                limit_bytes: self.max_state_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes an `nb_qubits`-qubit stabilizer tableau occupies: `2n`
+    /// Pauli rows (destabilizers + stabilizers) of `⌈n/64⌉` packed
+    /// word-pairs each. Polynomial in `n`, so the same byte cap that
+    /// stops a 29-qubit state vector admits tableaux of thousands of
+    /// qubits — but an absurd register still refuses instead of
+    /// aborting in the allocator.
+    pub fn tableau_bytes(nb_qubits: usize) -> u128 {
+        (2 * nb_qubits as u128)
+            .saturating_mul(nb_qubits.div_ceil(64) as u128)
+            .saturating_mul(TABLEAU_WORD_BYTES)
+    }
+
+    /// Bytes one Pauli-frame batch of `lanes` shots occupies: per qubit,
+    /// an `x` and a `z` bit-plane of `⌈lanes/64⌉` words each (64 frames
+    /// per word, struct-of-arrays over shots).
+    pub fn frame_batch_bytes(nb_qubits: usize, lanes: usize) -> u128 {
+        (nb_qubits as u128)
+            .saturating_mul(lanes.div_ceil(64) as u128)
+            .saturating_mul(TABLEAU_WORD_BYTES)
+    }
+
+    /// Admission check for the stabilizer tableau backend: the explicit
+    /// qubit cap applies, and the tableau estimate
+    /// ([`tableau_bytes`](Self::tableau_bytes)) is charged against the
+    /// byte cap — the tableau backends answer to the same
+    /// [`ResourceLimits`] as every dense path instead of bypassing the
+    /// guard.
+    pub fn check_tableau(&self, nb_qubits: usize) -> Result<(), QclabError> {
+        self.check_frames(nb_qubits, 0)
+    }
+
+    /// Admission check for a Pauli-frame sampling run: tableau bytes
+    /// (the reference run) plus one frame batch of `lanes` shots
+    /// ([`frame_batch_bytes`](Self::frame_batch_bytes)) must fit the
+    /// byte cap, and the explicit qubit cap applies. The caps are
+    /// inclusive, matching [`check_register`](Self::check_register).
+    pub fn check_frames(&self, nb_qubits: usize, lanes: usize) -> Result<(), QclabError> {
+        let bytes = Self::tableau_bytes(nb_qubits)
+            .saturating_add(Self::frame_batch_bytes(nb_qubits, lanes));
+        if let Some(max_q) = self.max_qubits {
+            if nb_qubits > max_q {
+                return Err(QclabError::ResourceExhausted {
+                    qubits: nb_qubits,
+                    bytes_needed: Some(bytes),
+                    limit_bytes: self.max_state_bytes,
+                });
+            }
+        }
         if bytes > self.max_state_bytes {
             return Err(QclabError::ResourceExhausted {
                 qubits: nb_qubits,
@@ -276,6 +338,72 @@ mod tests {
         assert!(tight.check_sparse_entries(30, entries - 1).is_ok());
         // saturating byte math keeps absurd entry counts an error
         assert!(lim.check_sparse_entries(30, u128::MAX).is_err());
+    }
+
+    #[test]
+    fn tableau_cap_boundary_is_exact() {
+        // sizes straddling the 64-qubit word boundary: ⌈n/64⌉ jumps
+        for n in [4usize, 64, 100, 129] {
+            let bytes = ResourceLimits::tableau_bytes(n);
+            assert_eq!(
+                bytes,
+                2 * n as u128 * n.div_ceil(64) as u128 * TABLEAU_WORD_BYTES
+            );
+            let lim = ResourceLimits {
+                max_qubits: None,
+                max_state_bytes: bytes,
+            };
+            assert!(lim.check_tableau(n).is_ok(), "at-cap n={n}");
+            let tight = ResourceLimits {
+                max_state_bytes: bytes - 1,
+                ..lim
+            };
+            assert!(tight.check_tableau(n).is_err(), "cap-minus-one n={n}");
+            // the qubit cap binds independently of the byte estimate
+            let capped = ResourceLimits {
+                max_qubits: Some(n - 1),
+                ..lim
+            };
+            assert!(capped.check_tableau(n).is_err(), "qubit-capped n={n}");
+        }
+    }
+
+    #[test]
+    fn frame_cap_boundary_is_exact() {
+        // a frame run charges tableau + one bit-sliced batch; the batch
+        // estimate moves in whole 64-lane words
+        let n = 25usize;
+        for lanes in [1usize, 64, 1000] {
+            let bytes =
+                ResourceLimits::tableau_bytes(n) + ResourceLimits::frame_batch_bytes(n, lanes);
+            let lim = ResourceLimits {
+                max_qubits: None,
+                max_state_bytes: bytes,
+            };
+            assert!(lim.check_frames(n, lanes).is_ok(), "at-cap lanes={lanes}");
+            let tight = ResourceLimits {
+                max_state_bytes: bytes - 1,
+                ..lim
+            };
+            assert!(
+                tight.check_frames(n, lanes).is_err(),
+                "cap-minus-one lanes={lanes}"
+            );
+            // one more shot word is one unit above the cap
+            assert!(
+                lim.check_frames(n, lanes.div_ceil(64) * 64 + 1).is_err(),
+                "next-word lanes={lanes}"
+            );
+        }
+        // lanes within the same word cost the same
+        assert_eq!(
+            ResourceLimits::frame_batch_bytes(n, 1),
+            ResourceLimits::frame_batch_bytes(n, 64)
+        );
+        // absurd inputs saturate into a refusal, never overflow
+        assert!(ResourceLimits::default()
+            .check_frames(usize::MAX, usize::MAX)
+            .is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod bytecode;
 pub mod collapse;
 pub mod control;
 pub mod density;
+pub mod frame;
 pub mod fusion;
 pub mod guard;
 pub mod kernel;

@@ -16,7 +16,7 @@
 //! ```
 //! use qclab_core::StabilizerState;
 //!
-//! let mut s = StabilizerState::new(2);
+//! let mut s = StabilizerState::new(2).unwrap();
 //! s.h(0);
 //! s.cnot(0, 1);
 //! assert_eq!(s.stabilizer_strings(), vec!["+XX", "+ZZ"]);
@@ -100,6 +100,11 @@ pub struct StabilizerState {
     rows: Vec<Row>,
 }
 
+/// A stabilizer row's qubit-packed `x`/`z` bit-planes, as captured by
+/// [`StabilizerState::measure_witness`] before a random-outcome
+/// collapse.
+pub type Witness = (Vec<u64>, Vec<u64>);
+
 /// The outcome of a stabilizer measurement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MeasureOutcome {
@@ -111,16 +116,22 @@ pub struct MeasureOutcome {
 }
 
 impl StabilizerState {
-    /// Creates the all-zeros stabilizer state on `n` qubits.
-    pub fn new(n: usize) -> Self {
-        assert!(n > 0);
+    /// Creates the all-zeros stabilizer state on `n` qubits. A
+    /// zero-qubit tableau has no rows to hold and is refused as an
+    /// error value, like every other backend entry point.
+    pub fn new(n: usize) -> Result<Self, QclabError> {
+        if n == 0 {
+            return Err(QclabError::Unavailable(
+                "stabilizer tableau requires at least one qubit".into(),
+            ));
+        }
         let words = n.div_ceil(64);
         let mut rows = vec![Row::zero(words); 2 * n];
         for q in 0..n {
             rows[q].set_x(q, true); // destabilizer X_q
             rows[n + q].set_z(q, true); // stabilizer Z_q
         }
-        StabilizerState { n, words, rows }
+        Ok(StabilizerState { n, words, rows })
     }
 
     /// Number of qubits.
@@ -227,6 +238,37 @@ impl StabilizerState {
                 bit: self.deterministic_outcome(q),
                 random: false,
             },
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis like
+    /// [`measure`](Self::measure), additionally returning the *witness*
+    /// of a random outcome: the anticommuting stabilizer row's `x`/`z`
+    /// bit-planes (qubit-packed), captured before the collapse. The
+    /// witness maps one measurement branch onto the other — the
+    /// Pauli-frame sampler records it during its reference run, and
+    /// multiplying a shot's frame by the witness moves that shot onto
+    /// the opposite branch consistently (its sign is irrelevant: `±P`
+    /// act identically on a frame).
+    pub fn measure_witness(
+        &mut self,
+        q: usize,
+        rng: &mut impl Rng,
+    ) -> (MeasureOutcome, Option<Witness>) {
+        match self.find_random_stabilizer(q) {
+            Some(p) => {
+                let witness = (self.rows[p].x.clone(), self.rows[p].z.clone());
+                let bit = rng.gen::<bool>();
+                self.collapse(q, p, bit);
+                (MeasureOutcome { bit, random: true }, Some(witness))
+            }
+            None => (
+                MeasureOutcome {
+                    bit: self.deterministic_outcome(q),
+                    random: false,
+                },
+                None,
+            ),
         }
     }
 
@@ -402,6 +444,36 @@ impl StabilizerState {
     }
 }
 
+/// Whether the tableau — and the Pauli-frame sampler built on top of
+/// it — can execute `gate` exactly: the Clifford generators
+/// H/S/S†/Paulis/Swap plus singly-controlled Paulis (CX/CY/CZ).
+/// Mirrors the accepting arms of [`StabilizerState::apply_gate`].
+pub fn is_clifford_gate(gate: &Gate) -> bool {
+    match gate {
+        Gate::Identity(_)
+        | Gate::Hadamard(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::PauliX(_)
+        | Gate::PauliY(_)
+        | Gate::PauliZ(_)
+        | Gate::Swap(_, _) => true,
+        Gate::Controlled {
+            controls,
+            control_states,
+            target,
+        } => {
+            controls.len() == 1
+                && control_states[0] == 1
+                && matches!(
+                    &**target,
+                    Gate::PauliX(_) | Gate::PauliY(_) | Gate::PauliZ(_)
+                )
+        }
+        _ => false,
+    }
+}
+
 /// The outcome of running a circuit on the stabilizer backend.
 #[derive(Clone, Debug)]
 pub struct StabilizerRun {
@@ -433,7 +505,7 @@ pub fn run_program_controlled(
     rng: &mut impl Rng,
     control: &ExecutionControl,
 ) -> Result<StabilizerRun, QclabError> {
-    let mut state = StabilizerState::new(program.nb_qubits());
+    let mut state = StabilizerState::new(program.nb_qubits())?;
     let mut record = String::new();
     let mut ticker = control.ticker();
     for op in program.ops() {
@@ -485,13 +557,23 @@ mod tests {
 
     #[test]
     fn initial_state_stabilized_by_z() {
-        let s = StabilizerState::new(3);
+        let s = StabilizerState::new(3).unwrap();
         assert_eq!(s.stabilizer_strings(), vec!["+ZII", "+IZI", "+IIZ"]);
     }
 
     #[test]
+    fn zero_qubit_tableau_is_refused_not_a_panic() {
+        // every backend entry point reports an empty register as a
+        // proper error; the tableau is no exception
+        match StabilizerState::new(0) {
+            Err(QclabError::Unavailable(msg)) => assert!(msg.contains("at least one qubit")),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn hadamard_turns_z_into_x() {
-        let mut s = StabilizerState::new(2);
+        let mut s = StabilizerState::new(2).unwrap();
         s.h(0);
         assert_eq!(
             s.stabilizer_strings(),
@@ -501,7 +583,7 @@ mod tests {
 
     #[test]
     fn bell_state_stabilizers() {
-        let mut s = StabilizerState::new(2);
+        let mut s = StabilizerState::new(2).unwrap();
         s.h(0);
         s.cnot(0, 1);
         let stabs = s.stabilizer_strings();
@@ -510,7 +592,7 @@ mod tests {
 
     #[test]
     fn pauli_gates_flip_signs() {
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         s.x(0);
         assert_eq!(s.stabilizer_strings(), vec!["-Z"]);
         s.x(0);
@@ -519,11 +601,11 @@ mod tests {
 
     #[test]
     fn s_gate_squares_to_z() {
-        let mut a = StabilizerState::new(1);
+        let mut a = StabilizerState::new(1).unwrap();
         a.h(0); // stabilizer +X
         a.s(0);
         a.s(0);
-        let mut b = StabilizerState::new(1);
+        let mut b = StabilizerState::new(1).unwrap();
         b.h(0);
         b.z(0);
         assert_eq!(a.stabilizer_strings(), b.stabilizer_strings());
@@ -531,7 +613,7 @@ mod tests {
 
     #[test]
     fn deterministic_measurement_of_basis_state() {
-        let mut s = StabilizerState::new(2);
+        let mut s = StabilizerState::new(2).unwrap();
         s.x(0);
         let mut rng = StdRng::seed_from_u64(1);
         let m0 = s.measure(0, &mut rng);
@@ -544,7 +626,7 @@ mod tests {
 
     #[test]
     fn plus_state_measurement_is_random_then_fixed() {
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         s.h(0);
         let mut rng = StdRng::seed_from_u64(7);
         let first = s.measure(0, &mut rng);
@@ -559,7 +641,7 @@ mod tests {
     fn ghz_measurements_are_perfectly_correlated() {
         for seed in 0..20u64 {
             let n = 8;
-            let mut s = StabilizerState::new(n);
+            let mut s = StabilizerState::new(n).unwrap();
             s.h(0);
             for q in 1..n {
                 s.cnot(q - 1, q);
@@ -577,7 +659,7 @@ mod tests {
 
     #[test]
     fn forced_measurement_rejects_impossible_outcomes() {
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         s.x(0); // |1>
         assert!(s.measure_forced(0, false).is_err());
         assert!(s.measure_forced(0, true).is_ok());
@@ -585,7 +667,7 @@ mod tests {
 
     #[test]
     fn apply_gate_accepts_cliffords_and_rejects_t() {
-        let mut s = StabilizerState::new(3);
+        let mut s = StabilizerState::new(3).unwrap();
         use crate::gates::factories::*;
         for g in [
             Hadamard::new(0),
@@ -608,7 +690,7 @@ mod tests {
 
     #[test]
     fn swap_moves_excitation() {
-        let mut s = StabilizerState::new(2);
+        let mut s = StabilizerState::new(2).unwrap();
         s.x(0);
         use crate::gates::factories::SwapGate;
         s.apply_gate(&SwapGate::new(0, 1)).unwrap();
@@ -621,7 +703,7 @@ mod tests {
     fn large_register_is_cheap() {
         // 2048 qubits: far beyond any state vector; must stay fast
         let n = 2048;
-        let mut s = StabilizerState::new(n);
+        let mut s = StabilizerState::new(n).unwrap();
         s.h(0);
         for q in 1..n {
             s.cnot(q - 1, q);
@@ -638,7 +720,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
 
         // H|0> = |+>: X-basis measurement reads 0 deterministically
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         s.h(0);
         let out = s.measure_in_basis(&Measurement::x(0), &mut rng).unwrap();
         assert!(!out.bit);
@@ -647,7 +729,7 @@ mod tests {
         assert_eq!(s.stabilizer_strings(), vec!["+X"]);
 
         // S·H|0> = |+i>: Y-basis measurement reads 0 deterministically
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         s.apply_gate(&Hadamard::new(0)).unwrap();
         s.apply_gate(&SGate::new(0)).unwrap();
         let out = s.measure_in_basis(&Measurement::y(0), &mut rng).unwrap();
@@ -656,12 +738,12 @@ mod tests {
         assert_eq!(s.stabilizer_strings(), vec!["+Y"]);
 
         // |0> in the Y basis is uniformly random
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         let out = s.measure_in_basis(&Measurement::y(0), &mut rng).unwrap();
         assert!(out.random);
 
         // custom bases are rejected, not silently mis-measured
-        let mut s = StabilizerState::new(1);
+        let mut s = StabilizerState::new(1).unwrap();
         let custom = Measurement::in_basis(0, "w", Basis::X.change_matrix()).unwrap();
         assert!(matches!(
             s.measure_in_basis(&custom, &mut rng),

@@ -61,6 +61,7 @@ use crate::program::{
 };
 use crate::sim::bytecode;
 use crate::sim::control::{ControlTicker, ExecutionControl, StopCause, StopLatch};
+use crate::sim::frame;
 use crate::sim::guard::ResourceLimits;
 use crate::sim::kernel::KernelConfig;
 use crate::sim::sampler::DiscreteSampler;
@@ -124,7 +125,9 @@ impl PauliChannel {
     }
 
     /// Draws the Pauli to inject at one location (`None` = no error).
-    fn sample(&self, rng: &mut StdRng) -> Option<Pauli> {
+    /// Shared with the frame engine so both draw identical per-site
+    /// distributions from identical streams.
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> Option<Pauli> {
         let r: f64 = rng.gen();
         match *self {
             PauliChannel::BitFlip(p) => (r < p).then_some(Pauli::X),
@@ -277,6 +280,17 @@ pub struct TrajectoryConfig {
     /// bit-identical to the same shots of an uncontrolled run. The
     /// default ([`ExecutionControl::none`]) is a no-op.
     pub control: ExecutionControl,
+    /// Route eligible noisy sampling runs through the Pauli-frame
+    /// engine ([`crate::sim::frame`]): Clifford gates + Pauli noise +
+    /// Z/X/Y-basis measurements/resets, no observables, default/auto
+    /// backend. The engine runs the reference circuit once on the
+    /// stabilizer tableau and propagates only per-shot error frames,
+    /// bit-sliced 64 shots per word — `O(poly n)` per shot where the
+    /// state-vector engine pays `O(2^n)`. Statistically equivalent (the
+    /// sampled distribution is identical), not bit-identical: frame
+    /// shots draw far fewer RNG values than state-vector shots. Disable
+    /// (`--no-frames`) to force the state-vector trajectory engine.
+    pub frames: bool,
     /// Number of shot states driven through the bytecode per batch on
     /// the per-shot/forked paths: each instruction is applied across
     /// all lanes of a batch before advancing, amortizing dispatch and
@@ -305,6 +319,7 @@ impl Default for TrajectoryConfig {
             fast_path: true,
             backend: BackendRequest::Dense,
             control: ExecutionControl::none(),
+            frames: true,
             shot_batch: DEFAULT_SHOT_BATCH,
         }
     }
@@ -355,6 +370,11 @@ pub enum ShotPath {
         /// Ops evolved once (sparsely) before sampling.
         prefix_ops: usize,
     },
+    /// Clifford + Pauli-noise run: the reference circuit was evolved
+    /// once on the stabilizer tableau and every shot propagated only
+    /// its Pauli error frame, bit-sliced 64 shots per word
+    /// ([`crate::sim::frame`]).
+    PauliFrame,
 }
 
 impl fmt::Display for ShotPath {
@@ -370,6 +390,7 @@ impl fmt::Display for ShotPath {
             ShotPath::SparseSampled { prefix_ops } => {
                 write!(f, "sparse-sampled (prefix {prefix_ops} ops)")
             }
+            ShotPath::PauliFrame => write!(f, "pauli-frame"),
         }
     }
 }
@@ -520,7 +541,7 @@ fn plan_options(config: &TrajectoryConfig) -> PlanOptions {
 /// Derives the per-shot RNG: a SplitMix64-style avalanche of the
 /// `(seed, shot)` pair, so consecutive shots get uncorrelated streams and
 /// results are independent of execution order.
-fn shot_rng(seed: u64, shot: u64) -> StdRng {
+pub(crate) fn shot_rng(seed: u64, shot: u64) -> StdRng {
     let mut z = seed ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -1224,7 +1245,7 @@ fn partial_empty(
 
 /// Splits a control stop (cancel/deadline — the partial-result cases)
 /// from a genuine execution error, which propagates.
-fn stop_or_err(err: QclabError) -> Result<StopCause, QclabError> {
+pub(crate) fn stop_or_err(err: QclabError) -> Result<StopCause, QclabError> {
     StopCause::from_error(&err).ok_or(err)
 }
 
@@ -1503,6 +1524,30 @@ pub fn run_trajectories(
             // Auto preferred sparse but the program shape is not
             // prefix-sampleable: fall through to the dense engine,
             // whose own guard decides admission.
+        }
+    }
+    // Pauli-frame routing: a noisy Clifford+Pauli sampling run (no
+    // observables) propagates only per-shot error frames over one
+    // reference tableau run — O(poly n) per shot, admitted by the
+    // frame guard instead of the dense 2^n estimate, so 100+ qubit
+    // Clifford workloads run where every state-vector backend refuses.
+    // Noiseless runs keep the exact alias/fork/sparse paths above.
+    if config.frames && !config.noise.is_noiseless() && config.observables.is_empty() {
+        let program = circuit.compile_with(&plan_options(config));
+        if let Some(fp) = program.frame_program() {
+            let run = frame::run_frames(&program, &fp, config)?;
+            return Ok(TrajectoryResult {
+                nb_qubits: n,
+                shots: run.shots,
+                requested_shots: config.shots,
+                counts: run.counts,
+                injected_errors: run.injected,
+                expectations: Vec::new(),
+                norm: NormStats::default(),
+                path: ShotPath::PauliFrame,
+                stopped: run.stopped,
+                batch: run.batch,
+            });
         }
     }
     let dim = config.limits.check_register(n)?;
@@ -2009,7 +2054,41 @@ mod tests {
         };
         let r = run_trajectories(&bell_measured(), &cfg).unwrap();
         assert_eq!(r.path(), ShotPath::Forked { prefix_ops: 1 });
-        // gate noise makes every gate a noise site → no deterministic prefix
+        // noisy Clifford circuit → the Pauli-frame sampler takes it
+        let noisy = |frames| TrajectoryConfig {
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::BitFlip(0.1)),
+                ..NoiseSpec::default()
+            },
+            frames,
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &noisy(true)).unwrap();
+        assert_eq!(r.path(), ShotPath::PauliFrame);
+        assert_eq!(r.total_counts(), 32);
+        // frame opt-out + gate noise → every gate is a noise site, so
+        // no deterministic prefix remains
+        let r = run_trajectories(&bell_measured(), &noisy(false)).unwrap();
+        assert_eq!(r.path(), ShotPath::PerShot);
+        // readout noise strikes only in the suffix → with frames off,
+        // the fork path stays on
+        let cfg = TrajectoryConfig {
+            noise: NoiseSpec {
+                before_measure: Some(PauliChannel::BitFlip(0.1)),
+                ..NoiseSpec::default()
+            },
+            frames: false,
+            ..base()
+        };
+        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        assert_eq!(r.path(), ShotPath::Forked { prefix_ops: 2 });
+        // a non-Clifford gate keeps a noisy run off the frame path even
+        // with frames enabled
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(RotationY::new(1, 0.3));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
         let cfg = TrajectoryConfig {
             noise: NoiseSpec {
                 after_gate: Some(PauliChannel::BitFlip(0.1)),
@@ -2017,18 +2096,8 @@ mod tests {
             },
             ..base()
         };
-        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
+        let r = run_trajectories(&c, &cfg).unwrap();
         assert_eq!(r.path(), ShotPath::PerShot);
-        // readout noise strikes only in the suffix → fork stays on
-        let cfg = TrajectoryConfig {
-            noise: NoiseSpec {
-                before_measure: Some(PauliChannel::BitFlip(0.1)),
-                ..NoiseSpec::default()
-            },
-            ..base()
-        };
-        let r = run_trajectories(&bell_measured(), &cfg).unwrap();
-        assert_eq!(r.path(), ShotPath::Forked { prefix_ops: 2 });
     }
 
     #[test]

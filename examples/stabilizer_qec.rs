@@ -15,7 +15,7 @@ fn main() {
     let logical = 50usize;
     let per_block = 5usize;
     let n = logical * per_block;
-    let mut s = StabilizerState::new(n);
+    let mut s = StabilizerState::new(n).expect("non-empty register");
     let mut rng = StdRng::seed_from_u64(42);
 
     println!("{logical} logical qubits = {n} physical qubits in one tableau\n");

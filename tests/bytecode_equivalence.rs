@@ -123,6 +123,10 @@ fn shot_config(seed: u64, shots: u64, batch: usize) -> TrajectoryConfig {
             before_measure: Some(PauliChannel::BitFlip(0.02)),
         },
         fast_path: false,
+        // this suite pins the state-vector shot engines (serial vs
+        // batched); all-Clifford draws would otherwise route to the
+        // frame sampler
+        frames: false,
         shot_batch: batch,
         ..TrajectoryConfig::default()
     }

@@ -186,6 +186,10 @@ fn trajectory_ensemble_unwinds_cleanly_under_every_fault() {
             ..NoiseSpec::default()
         },
         parallel: false,
+        // pin the state-vector per-shot path: the fault tick counts
+        // below are calibrated to its op cadence (the frame sampler
+        // has its own leg below)
+        frames: false,
         ..TrajectoryConfig::default()
     };
     let run = || run_trajectories(&c, &config);
@@ -216,6 +220,57 @@ fn trajectory_ensemble_unwinds_cleanly_under_every_fault() {
     let again = run().unwrap();
     assert_eq!(again.counts(), baseline.counts(), "recovery after Panic");
     assert_eq!(again.injected_errors(), baseline.injected_errors());
+}
+
+#[test]
+fn frame_sampler_unwinds_cleanly_under_every_fault() {
+    let _g = lock();
+    let c = workload();
+    // all-Clifford + Pauli noise: the default config routes this
+    // through the Pauli-frame sampler; serial so the fault lands at a
+    // deterministic tick
+    let config = TrajectoryConfig {
+        shots: 30,
+        seed: 13,
+        noise: NoiseSpec {
+            after_gate: Some(PauliChannel::Depolarizing(0.05)),
+            ..NoiseSpec::default()
+        },
+        parallel: false,
+        ..TrajectoryConfig::default()
+    };
+    let run = || run_trajectories(&c, &config);
+    let baseline = run().unwrap();
+    assert_eq!(
+        baseline.path(),
+        qclab_core::sim::trajectory::ShotPath::PauliFrame
+    );
+    assert!(!baseline.is_partial());
+
+    // tick 5 lands inside the one-time reference run, tick 25 inside
+    // the frame batch (the 18-op workload ticks 18 times per phase) —
+    // both must surface as a clean partial result, then fully recover
+    for at in [5, 25] {
+        chaos::arm(Fault::Cancel, at);
+        let partial = run().unwrap();
+        assert_eq!(partial.stop_cause(), Some(StopCause::Cancelled));
+        assert!(partial.shots() < 30);
+        let tallied: u64 = partial.counts().values().sum();
+        assert_eq!(tallied, partial.shots());
+        let again = run().unwrap();
+        assert_eq!(again.counts(), baseline.counts(), "recovery after Cancel");
+
+        chaos::arm(Fault::Refuse, at);
+        assert!(matches!(run(), Err(QclabError::ResourceExhausted { .. })));
+        let again = run().unwrap();
+        assert_eq!(again.counts(), baseline.counts(), "recovery after Refuse");
+
+        chaos::arm(Fault::Panic, at);
+        assert!(catch_unwind(AssertUnwindSafe(&run)).is_err());
+        let again = run().unwrap();
+        assert_eq!(again.counts(), baseline.counts(), "recovery after Panic");
+        assert_eq!(again.injected_errors(), baseline.injected_errors());
+    }
 }
 
 #[test]

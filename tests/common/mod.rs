@@ -108,6 +108,58 @@ pub fn measured_circuit(n: usize, max_items: usize) -> impl Strategy<Value = QCi
     })
 }
 
+/// Strategy over a random Clifford gate on a register of `n` qubits
+/// (n >= 2): the exact family the stabilizer tableau — and the
+/// Pauli-frame sampler built on it — executes.
+pub fn clifford_gate(n: usize) -> impl Strategy<Value = Gate> {
+    assert!(n >= 2, "clifford gate strategy needs at least 2 qubits");
+    let q = 0..n;
+    let qq = (0..n, 0..n - 1).prop_map(move |(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (a, b)
+    });
+    prop_oneof![
+        q.clone().prop_map(Hadamard::new),
+        q.clone().prop_map(PauliX::new),
+        q.clone().prop_map(PauliY::new),
+        q.clone().prop_map(PauliZ::new),
+        q.clone().prop_map(SGate::new),
+        q.clone().prop_map(SdgGate::new),
+        qq.clone().prop_map(|(a, b)| SwapGate::new(a, b)),
+        qq.clone().prop_map(|(a, b)| CNOT::new(a, b)),
+        qq.clone().prop_map(|(a, b)| CY::new(a, b)),
+        qq.prop_map(|(a, b)| CZ::new(a, b)),
+    ]
+}
+
+/// Strategy over a circuit of up to `max_items` items mixing Clifford
+/// gates with barriers, mid-circuit measurements (all three bases) and
+/// resets — the full vocabulary the Pauli-frame sampler must agree on.
+pub fn clifford_measured_circuit(n: usize, max_items: usize) -> impl Strategy<Value = QCircuit> {
+    let item = prop_oneof![
+        clifford_gate(n).prop_map(CircuitItem::Gate),
+        clifford_gate(n).prop_map(CircuitItem::Gate),
+        clifford_gate(n).prop_map(CircuitItem::Gate),
+        clifford_gate(n).prop_map(CircuitItem::Gate),
+        (0..n).prop_map(|q| CircuitItem::Barrier(vec![q])),
+        (0..n, 0u8..3).prop_map(|(q, b)| {
+            CircuitItem::Measurement(match b {
+                0 => Measurement::z(q),
+                1 => Measurement::x(q),
+                _ => Measurement::y(q),
+            })
+        }),
+        (0..n).prop_map(CircuitItem::Reset),
+    ];
+    prop::collection::vec(item, 1..=max_items).prop_map(move |items| {
+        let mut c = QCircuit::new(n);
+        for it in items {
+            c.push_back(it);
+        }
+        c
+    })
+}
+
 /// Strategy over a normalized state vector on `n` qubits.
 pub fn state(n: usize) -> impl Strategy<Value = CVec> {
     let dim = 1usize << n;

@@ -190,6 +190,10 @@ fn timed_out_trajectory_ensemble_keeps_completed_shots() {
             ..NoiseSpec::default()
         },
         control: ExecutionControl::with_timeout(Duration::from_millis(20)),
+        // pin the heavy state-vector per-shot engine this test's
+        // timing model is built on (the Clifford workload would
+        // otherwise route to the frame sampler and finish instantly)
+        frames: false,
         ..TrajectoryConfig::default()
     };
     let result = run_trajectories(&c, &config).unwrap();
@@ -286,6 +290,9 @@ fn mid_run_cancellation_from_another_thread_stops_the_ensemble() {
             ..NoiseSpec::default()
         },
         control: ExecutionControl::with_cancel_token(Arc::clone(&token)),
+        // pin the state-vector engine: 100k shots must still be
+        // running when the controller thread cancels at 30 ms
+        frames: false,
         ..TrajectoryConfig::default()
     };
     let canceller = {

@@ -194,6 +194,10 @@ proptest! {
                 before_measure: Some(PauliChannel::BitFlip(0.1)),
                 ..NoiseSpec::default()
             },
+            // this test pins the fork-vs-per-shot engines; an
+            // all-Clifford draw would otherwise route to the frame
+            // sampler
+            frames: false,
             ..TrajectoryConfig::default()
         };
         let fast = run_trajectories(&c, &mk(true)).unwrap();

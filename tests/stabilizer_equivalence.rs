@@ -50,7 +50,7 @@ proptest! {
         ops in prop::collection::vec(clifford_op(4), 1..40),
     ) {
         let n = 4;
-        let mut tableau = StabilizerState::new(n);
+        let mut tableau = StabilizerState::new(n).unwrap();
         let mut psi = CVec::basis_state(1 << n, 0);
 
         for op in &ops {
@@ -108,7 +108,7 @@ proptest! {
 fn repetition_code_runs_on_the_tableau() {
     // the paper's QEC circuit is pure Clifford: run it on the stabilizer
     // backend, forcing the known syndrome
-    let mut s = StabilizerState::new(5);
+    let mut s = StabilizerState::new(5).unwrap();
     // encode |0>_L (stabilizer sim starts from |0...0>)
     s.apply_gate(&CNOT::new(0, 1)).unwrap();
     s.apply_gate(&CNOT::new(0, 2)).unwrap();
@@ -136,7 +136,7 @@ fn five_hundred_qubit_cluster_state() {
     // far beyond state-vector reach: build a 1D cluster state and check
     // the measurement correlation structure survives
     let n = 500;
-    let mut s = StabilizerState::new(n);
+    let mut s = StabilizerState::new(n).unwrap();
     for q in 0..n {
         s.apply_gate(&Hadamard::new(q)).unwrap();
     }
