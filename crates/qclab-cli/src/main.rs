@@ -62,6 +62,8 @@
 //! Mirrors the workflow of the paper: construct (or import) a circuit,
 //! inspect it, simulate it, and sample repeated experiments.
 
+mod serve;
+
 use qclab_core::program::BackendRequest;
 use qclab_core::sim::control::ExecutionControl;
 use qclab_core::sim::guard::{ResourceLimits, SPARSE_ENTRY_BYTES};
@@ -224,6 +226,9 @@ enum Command {
     Stats {
         path: String,
     },
+    Serve {
+        opts: serve::ServeOpts,
+    },
 }
 
 fn usage() -> String {
@@ -231,7 +236,8 @@ fn usage() -> String {
      qclab simulate [flags] <file.qasm> [initial-bitstring]\n  \
      qclab counts   [flags] <file.qasm> <shots>\n  \
      qclab sample   [flags] <file.qasm> <shots>\n  \
-     qclab compile  [flags] <file.qasm>\n  qclab stats    <file.qasm>\n\
+     qclab compile  [flags] <file.qasm>\n  qclab stats    <file.qasm>\n  \
+     qclab serve    [flags]\n\
      flags:\n  --no-fuse               disable gate fusion\n  \
      --no-simd               force scalar kernels\n  \
      --no-remap              disable the qubit-locality pass\n  \
@@ -246,7 +252,15 @@ fn usage() -> String {
      --measure-noise <ch:p>  pre-measurement noise (sample)\n  \
      --no-fast-path          force the per-shot engine (sample)\n  \
      --no-frames             disable the Pauli-frame sampler (sample/compile)\n  \
-     --timeout-ms <n>        wall-clock deadline; exit 7 with partial results (simulate/counts/sample)"
+     --timeout-ms <n>        wall-clock deadline; exit 7 with partial results (simulate/counts/sample)\n\
+     serve flags (jobs are newline-delimited JSON on stdin or the socket):\n  \
+     --workers <n>           worker threads (default: CPU count, capped at 16)\n  \
+     --queue-depth <n>       max queued jobs; overflow is rejected (default 1024)\n  \
+     --window-ms <n>         batching window for same-circuit coalescing (default 1)\n  \
+     --max-batch <n>         max jobs coalesced into one run (default 64)\n  \
+     --no-coalesce           run every job alone (plan-cache dedup still applies)\n  \
+     --global-mem-mib <n>    admission budget for concurrent state memory (default 8192)\n  \
+     --socket <path>         serve a Unix socket instead of stdin"
         .to_string()
 }
 
@@ -291,9 +305,21 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         .first()
         .ok_or_else(|| usage_err("missing command"))?
         .clone();
+    // serve owns scheduler-level flags the other commands must not see;
+    // peel them off first and run the common parser on the remainder
+    let mut serve_opts = None;
+    let tail: Vec<String>;
+    let scan: &[String] = if cmd == "serve" {
+        let (so, remaining) = serve::parse_serve_flags(&args[1..])?;
+        serve_opts = Some(so);
+        tail = remaining;
+        &tail
+    } else {
+        &args[1..]
+    };
     let mut flags = Flags::default();
     let mut rest: Vec<String> = Vec::new();
-    let mut it = args[1..].iter();
+    let mut it = scan.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| -> Result<String, CliError> {
             it.next()
@@ -454,10 +480,31 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--backend",
             "--no-frames",
         ],
+        "serve" => &[
+            "--no-fuse",
+            "--no-simd",
+            "--no-remap",
+            "--no-bytecode",
+            "--no-frames",
+            "--shot-batch",
+            "--max-qubits",
+            "--backend",
+        ],
         _ => &[],
     };
     if let Some(bad) = flags.used.iter().find(|f| !allowed.contains(f)) {
         return Err(usage_err(format!("{bad} does not apply to '{cmd}'")));
+    }
+
+    if cmd == "serve" {
+        if let Some(stray) = rest.first() {
+            return Err(usage_err(format!(
+                "serve takes no positional arguments (got '{stray}'); jobs arrive on stdin or --socket"
+            )));
+        }
+        let mut opts = serve_opts.expect("serve pre-pass ran");
+        opts.engine = flags.opts;
+        return Ok(Command::Serve { opts });
     }
 
     let path = rest
@@ -597,7 +644,9 @@ fn sample(
     if let Some(b) = opts.shot_batch {
         config.shot_batch = b;
     }
+    let t_start = std::time::Instant::now();
     let result = run_trajectories(circuit, &config)?;
+    let wall_ms = t_start.elapsed().as_secs_f64() * 1e3;
     if let Some(cause) = result.stop_cause() {
         return Err(CliError {
             code: EXIT_TIMEOUT,
@@ -606,7 +655,7 @@ fn sample(
                 result.shots(),
                 result.requested_shots()
             ),
-            stdout: Some(partial_json(&result)),
+            stdout: Some(partial_json(&result, wall_ms)),
         });
     }
     let mut out = format!(
@@ -656,17 +705,20 @@ fn json_escape(s: &str) -> String {
 
 /// Renders a stopped trajectory run as the partial-result JSON document
 /// printed on stdout alongside exit code 7. Counts cover the completed
-/// shots only; the cause is `"cancelled"` or `"deadline exceeded"`.
-fn partial_json(result: &TrajectoryResult) -> String {
+/// shots only; the cause is `"cancelled"` or `"deadline exceeded"`;
+/// `wall_ms` is the measured run time, so a caller juggling many
+/// invocations gets the same timing telemetry `qclab serve` streams.
+fn partial_json(result: &TrajectoryResult, wall_ms: f64) -> String {
     let cause = result
         .stop_cause()
         .map(|c| c.to_string())
         .unwrap_or_default();
     let mut out = format!(
-        "{{\"partial\":true,\"cause\":\"{}\",\"shots_requested\":{},\"shots_completed\":{},\"counts\":{{",
+        "{{\"partial\":true,\"cause\":\"{}\",\"shots_requested\":{},\"shots_completed\":{},\"wall_ms\":{:.3},\"counts\":{{",
         json_escape(&cause),
         result.requested_shots(),
-        result.shots()
+        result.shots(),
+        wall_ms
     );
     for (i, (record, n)) in result.counts().iter().enumerate() {
         if i > 0 {
@@ -851,6 +903,7 @@ fn run(cmd: Command) -> Result<String, CliError> {
         } => sample(&load(&path)?, shots, seed, noise, fast_path, &opts),
         Command::Compile { path, opts } => compile_report(&load(&path)?, &opts),
         Command::Stats { path } => Ok(stats(&load(&path)?)),
+        Command::Serve { opts } => serve::run_serve(&opts),
     }
 }
 

@@ -1,0 +1,835 @@
+//! `qclab serve` — the CLI front end of the multi-tenant scheduler
+//! ([`qclab_core::service`]).
+//!
+//! Jobs arrive as newline-delimited JSON on stdin (or on a Unix socket
+//! with `--socket PATH`), and per-job results stream back one JSON line
+//! each, in completion order. The wire contract:
+//!
+//! Request lines:
+//!
+//! ```json
+//! {"id":"j1","qasm":"OPENQASM 2.0; ...","shots":1000,"seed":7}
+//! {"id":"j2","file":"bell.qasm","shots":500,"seed":1,"timeout_ms":2000}
+//! {"cancel":"j1"}
+//! ```
+//!
+//! `qasm` (inline source) and `file` (path) are alternatives; `seed`
+//! defaults to 1, `timeout_ms` is optional. A `cancel` line aborts the
+//! named job: still-queued jobs resolve immediately with
+//! `error.kind = "cancelled"`, running jobs stop at the next control
+//! check and keep their completed shots as a partial result.
+//!
+//! Response lines:
+//!
+//! ```json
+//! {"id":"j1","ok":true,"shots":1000,"requested_shots":1000,
+//!  "path":"alias-sampled (prefix 3 ops)","injected_errors":0,
+//!  "counts":{"00":493,"11":507},
+//!  "telemetry":{"queue_ms":0.4,"run_ms":2.1,"wall_ms":2.5,
+//!               "dedup_hit":true,"coalesced":3}}
+//! {"id":"j2","ok":false,
+//!  "error":{"kind":"timeout","code":7,"message":"stopped after 210 of 500 shots"},
+//!  "partial":{ ...same shape as a success result... }}
+//! ```
+//!
+//! `error.kind`/`error.code` mirror the CLI exit-code contract
+//! (2 usage, 3 io, 4 qasm-parse, 5 simulation, 6 resource, 7
+//! timeout/cancelled): a bad job resolves with an error line — it never
+//! kills the server or any other tenant's job.
+
+use crate::{json_escape, CliError, EngineOpts, EXIT_IO, EXIT_USAGE};
+use qclab_core::service::{
+    ErrorKind, JobHandle, JobOutput, JobResult, JobSpec, Scheduler, ServiceConfig,
+};
+use qclab_core::sim::trajectory::TrajectoryConfig;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Parsed `serve` flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOpts {
+    pub workers: Option<usize>,
+    pub queue_depth: usize,
+    pub window_ms: u64,
+    pub max_batch: usize,
+    pub coalesce: bool,
+    pub global_mem_mib: u64,
+    pub socket: Option<String>,
+    pub engine: EngineOpts,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            workers: None,
+            queue_depth: 1024,
+            window_ms: 1,
+            max_batch: 64,
+            coalesce: true,
+            global_mem_mib: 8192,
+            socket: None,
+            engine: EngineOpts::default(),
+        }
+    }
+}
+
+impl ServeOpts {
+    fn service_config(&self) -> ServiceConfig {
+        let mut base = TrajectoryConfig {
+            kernel: self.engine.kernel(),
+            limits: self.engine.limits(),
+            backend: self.engine.backend,
+            frames: self.engine.frames,
+            ..TrajectoryConfig::default()
+        };
+        if let Some(b) = self.engine.shot_batch {
+            base.shot_batch = b;
+        }
+        // the worker pool is the parallelism; nested per-job threading
+        // would oversubscribe it (and standalone replays for the
+        // bit-identity contract use this same serial base)
+        base.parallel = false;
+        base.kernel.allow_parallel = false;
+        let defaults = ServiceConfig::default();
+        ServiceConfig {
+            workers: self.workers.unwrap_or(defaults.workers),
+            queue_depth: self.queue_depth,
+            batch_window: Duration::from_millis(self.window_ms),
+            max_batch: self.max_batch,
+            coalesce: self.coalesce,
+            global_state_bytes: self.global_mem_mib.saturating_mul(1 << 20),
+            base,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// minimal JSON
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Hand-rolled: the job schema is a flat object of
+/// strings and integers, and the workspace vendors no JSON crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (the whole input must be consumed).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing characters at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.i)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.i += 4;
+                            // surrogate pairs are out of scope for the
+                            // job schema; reject rather than mis-decode
+                            let c = char::from_u32(code)
+                                .ok_or(format!("\\u{code:04x} is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or(format!("invalid number at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// result serialization
+// ---------------------------------------------------------------------
+
+/// The success-result JSON object (also the `partial` payload shape).
+fn output_json(o: &JobOutput) -> String {
+    let mut counts = String::new();
+    for (i, (record, n)) in o.counts.iter().enumerate() {
+        if i > 0 {
+            counts.push(',');
+        }
+        counts.push_str(&format!("\"{}\":{n}", json_escape(record)));
+    }
+    let t = &o.telemetry;
+    format!(
+        "{{\"id\":\"{}\",\"ok\":true,\"shots\":{},\"requested_shots\":{},\
+         \"path\":\"{}\",\"injected_errors\":{},\"counts\":{{{counts}}},\
+         \"telemetry\":{{\"queue_ms\":{:.3},\"run_ms\":{:.3},\"wall_ms\":{:.3},\
+         \"dedup_hit\":{},\"coalesced\":{}}}}}",
+        json_escape(&o.id),
+        o.shots,
+        o.requested_shots,
+        json_escape(&o.path),
+        o.injected_errors,
+        t.queue_ms,
+        t.run_ms,
+        t.wall_ms,
+        t.dedup_hit,
+        t.coalesced,
+    )
+}
+
+/// One response line (no trailing newline) for a resolved job.
+fn result_line(result: &JobResult) -> String {
+    match result {
+        Ok(o) => output_json(o),
+        Err(e) => error_line(&e.id, e.kind, &e.message, e.partial.as_ref()),
+    }
+}
+
+/// One error response line; `error.kind`/`error.code` follow the CLI
+/// exit-code contract.
+fn error_line(id: &str, kind: ErrorKind, message: &str, partial: Option<&JobOutput>) -> String {
+    let partial = match partial {
+        Some(p) => output_json(p),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"ok\":false,\"error\":{{\"kind\":\"{}\",\"code\":{},\
+         \"message\":\"{}\"}},\"partial\":{partial}}}",
+        json_escape(id),
+        kind.wire_name(),
+        kind.exit_code(),
+        json_escape(message),
+    )
+}
+
+// ---------------------------------------------------------------------
+// the serve loop
+// ---------------------------------------------------------------------
+
+/// Decoded request line.
+#[derive(Debug)]
+enum Request {
+    Submit(JobSpec),
+    Cancel(String),
+}
+
+fn decode_request(line: &str) -> Result<Request, (String, ErrorKind, String)> {
+    let fail = |id: &str, kind, msg: String| Err((id.to_string(), kind, msg));
+    let doc = match parse_json(line) {
+        Ok(d) => d,
+        Err(e) => return fail("", ErrorKind::Io, format!("bad JSON job line: {e}")),
+    };
+    if let Some(target) = doc.get("cancel") {
+        return match target.as_str() {
+            Some(id) => Ok(Request::Cancel(id.to_string())),
+            None => fail("", ErrorKind::Usage, "'cancel' must name a job id".into()),
+        };
+    }
+    let id = match doc.get("id").and_then(Json::as_str) {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => {
+            return fail(
+                "",
+                ErrorKind::Usage,
+                "job needs a non-empty string 'id'".into(),
+            )
+        }
+    };
+    let qasm = match (
+        doc.get("qasm").and_then(Json::as_str),
+        doc.get("file").and_then(Json::as_str),
+    ) {
+        (Some(src), None) => src.to_string(),
+        (None, Some(path)) => match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => return fail(&id, ErrorKind::Io, format!("cannot read {path}: {e}")),
+        },
+        (Some(_), Some(_)) => {
+            return fail(
+                &id,
+                ErrorKind::Usage,
+                "give either 'qasm' or 'file', not both".into(),
+            )
+        }
+        (None, None) => {
+            return fail(
+                &id,
+                ErrorKind::Usage,
+                "job needs 'qasm' (inline source) or 'file' (path)".into(),
+            )
+        }
+    };
+    let circuit = match qclab_qasm::from_qasm(&qasm) {
+        Ok(c) => c,
+        Err(e) => return fail(&id, ErrorKind::classify(&e), e.to_string()),
+    };
+    let shots = match doc.get("shots").map(|v| v.as_u64()) {
+        Some(Some(n)) => n,
+        Some(None) => {
+            return fail(
+                &id,
+                ErrorKind::Usage,
+                "'shots' must be a non-negative integer".into(),
+            )
+        }
+        None => return fail(&id, ErrorKind::Usage, "job needs integer 'shots'".into()),
+    };
+    let seed = match doc.get("seed").map(|v| v.as_u64()) {
+        Some(Some(n)) => n,
+        None => 1,
+        Some(None) => {
+            return fail(
+                &id,
+                ErrorKind::Usage,
+                "'seed' must be a non-negative integer".into(),
+            )
+        }
+    };
+    let timeout_ms = match doc.get("timeout_ms").map(|v| v.as_u64()) {
+        Some(Some(n)) => Some(n),
+        None => None,
+        Some(None) => {
+            return fail(
+                &id,
+                ErrorKind::Usage,
+                "'timeout_ms' must be a non-negative integer".into(),
+            )
+        }
+    };
+    let mut spec = JobSpec::new(id, circuit, shots, seed);
+    spec.timeout_ms = timeout_ms;
+    Ok(Request::Submit(spec))
+}
+
+/// Jobs whose results have not yet been collected, keyed by id.
+type Pending = Arc<Mutex<HashMap<String, JobHandle>>>;
+
+/// Polls pending handles and streams each resolved job as one JSON
+/// line, until the reader signals end-of-input and the map drains.
+fn collect_results(pending: &Pending, out: &Sender<String>, input_done: &Mutex<bool>) {
+    loop {
+        let mut finished: Vec<String> = Vec::new();
+        let empty = {
+            let mut map = pending.lock().unwrap();
+            let done: Vec<String> = map
+                .iter()
+                .filter_map(|(id, h)| h.try_wait().map(|r| (id.clone(), r)))
+                .map(|(id, r)| {
+                    finished.push(result_line(&r));
+                    id
+                })
+                .collect();
+            for id in done {
+                map.remove(&id);
+            }
+            map.is_empty()
+        };
+        for line in finished {
+            if out.send(line).is_err() {
+                return;
+            }
+        }
+        if empty && *input_done.lock().unwrap() {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+}
+
+/// Reads request lines from `input`, submits jobs, and streams results
+/// to `write`. Shared by stdin mode and each socket connection.
+fn handle_stream(sched: &Scheduler, input: impl Read, write: Box<dyn Write + Send>) -> (u64, u64) {
+    let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+    let input_done = Arc::new(Mutex::new(false));
+    let (tx, rx) = channel::<String>();
+    let writer = {
+        let mut write = write;
+        std::thread::spawn(move || {
+            // each line flushes: tenants block on results, not buffers
+            for line in rx {
+                if writeln!(write, "{line}")
+                    .and_then(|_| write.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        })
+    };
+    let collector = {
+        let pending = Arc::clone(&pending);
+        let tx = tx.clone();
+        let input_done = Arc::clone(&input_done);
+        std::thread::spawn(move || collect_results(&pending, &tx, &input_done))
+    };
+    let mut accepted = 0u64;
+    let mut failed = 0u64;
+    for line in BufReader::new(input).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_request(&line) {
+            Err((id, kind, msg)) => {
+                failed += 1;
+                let _ = tx.send(error_line(&id, kind, &msg, None));
+            }
+            Ok(Request::Cancel(id)) => {
+                let map = pending.lock().unwrap();
+                match map.get(&id) {
+                    Some(handle) => handle.cancel(),
+                    None => {
+                        let _ = tx.send(error_line(
+                            &id,
+                            ErrorKind::Usage,
+                            "cancel target is not a pending job",
+                            None,
+                        ));
+                    }
+                }
+            }
+            Ok(Request::Submit(spec)) => {
+                let mut map = pending.lock().unwrap();
+                if map.contains_key(&spec.id) {
+                    failed += 1;
+                    let _ = tx.send(error_line(
+                        &spec.id,
+                        ErrorKind::Usage,
+                        "a job with this id is already pending",
+                        None,
+                    ));
+                    continue;
+                }
+                match sched.submit(spec) {
+                    Ok(handle) => {
+                        accepted += 1;
+                        map.insert(handle.id.clone(), handle);
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        let _ = tx.send(result_line(&Err(e)));
+                    }
+                }
+            }
+        }
+    }
+    *input_done.lock().unwrap() = true;
+    let _ = collector.join();
+    drop(tx);
+    let _ = writer.join();
+    (accepted, failed)
+}
+
+/// Runs `qclab serve`. Stdin mode processes jobs until EOF and returns
+/// a human-readable summary (stderr-style, returned for main to print);
+/// socket mode accepts connections until the process is terminated.
+pub fn run_serve(opts: &ServeOpts) -> Result<String, CliError> {
+    let sched = Scheduler::new(opts.service_config());
+    match &opts.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let (accepted, failed) =
+                handle_stream(&sched, stdin.lock(), Box::new(std::io::stdout()));
+            let stats = sched.stats();
+            sched.shutdown();
+            Ok(format!(
+                "serve: {accepted} job(s) accepted, {failed} refused; {} completed, {} cancelled, \
+                 {} dedup hit(s), {} coalesced into {} group(s)\n",
+                stats.completed,
+                stats.cancelled,
+                stats.dedup_hits,
+                stats.coalesce_hits,
+                stats.groups
+            ))
+        }
+        Some(path) => {
+            use std::os::unix::net::UnixListener;
+            // a stale socket file from a previous run blocks bind
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path).map_err(|e| CliError {
+                code: EXIT_IO,
+                msg: format!("cannot bind socket {path}: {e}"),
+                stdout: None,
+            })?;
+            let sched = Arc::new(sched);
+            eprintln!("qclab serve: listening on {path}");
+            for conn in listener.incoming() {
+                let conn = conn.map_err(|e| CliError {
+                    code: EXIT_IO,
+                    msg: format!("accept failed on {path}: {e}"),
+                    stdout: None,
+                })?;
+                let write = conn.try_clone().map_err(|e| CliError {
+                    code: EXIT_IO,
+                    msg: format!("cannot clone socket connection: {e}"),
+                    stdout: None,
+                })?;
+                let sched = Arc::clone(&sched);
+                std::thread::spawn(move || {
+                    handle_stream(&sched, conn, Box::new(write));
+                });
+            }
+            unreachable!("incoming() iterates forever");
+        }
+    }
+}
+
+/// Parses serve-specific flags out of the raw argument slice; returns
+/// the remaining (engine-level) arguments for the common flag parser.
+pub fn parse_serve_flags(args: &[String]) -> Result<(ServeOpts, Vec<String>), CliError> {
+    let usage_err = |msg: String| CliError {
+        code: EXIT_USAGE,
+        msg: format!("{msg}\n{}", crate::usage()),
+        stdout: None,
+    };
+    let mut opts = ServeOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage_err(format!("{a} requires a {what}")))
+        };
+        let parse_nonzero = |flag: &str, v: String| -> Result<u64, CliError> {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| usage_err(format!("{flag} value '{v}' is not an integer")))?;
+            if n == 0 {
+                return Err(usage_err(format!("{flag} must be at least 1")));
+            }
+            Ok(n)
+        };
+        match a.as_str() {
+            "--workers" => {
+                opts.workers = Some(parse_nonzero("--workers", value("count")?)? as usize)
+            }
+            "--queue-depth" => {
+                opts.queue_depth = parse_nonzero("--queue-depth", value("count")?)? as usize
+            }
+            "--window-ms" => {
+                let v = value("millisecond count")?;
+                opts.window_ms = v
+                    .parse()
+                    .map_err(|_| usage_err(format!("--window-ms value '{v}' is not an integer")))?;
+            }
+            "--max-batch" => {
+                opts.max_batch = parse_nonzero("--max-batch", value("count")?)? as usize
+            }
+            "--no-coalesce" => opts.coalesce = false,
+            "--global-mem-mib" => {
+                opts.global_mem_mib = parse_nonzero("--global-mem-mib", value("MiB count")?)?
+            }
+            "--socket" => opts.socket = Some(value("path")?),
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_job_lines() {
+        let doc = parse_json(
+            r#"{"id":"j1","qasm":"OPENQASM 2.0;\nqreg q[1];","shots":100,"seed":7,"timeout_ms":null}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("j1"));
+        assert_eq!(
+            doc.get("qasm").unwrap().as_str(),
+            Some("OPENQASM 2.0;\nqreg q[1];")
+        );
+        assert_eq!(doc.get("shots").unwrap().as_u64(), Some(100));
+        assert_eq!(doc.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("timeout_ms"), Some(&Json::Null));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_lines() {
+        assert!(parse_json("{\"id\":").is_err());
+        assert!(parse_json("{\"id\" \"x\"}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{\"n\":1e}").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let doc = parse_json(r#"{"a":[1,2,{"b":"qA\"\n"}],"c":true,"d":-2.5}"#).unwrap();
+        let Json::Arr(items) = doc.get("a").unwrap() else {
+            panic!("expected array");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("b").unwrap().as_str(), Some("qA\"\n"));
+        assert_eq!(doc.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("d"), Some(&Json::Num(-2.5)));
+        assert_eq!(doc.get("d").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn decode_request_classifies_errors_by_kind() {
+        let bad_json = decode_request("{nope").unwrap_err();
+        assert_eq!(bad_json.1, ErrorKind::Io);
+        let no_id = decode_request(r#"{"qasm":"x","shots":1}"#).unwrap_err();
+        assert_eq!(no_id.1, ErrorKind::Usage);
+        let bad_qasm =
+            decode_request(r#"{"id":"j","qasm":"this is not qasm","shots":1}"#).unwrap_err();
+        assert_eq!(bad_qasm.1, ErrorKind::QasmParse);
+        assert_eq!(bad_qasm.0, "j");
+        let both = decode_request(r#"{"id":"j","qasm":"x","file":"y","shots":1}"#).unwrap_err();
+        assert_eq!(both.1, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn decode_request_accepts_a_job() {
+        let line = r#"{"id":"bell","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nmeasure q -> c;","shots":64,"seed":3,"timeout_ms":500}"#;
+        match decode_request(line).unwrap() {
+            Request::Submit(spec) => {
+                assert_eq!(spec.id, "bell");
+                assert_eq!(spec.shots, 64);
+                assert_eq!(spec.seed, 3);
+                assert_eq!(spec.timeout_ms, Some(500));
+                assert_eq!(spec.circuit.nb_qubits(), 2);
+            }
+            Request::Cancel(_) => panic!("expected a submit"),
+        }
+        match decode_request(r#"{"cancel":"bell"}"#).unwrap() {
+            Request::Cancel(id) => assert_eq!(id, "bell"),
+            Request::Submit(_) => panic!("expected a cancel"),
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse_and_pass_engine_flags_through() {
+        let raw: Vec<String> = [
+            "--workers",
+            "4",
+            "--queue-depth",
+            "16",
+            "--window-ms",
+            "0",
+            "--max-batch",
+            "8",
+            "--no-coalesce",
+            "--global-mem-mib",
+            "512",
+            "--no-simd",
+            "--max-qubits",
+            "20",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (opts, rest) = parse_serve_flags(&raw).unwrap();
+        assert_eq!(opts.workers, Some(4));
+        assert_eq!(opts.queue_depth, 16);
+        assert_eq!(opts.window_ms, 0);
+        assert_eq!(opts.max_batch, 8);
+        assert!(!opts.coalesce);
+        assert_eq!(opts.global_mem_mib, 512);
+        assert_eq!(rest, vec!["--no-simd", "--max-qubits", "20"]);
+        assert!(parse_serve_flags(&["--workers".to_string(), "0".to_string()]).is_err());
+        assert!(parse_serve_flags(&["--workers".to_string()]).is_err());
+    }
+}

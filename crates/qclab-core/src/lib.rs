@@ -23,6 +23,7 @@ pub mod observable;
 pub mod optimize;
 pub mod program;
 pub mod reduced;
+pub mod service;
 pub mod sim;
 pub mod synthesis;
 
@@ -38,6 +39,10 @@ pub use program::{
     ProgramOp, ShotPlan,
 };
 pub use reduced::{contract_qubit, reduced_statevector};
+pub use service::{
+    ErrorKind, JobError, JobHandle, JobOutput, JobResult, JobSpec, JobTelemetry, Scheduler,
+    ServiceConfig, ServiceStats,
+};
 pub use sim::density::{DensityState, NoiseChannel, NoiseModel};
 pub use sim::sparse::{SparseSimulation, SparseState};
 pub use sim::stabilizer::{run_stabilizer, MeasureOutcome, StabilizerRun, StabilizerState};

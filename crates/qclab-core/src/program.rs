@@ -55,8 +55,8 @@ use crate::sim::guard::{self, ResourceLimits};
 use crate::sim::kernel::{KernelConfig, SWEEP_TILE_QUBITS};
 use qclab_math::CVec;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One operation of a lowered program. Qubit indices are absolute
 /// (register-relative); there are no nested structures left.
@@ -1118,16 +1118,30 @@ pub fn lower(circuit: &QCircuit, options: &PlanOptions) -> CompiledProgram {
 // plan cache
 // ---------------------------------------------------------------------
 
-/// Entries kept in the global plan cache. Small on purpose: a plan can
-/// hold dense fused blocks, and workloads that benefit (shot loops,
-/// sweeps) revisit a handful of circuits.
+/// Default number of plans kept in the global cache (see
+/// [`set_plan_cache_capacity`]). Small on purpose: a plan can hold
+/// dense fused blocks, and single-process workloads that benefit (shot
+/// loops, sweeps) revisit a handful of circuits. Multi-tenant servers
+/// raise it to match their working set.
 pub const PLAN_CACHE_CAPACITY: usize = 32;
 
 type CacheKey = (u64, usize, PlanOptions);
 
-static PLAN_CACHE: Mutex<Vec<(CacheKey, Arc<CompiledProgram>)>> = Mutex::new(Vec::new());
+/// One cache slot: a lowered plan, or a claim that some thread is
+/// currently lowering this key. The claim is what makes compilation
+/// single-flight — concurrent requesters of the same key wait on
+/// [`PLAN_CACHE_READY`] instead of lowering a duplicate.
+enum Slot {
+    Ready(Arc<CompiledProgram>),
+    InFlight,
+}
+
+static PLAN_CACHE: Mutex<Vec<(CacheKey, Slot)>> = Mutex::new(Vec::new());
+static PLAN_CACHE_READY: Condvar = Condvar::new();
+static CACHE_CAPACITY: AtomicUsize = AtomicUsize::new(PLAN_CACHE_CAPACITY);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Locks the plan cache, recovering from poisoning. A thread that
 /// panicked while holding the lock (an executor panic can propagate
@@ -1138,15 +1152,37 @@ static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 /// conservative recovery is to drop the cached plans and keep serving —
 /// unrelated callers must never see the panic. The poison flag is
 /// cleared so the cache refills instead of being emptied on every
-/// subsequent lock.
-fn lock_plan_cache() -> std::sync::MutexGuard<'static, Vec<(CacheKey, Arc<CompiledProgram>)>> {
+/// subsequent lock, and waiters are woken: their in-flight markers were
+/// dropped with the rest of the entries, so they must re-claim.
+fn lock_plan_cache() -> std::sync::MutexGuard<'static, Vec<(CacheKey, Slot)>> {
     match PLAN_CACHE.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
             PLAN_CACHE.clear_poison();
             let mut guard = poisoned.into_inner();
             guard.clear();
+            PLAN_CACHE_READY.notify_all();
             guard
+        }
+    }
+}
+
+/// Evicts least-recently-used plans (front of the list first) until at
+/// most `keep` remain, counting each eviction. In-flight claims are
+/// transient, not plans: they are skipped and never counted or evicted.
+fn evict_ready_down_to(cache: &mut Vec<(CacheKey, Slot)>, keep: usize) {
+    let mut ready = cache
+        .iter()
+        .filter(|(_, s)| matches!(s, Slot::Ready(_)))
+        .count();
+    let mut i = 0;
+    while ready > keep && i < cache.len() {
+        if matches!(cache[i].1, Slot::Ready(_)) {
+            cache.remove(i);
+            ready -= 1;
+            CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            i += 1;
         }
     }
 }
@@ -1158,6 +1194,9 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that had to lower.
     pub misses: u64,
+    /// Plans dropped to make room (capacity evictions — `clear_plan_cache`
+    /// and poison recovery do not count).
+    pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
 }
@@ -1167,15 +1206,59 @@ pub fn plan_cache_stats() -> PlanCacheStats {
     PlanCacheStats {
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
-        entries: lock_plan_cache().len(),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        entries: lock_plan_cache()
+            .iter()
+            .filter(|(_, s)| matches!(s, Slot::Ready(_)))
+            .count(),
     }
 }
 
-/// Empties the plan cache (counters keep running). Benchmarks use this
+/// The plan cache's current capacity (plans, not bytes).
+pub fn plan_cache_capacity() -> usize {
+    CACHE_CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Sets the plan-cache capacity (clamped to ≥ 1; the process default is
+/// [`PLAN_CACHE_CAPACITY`]). Shrinking below the current population
+/// evicts least-recently-used plans immediately (counted in
+/// [`PlanCacheStats::evictions`]). A multi-tenant server sizes this to
+/// its distinct-circuit working set so hot tenants do not thrash each
+/// other's plans.
+pub fn set_plan_cache_capacity(capacity: usize) {
+    let cap = capacity.max(1);
+    CACHE_CAPACITY.store(cap, Ordering::Relaxed);
+    let mut cache = lock_plan_cache();
+    evict_ready_down_to(&mut cache, cap);
+}
+
+/// Empties the plan cache (counters keep running; in-flight lowerings
+/// are unaffected and republish when they finish). Benchmarks use this
 /// to measure cold lowering; long-lived processes may use it to drop
 /// plans holding large fused blocks.
 pub fn clear_plan_cache() {
-    lock_plan_cache().clear();
+    lock_plan_cache().retain(|(_, s)| matches!(s, Slot::InFlight));
+}
+
+/// Removes `key`'s in-flight claim (if it is still a claim) and wakes
+/// waiters. Runs on drop so a panicking lowering can never strand the
+/// claim — waiters wake, find no slot, and re-claim as the new leader.
+struct FlightGuard {
+    key: CacheKey,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        let mut cache = lock_plan_cache();
+        if let Some(pos) = cache
+            .iter()
+            .position(|(k, s)| *k == self.key && matches!(s, Slot::InFlight))
+        {
+            cache.remove(pos);
+        }
+        drop(cache);
+        PLAN_CACHE_READY.notify_all();
+    }
 }
 
 /// Lowers `circuit` through the global plan cache: the fingerprint is
@@ -1183,36 +1266,80 @@ pub fn clear_plan_cache() {
 /// flattening, fusion and scheduling run only on a cache miss. Returns a
 /// shared handle; executions on the same circuit across backends and
 /// shots all reuse one plan.
+///
+/// Compilation is **single-flight**: under contention on one key,
+/// exactly one thread lowers (outside the lock — fusion does real work)
+/// while every concurrent requester blocks on the shared result and
+/// receives the same `Arc`. This is what lets a multi-tenant server
+/// admit a burst of identical circuits without paying one lowering per
+/// tenant.
 pub fn compile(circuit: &QCircuit, options: &PlanOptions) -> Arc<CompiledProgram> {
     let options = options.normalized();
     let key: CacheKey = (fingerprint(circuit), circuit.nb_qubits(), options);
 
     {
         let mut cache = lock_plan_cache();
-        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
-            // move to the back: the front is the eviction candidate
-            let entry = cache.remove(pos);
-            let plan = Arc::clone(&entry.1);
-            cache.push(entry);
-            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return plan;
+        loop {
+            match cache.iter().position(|(k, _)| *k == key) {
+                Some(pos) => match &cache[pos].1 {
+                    Slot::Ready(plan) => {
+                        let plan = Arc::clone(plan);
+                        // move to the back: the front is the eviction
+                        // candidate
+                        let entry = cache.remove(pos);
+                        cache.push(entry);
+                        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                        return plan;
+                    }
+                    Slot::InFlight => {
+                        // another thread is lowering this key; wait for
+                        // its publish (or its FlightGuard, if it dies)
+                        cache = match PLAN_CACHE_READY.wait(cache) {
+                            Ok(guard) => guard,
+                            Err(poisoned) => {
+                                PLAN_CACHE.clear_poison();
+                                let mut guard = poisoned.into_inner();
+                                guard.clear();
+                                guard
+                            }
+                        };
+                        // re-check: the slot may now be ready, gone
+                        // (leader panicked / cache cleared — this thread
+                        // re-claims), or still in flight (spurious wake)
+                    }
+                },
+                None => {
+                    cache.push((key, Slot::InFlight));
+                    break;
+                }
+            }
         }
     }
 
-    // lower outside the lock — fusion does real work
+    // This thread owns the lowering; the guard un-claims on every exit
+    // path, including a panic inside `lower`.
+    let guard = FlightGuard { key };
     let plan = Arc::new(lower(circuit, &options));
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     {
         let mut cache = lock_plan_cache();
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
-            // someone else lowered concurrently; share their plan
-            return Arc::clone(&cache[pos].1);
+            if let Slot::Ready(other) = &cache[pos].1 {
+                // only possible after a poison/clear dropped this
+                // thread's claim and another thread republished first:
+                // share theirs (both lowerings really happened, so both
+                // misses stand)
+                return Arc::clone(other);
+            }
+            // this thread's claim (or a re-claimer's, after a clear):
+            // replace it with the finished plan
+            cache.remove(pos);
         }
-        if cache.len() >= PLAN_CACHE_CAPACITY {
-            cache.remove(0);
-        }
-        cache.push((key, Arc::clone(&plan)));
+        let cap = CACHE_CAPACITY.load(Ordering::Relaxed);
+        evict_ready_down_to(&mut cache, cap.saturating_sub(1));
+        cache.push((key, Slot::Ready(Arc::clone(&plan))));
     }
+    drop(guard); // notifies waiters (the claim itself is already gone)
     plan
 }
 

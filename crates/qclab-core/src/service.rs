@@ -1,0 +1,952 @@
+//! Multi-tenant job scheduler: the engine behind `qclab serve`.
+//!
+//! A [`Scheduler`] owns a bounded pool of worker threads and a FIFO
+//! admission queue. Tenants [`submit`](Scheduler::submit) jobs (a
+//! circuit plus `(seed, shots)` and an optional deadline) and receive a
+//! [`JobHandle`] whose result streams back asynchronously. Three
+//! mechanisms turn a stream of independent requests into less work than
+//! the sum of its parts:
+//!
+//! * **Compile dedup** — lowering goes through the global plan cache,
+//!   whose [`compile`](crate::program::compile) is single-flight: under
+//!   a burst of same-fingerprint jobs exactly one thread lowers and
+//!   every waiter shares the same `Arc<CompiledProgram>`.
+//! * **Shot coalescing** — same-fingerprint jobs that are queued
+//!   together (or arrive within the batching window) execute as one
+//!   [`run_trajectories_grouped`] ensemble: the seed-independent
+//!   preparation (prefix evolution, alias-table build, fork snapshot)
+//!   is paid once, and each job's shots are drawn from its own
+//!   `(seed, shot)` RNG streams — per-job results stay **bit-identical**
+//!   to running the job alone.
+//! * **Admission control** — per-job memory estimates from
+//!   [`sim::guard`](crate::sim::guard), a global in-flight byte budget,
+//!   and a queue-depth cap. Scheduling is fair-share: a large job the
+//!   budget cannot currently admit is *skipped, not waited on*, so it
+//!   never blocks small admissible jobs behind it; it keeps its queue
+//!   position and runs as soon as memory frees.
+//!
+//! Every job carries its own [`ExecutionControl`]: deadlines and
+//! cancellation stop only that job's shots (mid-group too). Cancelling
+//! a job that is still queued removes it immediately and resolves its
+//! handle with [`ErrorKind::Cancelled`] — no worker involvement.
+//!
+//! The scheduler never dies with a job: executor errors (and even
+//! panics) are caught and mapped onto the wire-level error contract
+//! ([`ErrorKind`]), which mirrors the CLI exit-code contract 2–7.
+
+// `JobError` deliberately carries the partial ensemble of a stopped run
+// (counts map + telemetry) — a timeout/cancel *result*, not a slim
+// error code — so `Result<_, JobError>` trips the size lint by design.
+#![allow(clippy::result_large_err)]
+
+use crate::circuit::QCircuit;
+use crate::error::QclabError;
+use crate::program::BackendRequest;
+use crate::sim::control::{ExecutionControl, StopCause};
+use crate::sim::trajectory::{
+    run_trajectories_grouped, ShotRequest, TrajectoryConfig, TrajectoryResult,
+};
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// wire-level error contract
+// ---------------------------------------------------------------------
+
+/// Per-job error classification — the wire-level form of the CLI
+/// exit-code contract. A bad job resolves its own handle with one of
+/// these kinds; it never takes the scheduler (or any other job) down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed request (bad flags, invalid noise spec) — exit code 2.
+    Usage,
+    /// Transport/decode failure (unreadable job line) — exit code 3.
+    Io,
+    /// OpenQASM parse failure — exit code 4.
+    QasmParse,
+    /// Simulation failure (non-unitary, dimension mismatch, executor
+    /// panic, …) — exit code 5.
+    Simulation,
+    /// Admission or guard refusal: per-job memory limit, global budget,
+    /// queue depth — exit code 6.
+    Resource,
+    /// Deadline exceeded; completed shots are kept in
+    /// [`JobError::partial`] — exit code 7.
+    Timeout,
+    /// Cancelled by the tenant (queued or running) — exit code 7, like
+    /// the CLI's cancel path.
+    Cancelled,
+}
+
+impl ErrorKind {
+    /// The stable wire name (`error.kind` in the JSON result).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Io => "io",
+            ErrorKind::QasmParse => "qasm-parse",
+            ErrorKind::Simulation => "simulation",
+            ErrorKind::Resource => "resource",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// The CLI exit code this kind corresponds to (`error.code`).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::QasmParse => 4,
+            ErrorKind::Simulation => 5,
+            ErrorKind::Resource => 6,
+            ErrorKind::Timeout | ErrorKind::Cancelled => 7,
+        }
+    }
+
+    /// Classifies an engine error, mirroring the CLI's
+    /// `From<QclabError> for CliError` mapping.
+    pub fn classify(e: &QclabError) -> ErrorKind {
+        match e {
+            QclabError::QasmParse { .. } => ErrorKind::QasmParse,
+            QclabError::ResourceExhausted { .. } => ErrorKind::Resource,
+            QclabError::InvalidNoiseSpec(_) => ErrorKind::Usage,
+            QclabError::Cancelled(_) => ErrorKind::Cancelled,
+            QclabError::DeadlineExceeded(_) => ErrorKind::Timeout,
+            _ => ErrorKind::Simulation,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// job types
+// ---------------------------------------------------------------------
+
+/// One tenant request: sample `shots` trajectories of `circuit` with
+/// per-shot `(seed, shot)` determinism.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Tenant-chosen identifier, echoed on the result.
+    pub id: String,
+    /// The circuit to sample.
+    pub circuit: QCircuit,
+    /// Trajectories to sample.
+    pub shots: u64,
+    /// Master seed of the job's per-shot RNG streams.
+    pub seed: u64,
+    /// Wall-clock budget measured from submission; a job still queued
+    /// when it expires resolves as [`ErrorKind::Timeout`] without
+    /// running.
+    pub timeout_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with no deadline.
+    pub fn new(id: impl Into<String>, circuit: QCircuit, shots: u64, seed: u64) -> Self {
+        JobSpec {
+            id: id.into(),
+            circuit,
+            shots,
+            seed,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Per-job scheduling/execution telemetry, streamed with every result.
+#[derive(Clone, Debug, Default)]
+pub struct JobTelemetry {
+    /// Submission → execution start (includes any batching-window hold).
+    pub queue_ms: f64,
+    /// Execution start → result (the coalesced group's run time).
+    pub run_ms: f64,
+    /// Submission → result.
+    pub wall_ms: f64,
+    /// `true` when this scheduler had already compiled the job's
+    /// fingerprint (the plan — and its bytecode/frame lowerings — came
+    /// from the cache instead of being lowered again).
+    pub dedup_hit: bool,
+    /// Number of jobs in the coalesced ensemble this job executed in
+    /// (1 = ran alone).
+    pub coalesced: usize,
+}
+
+/// A completed job's payload.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Echo of [`JobSpec::id`].
+    pub id: String,
+    /// Measurement-record frequencies.
+    pub counts: BTreeMap<String, u64>,
+    /// Trajectories actually sampled.
+    pub shots: u64,
+    /// Trajectories requested.
+    pub requested_shots: u64,
+    /// Which shot-execution strategy ran (display of
+    /// [`ShotPath`](crate::sim::trajectory::ShotPath)).
+    pub path: String,
+    /// Pauli errors injected across the job's shots.
+    pub injected_errors: u64,
+    /// Scheduling/execution telemetry.
+    pub telemetry: JobTelemetry,
+}
+
+/// A failed (or stopped) job.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Echo of [`JobSpec::id`].
+    pub id: String,
+    /// Wire-level classification.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// For timeout/cancel mid-run: the shots completed before the stop
+    /// (bit-identical to the same shots of an uninterrupted run).
+    pub partial: Option<JobOutput>,
+}
+
+/// What a [`JobHandle`] resolves to.
+pub type JobResult = Result<JobOutput, JobError>;
+
+// ---------------------------------------------------------------------
+// configuration
+// ---------------------------------------------------------------------
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (bounded parallelism). The
+    /// per-job engines run with serial kernels by default (see
+    /// [`base`](Self::base)) so `workers` is the process's parallelism.
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue; submissions beyond it are
+    /// rejected with [`ErrorKind::Resource`] (backpressure, never OOM).
+    pub queue_depth: usize,
+    /// How long a freshly submitted job may be held before execution so
+    /// same-fingerprint peers can join its ensemble. Zero coalesces
+    /// only jobs that are already queued together (no added latency).
+    pub batch_window: Duration,
+    /// Maximum jobs coalesced into one ensemble.
+    pub max_batch: usize,
+    /// Coalesce same-fingerprint jobs into grouped ensembles. Off, every
+    /// job runs alone (the F17 ablation) — dedup via the plan cache
+    /// still applies.
+    pub coalesce: bool,
+    /// Global budget for the *estimated* state bytes of all running
+    /// jobs. A job whose estimate does not currently fit is skipped —
+    /// not waited on — so it never blocks smaller admissible jobs
+    /// (fair-share); it runs once enough memory frees.
+    pub global_state_bytes: u64,
+    /// Template configuration every job executes with; `seed`, `shots`
+    /// and `control` come from the job. Its `limits` field is the
+    /// per-job guard. The default keeps kernels and shot fan-out serial
+    /// (`parallel: false`, `allow_parallel: false`): the worker pool is
+    /// the parallelism, and nested threading would oversubscribe it.
+    pub base: TrajectoryConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(4)
+            .clamp(1, 16);
+        // workers are the parallelism: each job runs serially so N
+        // jobs never oversubscribe the cores N workers already own
+        let mut base = TrajectoryConfig {
+            parallel: false,
+            ..TrajectoryConfig::default()
+        };
+        base.kernel.allow_parallel = false;
+        ServiceConfig {
+            workers,
+            queue_depth: 1024,
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+            coalesce: true,
+            global_state_bytes: 8 << 30,
+            base,
+        }
+    }
+}
+
+/// Scheduler counters ([`Scheduler::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs resolved successfully.
+    pub completed: u64,
+    /// Submissions rejected at admission (queue depth / memory).
+    pub rejected: u64,
+    /// Jobs resolved as cancelled (queued or running).
+    pub cancelled: u64,
+    /// Accepted jobs whose circuit fingerprint this scheduler had
+    /// already compiled (they shared a cached/in-flight plan).
+    pub dedup_hits: u64,
+    /// Jobs that executed inside a coalesced ensemble of ≥ 2 (each
+    /// follower counts once; the group leader does not).
+    pub coalesce_hits: u64,
+    /// Coalesced ensembles executed (groups of ≥ 2).
+    pub groups: u64,
+}
+
+// ---------------------------------------------------------------------
+// scheduler internals
+// ---------------------------------------------------------------------
+
+struct QueuedJob {
+    spec: JobSpec,
+    fingerprint: u64,
+    est_bytes: u64,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    dedup_hit: bool,
+    tx: Sender<JobResult>,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: Vec<QueuedJob>,
+    running_bytes: u64,
+    closed: bool,
+    /// Fingerprints this scheduler has accepted (dedup telemetry).
+    seen: HashSet<u64>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    dedup_hits: AtomicU64,
+    coalesce_hits: AtomicU64,
+    groups: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    state: Mutex<SchedState>,
+    /// Signalled on submit, job completion (memory freed) and shutdown.
+    work_ready: Condvar,
+    counters: Counters,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // a worker that panicked mid-bookkeeping must not wedge the
+        // scheduler; the state is only ever mutated in small consistent
+        // steps, so recovery is to keep going
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+}
+
+/// The async handle to a submitted job: poll or block for the result,
+/// or cancel the job.
+pub struct JobHandle {
+    /// Echo of [`JobSpec::id`].
+    pub id: String,
+    fingerprint: u64,
+    cancel: Arc<AtomicBool>,
+    rx: Receiver<JobResult>,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("fingerprint", &self.fingerprint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job resolves.
+    pub fn wait(self) -> JobResult {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(JobError {
+                id: self.id.clone(),
+                kind: ErrorKind::Simulation,
+                message: "scheduler dropped the job".into(),
+                partial: None,
+            }),
+        }
+    }
+
+    /// Blocks up to `timeout` for the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(JobError {
+                id: self.id.clone(),
+                kind: ErrorKind::Simulation,
+                message: "scheduler dropped the job".into(),
+                partial: None,
+            })),
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Cancels the job. A job still **queued** is removed immediately
+    /// and its handle resolves with [`ErrorKind::Cancelled`] right away
+    /// — no waiting for a worker. A job already **running** stops
+    /// cooperatively at its next control check, keeping completed shots
+    /// as a partial result.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        let mut st = self.inner.lock();
+        if let Some(pos) = st
+            .queue
+            .iter()
+            .position(|j| Arc::ptr_eq(&j.cancel, &self.cancel))
+        {
+            let job = st.queue.remove(pos);
+            drop(st);
+            self.inner
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            resolve_cancelled(&job);
+        }
+        // running jobs observe the token via their ExecutionControl
+    }
+}
+
+fn resolve_cancelled(job: &QueuedJob) {
+    let _ = job.tx.send(Err(JobError {
+        id: job.spec.id.clone(),
+        kind: ErrorKind::Cancelled,
+        message: "cancelled while queued".into(),
+        partial: None,
+    }));
+}
+
+/// Estimated dense state bytes of an `n`-qubit job (what the guard
+/// would allocate). Used for admission only — sparse/frame jobs are
+/// re-guarded at runtime on their own support-sized estimates.
+fn dense_state_bytes(n: usize) -> u64 {
+    (16u128 << n).min(u64::MAX as u128) as u64
+}
+
+// ---------------------------------------------------------------------
+// scheduler
+// ---------------------------------------------------------------------
+
+/// The multi-tenant job scheduler. See the module docs for the
+/// dedup/coalescing/admission design.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts `cfg.workers` worker threads.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(SchedState::default()),
+            work_ready: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qclab-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { inner, workers }
+    }
+
+    /// Submits a job. Admission control runs here, synchronously: a
+    /// rejected job returns `Err` immediately (queue depth, per-job
+    /// memory guard, global budget) and is never queued.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, JobError> {
+        let reject = |kind: ErrorKind, message: String| {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(JobError {
+                id: spec.id.clone(),
+                kind,
+                message,
+                partial: None,
+            })
+        };
+        let n = spec.circuit.nb_qubits();
+        // per-job guard: a dense-backend job that could never allocate
+        // fails fast at the door instead of occupying a queue slot
+        let est_bytes = if self.inner.cfg.base.backend == BackendRequest::Dense {
+            if let Err(e) = self.inner.cfg.base.limits.check_register(n) {
+                return reject(ErrorKind::classify(&e), e.to_string());
+            }
+            dense_state_bytes(n)
+        } else {
+            // sparse/auto/frame admission is support-sized and enforced
+            // by the runtime guards; no up-front dense estimate
+            0
+        };
+        if est_bytes > self.inner.cfg.global_state_bytes {
+            return reject(
+                ErrorKind::Resource,
+                format!(
+                    "job needs ~{est_bytes} state bytes but the scheduler's global budget is {}",
+                    self.inner.cfg.global_state_bytes
+                ),
+            );
+        }
+        let fingerprint = spec.circuit.fingerprint();
+        let (tx, rx) = channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let now = Instant::now();
+        let job = QueuedJob {
+            deadline: spec.timeout_ms.map(|ms| now + Duration::from_millis(ms)),
+            fingerprint,
+            est_bytes,
+            submitted: now,
+            cancel: Arc::clone(&cancel),
+            dedup_hit: false,
+            tx,
+            spec,
+        };
+        let mut st = self.inner.lock();
+        if st.closed {
+            let id = job.spec.id.clone();
+            drop(st);
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(JobError {
+                id,
+                kind: ErrorKind::Io,
+                message: "scheduler is shut down".into(),
+                partial: None,
+            });
+        }
+        if st.queue.len() >= self.inner.cfg.queue_depth {
+            let id = job.spec.id.clone();
+            drop(st);
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(JobError {
+                id,
+                kind: ErrorKind::Resource,
+                message: format!(
+                    "queue is full ({} jobs) — retry later",
+                    self.inner.cfg.queue_depth
+                ),
+                partial: None,
+            });
+        }
+        let mut job = job;
+        job.dedup_hit = !st.seen.insert(fingerprint);
+        if job.dedup_hit {
+            self.inner
+                .counters
+                .dedup_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let id = job.spec.id.clone();
+        st.queue.push(job);
+        drop(st);
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.work_ready.notify_all();
+        Ok(JobHandle {
+            id,
+            fingerprint,
+            cancel,
+            rx,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// The circuit fingerprint the handle's job was keyed under.
+    pub fn fingerprint_of(handle: &JobHandle) -> u64 {
+        handle.fingerprint
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
+            coalesce_hits: c.coalesce_hits.load(Ordering::Relaxed),
+            groups: c.groups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the workers.
+    /// Already-submitted jobs still resolve.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut st = self.inner.lock();
+            st.closed = true;
+        }
+        self.inner.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// worker loop
+// ---------------------------------------------------------------------
+
+/// Sweeps cancelled and queue-expired jobs out of the queue, resolving
+/// their handles immediately.
+fn sweep_queue(inner: &Inner, st: &mut SchedState) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < st.queue.len() {
+        let j = &st.queue[i];
+        if j.cancel.load(Ordering::Relaxed) {
+            let job = st.queue.remove(i);
+            inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            resolve_cancelled(&job);
+        } else if j.deadline.is_some_and(|d| now >= d) {
+            let job = st.queue.remove(i);
+            let _ = job.tx.send(Err(JobError {
+                id: job.spec.id.clone(),
+                kind: ErrorKind::Timeout,
+                message: "deadline expired while queued".into(),
+                partial: None,
+            }));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Picks the next runnable group off the queue, or `None` at shutdown.
+/// Fair-share: the scan admits the *first* job whose memory estimate
+/// fits the remaining global budget, skipping (not waiting on) larger
+/// jobs ahead of it in FIFO order.
+fn next_group(inner: &Inner) -> Option<Vec<QueuedJob>> {
+    let cfg = &inner.cfg;
+    let mut st = inner.lock();
+    loop {
+        sweep_queue(inner, &mut st);
+        let budget = cfg.global_state_bytes;
+        let pick = st
+            .queue
+            .iter()
+            .position(|j| st.running_bytes.saturating_add(j.est_bytes) <= budget);
+        match pick {
+            Some(pos) => {
+                // batching window: hold a fresh leader briefly so
+                // same-fingerprint peers arriving now can join its group
+                if cfg.coalesce && !cfg.batch_window.is_zero() {
+                    let ready_at = st.queue[pos].submitted + cfg.batch_window;
+                    let now = Instant::now();
+                    if now < ready_at {
+                        let (guard, _) = inner
+                            .work_ready
+                            .wait_timeout(st, ready_at - now)
+                            .unwrap_or_else(|p| {
+                                inner.state.clear_poison();
+                                p.into_inner()
+                            });
+                        st = guard;
+                        continue; // re-scan: the queue may have changed
+                    }
+                }
+                let leader = st.queue.remove(pos);
+                let mut group = vec![leader];
+                if cfg.coalesce {
+                    let fp = group[0].fingerprint;
+                    let mut i = 0;
+                    while i < st.queue.len() && group.len() < cfg.max_batch.max(1) {
+                        if st.queue[i].fingerprint == fp {
+                            group.push(st.queue.remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                // the group shares one preparation and runs its
+                // ensembles sequentially, so it holds one job's estimate
+                st.running_bytes = st.running_bytes.saturating_add(group[0].est_bytes);
+                if group.len() > 1 {
+                    inner
+                        .counters
+                        .coalesce_hits
+                        .fetch_add(group.len() as u64 - 1, Ordering::Relaxed);
+                    inner.counters.groups.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(group);
+            }
+            None => {
+                if st.closed && st.queue.is_empty() {
+                    return None;
+                }
+                // nothing admissible (empty queue, or every queued job
+                // is over the current budget): sleep until submit /
+                // completion / shutdown. The timeout bounds the wait so
+                // queued deadlines keep being swept.
+                let (guard, _) = inner
+                    .work_ready
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .unwrap_or_else(|p| {
+                        inner.state.clear_poison();
+                        p.into_inner()
+                    });
+                st = guard;
+            }
+        }
+    }
+}
+
+/// Executes one coalesced group and resolves every member's handle.
+fn run_group(inner: &Inner, group: Vec<QueuedJob>) {
+    let cfg = &inner.cfg;
+    let t_start = Instant::now();
+    let requests: Vec<ShotRequest> = group
+        .iter()
+        .map(|j| {
+            let mut control = ExecutionControl::with_cancel_token(Arc::clone(&j.cancel));
+            if let Some(d) = j.deadline {
+                control = control.deadline(d);
+            }
+            ShotRequest {
+                seed: j.spec.seed,
+                shots: j.spec.shots,
+                control,
+            }
+        })
+        .collect();
+    // a panicking executor must not take the scheduler down: contain it
+    // and resolve the group as a simulation error
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_trajectories_grouped(&group[0].spec.circuit, &cfg.base, &requests)
+    }));
+    let run_ms = t_start.elapsed().as_secs_f64() * 1e3;
+    let coalesced = group.len();
+    let finish = |job: &QueuedJob, result: JobResult| {
+        match &result {
+            Ok(_) => inner.counters.completed.fetch_add(1, Ordering::Relaxed),
+            Err(e) if e.kind == ErrorKind::Cancelled => {
+                inner.counters.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => 0,
+        };
+        let _ = job.tx.send(result);
+    };
+    let output = |job: &QueuedJob, r: &TrajectoryResult| JobOutput {
+        id: job.spec.id.clone(),
+        counts: r.counts().clone(),
+        shots: r.shots(),
+        requested_shots: r.requested_shots(),
+        path: r.path().to_string(),
+        injected_errors: r.injected_errors(),
+        telemetry: JobTelemetry {
+            queue_ms: (t_start - job.submitted).as_secs_f64() * 1e3,
+            run_ms,
+            wall_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+            dedup_hit: job.dedup_hit,
+            coalesced,
+        },
+    };
+    match outcome {
+        Ok(Ok(results)) => {
+            for (job, r) in group.iter().zip(&results) {
+                match r.stop_cause() {
+                    None => finish(job, Ok(output(job, r))),
+                    Some(cause) => {
+                        let kind = match cause {
+                            StopCause::Cancelled => ErrorKind::Cancelled,
+                            StopCause::DeadlineExceeded => ErrorKind::Timeout,
+                        };
+                        finish(
+                            job,
+                            Err(JobError {
+                                id: job.spec.id.clone(),
+                                kind,
+                                message: format!(
+                                    "stopped after {} of {} shots",
+                                    r.shots(),
+                                    r.requested_shots()
+                                ),
+                                partial: Some(output(job, r)),
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            let kind = ErrorKind::classify(&e);
+            let msg = e.to_string();
+            for job in &group {
+                finish(
+                    job,
+                    Err(JobError {
+                        id: job.spec.id.clone(),
+                        kind,
+                        message: msg.clone(),
+                        partial: None,
+                    }),
+                );
+            }
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "executor panicked".into());
+            for job in &group {
+                finish(
+                    job,
+                    Err(JobError {
+                        id: job.spec.id.clone(),
+                        kind: ErrorKind::Simulation,
+                        message: format!("executor panicked: {msg}"),
+                        partial: None,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(group) = next_group(inner) {
+        let est = group[0].est_bytes;
+        run_group(inner, group);
+        let mut st = inner.lock();
+        st.running_bytes = st.running_bytes.saturating_sub(est);
+        drop(st);
+        // free memory may admit a previously skipped large job
+        inner.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::factories::*;
+    use crate::measurement::Measurement;
+    use crate::sim::trajectory::run_trajectories;
+
+    fn sampled_circuit(tag: f64) -> QCircuit {
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(RotationY::new(1, tag));
+        c.push_back(CNOT::new(0, 2));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(2));
+        c
+    }
+
+    #[test]
+    fn jobs_resolve_and_match_standalone_runs() {
+        let cfg = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let base = cfg.base.clone();
+        let sched = Scheduler::new(cfg);
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let spec = JobSpec::new(
+                    format!("job-{i}"),
+                    sampled_circuit(0.3 + 0.1 * (i % 2) as f64),
+                    500,
+                    100 + i,
+                );
+                sched.submit(spec).expect("admitted")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("job succeeds");
+            let mut config = base.clone();
+            config.seed = 100 + i as u64;
+            config.shots = 500;
+            let standalone =
+                run_trajectories(&sampled_circuit(0.3 + 0.1 * (i % 2) as f64), &config).unwrap();
+            assert_eq!(&out.counts, standalone.counts(), "job {i} diverged");
+            assert_eq!(out.shots, 500);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_rejects_with_resource_kind() {
+        let cfg = ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            // park the worker so the queue actually fills
+            batch_window: Duration::from_millis(200),
+            ..ServiceConfig::default()
+        };
+        let sched = Scheduler::new(cfg);
+        let mut handles = Vec::new();
+        let mut rejected = None;
+        for i in 0..8 {
+            match sched.submit(JobSpec::new(format!("q-{i}"), sampled_circuit(0.7), 200, i)) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let e = rejected.expect("a submission beyond the depth must be rejected");
+        assert_eq!(e.kind, ErrorKind::Resource);
+        assert_eq!(e.kind.exit_code(), 6);
+        for h in handles {
+            let _ = h.wait();
+        }
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_at_the_door() {
+        let cfg = ServiceConfig::default();
+        let sched = Scheduler::new(cfg);
+        let mut big = QCircuit::new(48);
+        big.push_back(Hadamard::new(0));
+        big.push_back(Measurement::z(0));
+        let err = sched
+            .submit(JobSpec::new("big", big, 10, 1))
+            .expect_err("a 48-qubit dense job must be refused");
+        assert_eq!(err.kind, ErrorKind::Resource);
+        assert_eq!(err.kind.wire_name(), "resource");
+    }
+}

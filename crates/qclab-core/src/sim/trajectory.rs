@@ -1249,24 +1249,41 @@ pub(crate) fn stop_or_err(err: QclabError) -> Result<StopCause, QclabError> {
     StopCause::from_error(&err).ok_or(err)
 }
 
-/// Terminal-measurement fast path: the program is a unitary prefix
-/// followed only by measurements of pairwise-distinct qubits (plus
-/// fences), and the run is noiseless with no observables. Evolves the
-/// state once, rotates each measured qubit into its measurement basis,
-/// builds the exact joint marginal over the measured qubits, and draws
-/// every shot from a [`DiscreteSampler`] — `O(2^n · gates + shots)`
-/// total instead of `O(shots · 2^n · gates)`.
-fn run_alias_sampled(
+/// The shared, seed-independent preparation of a sampled-path run: the
+/// evolved prefix reduced to a [`DiscreteSampler`] over the
+/// measured-qubit marginal. Building it is the `O(2^n · gates)` (dense)
+/// or support-sized (sparse) part of the run; drawing shots from it is
+/// `O(1)` per shot and keyed only by `(seed, shot)` — so one prep can
+/// serve many same-fingerprint requests ([`run_trajectories_grouped`])
+/// with every request's draws bit-identical to a standalone run.
+struct SampledPrep {
+    /// Outcome index for each sampler slot; `None` means the identity
+    /// (the dense path's sampler covers the full `2^m` marginal).
+    outcomes: Option<Vec<usize>>,
+    sampler: DiscreteSampler,
+    /// Measured-qubit count — the record width.
+    m: usize,
+    /// Watchdog statistics of the one-time prefix evolution (dense
+    /// path; the sparse executor has no norm watchdog).
+    norm: NormStats,
+    path: ShotPath,
+}
+
+/// Builds the terminal-measurement fast-path preparation: the program
+/// is a unitary prefix followed only by measurements of
+/// pairwise-distinct qubits (plus fences), and the run is noiseless
+/// with no observables. Evolves the state once, rotates each measured
+/// qubit into its measurement basis and builds the exact joint marginal
+/// over the measured qubits. `Ok(Err(cause))` means the one-time
+/// evolution was stopped before any shot existed.
+fn alias_prep(
     program: &CompiledProgram,
     initial: &CVec,
     n: usize,
     config: &TrajectoryConfig,
-) -> Result<TrajectoryResult, QclabError> {
+) -> Result<Result<SampledPrep, StopCause>, QclabError> {
     let plan = program.shot_plan();
     let ops = program.ops();
-    let path = ShotPath::AliasSampled {
-        prefix_ops: plan.prefix_ops,
-    };
     // one-time evolution: no per-shot RNG stream to stay compatible
     // with, so the parallel kernels are allowed here
     let (mut state, norm, _) = match evolve_prefix(
@@ -1279,8 +1296,7 @@ fn run_alias_sampled(
         true,
     ) {
         Ok(v) => v,
-        // stopped before any shot existed: empty partial result
-        Err(e) => return Ok(partial_empty(n, config, stop_or_err(e)?, path)),
+        Err(e) => return Ok(Err(stop_or_err(e)?)),
     };
     // rotate every non-Z measured qubit into its basis; the suffix
     // qubits are pairwise distinct, so the rotations commute and the
@@ -1307,67 +1323,31 @@ fn run_alias_sampled(
     }
     let sampler = DiscreteSampler::new(&probs)
         .expect("marginal of a normalized state is a valid distribution");
-    // tally by outcome index — O(log distinct) per draw, never 2^m
-    // storage for sparse outcomes
-    let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
-    let mut ticker = config.control.ticker();
-    let mut done = 0u64;
-    let mut stopped = None;
-    for shot in 0..config.shots {
-        // one draw from the shot's own (seed, shot) stream keeps the
-        // sample deterministic and independent of execution order; a
-        // stop between draws keeps the tally of the shots already drawn
-        if let Err(e) = ticker.tick() {
-            stopped = Some(stop_or_err(e)?);
-            break;
-        }
-        let mut rng = shot_rng(config.seed, shot);
-        *tally.entry(sampler.sample(&mut rng)).or_insert(0) += 1;
-        done += 1;
-    }
-    // outcome index → record string: measurement j (execution order) is
-    // bit m−1−j, matching the per-shot engine's record layout
-    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-    for (k, c) in tally {
-        let mut record = String::with_capacity(m);
-        for j in (0..m).rev() {
-            record.push(if (k >> j) & 1 == 1 { '1' } else { '0' });
-        }
-        counts.insert(record, c);
-    }
-    Ok(TrajectoryResult {
-        nb_qubits: n,
-        shots: done,
-        requested_shots: config.shots,
-        counts,
-        injected_errors: 0,
-        expectations: Vec::new(),
+    Ok(Ok(SampledPrep {
+        outcomes: None,
+        sampler,
+        m,
         norm,
-        path,
-        stopped,
-        batch: 1,
-    })
+        path: ShotPath::AliasSampled {
+            prefix_ops: plan.prefix_ops,
+        },
+    }))
 }
 
-/// Sparse variant of the terminal-measurement fast path: the prefix is
-/// evolved on the sparse executor from `|0…0⟩`, the joint marginal over
-/// the measured qubits is accumulated over the *live entries only*
-/// (keyed and sorted, so the sampler's outcome order is deterministic),
-/// and the shots draw from the same per-shot `(seed, shot)` RNG streams
-/// as [`run_alias_sampled`]. A dense `2^n` buffer never exists, so
+/// Sparse variant of [`alias_prep`]: the prefix is evolved on the
+/// sparse executor from `|0…0⟩` and the joint marginal accumulated over
+/// the *live entries only* (keyed and sorted, so the sampler's outcome
+/// order is deterministic). A dense `2^n` buffer never exists, so
 /// 30+ qubit low-entanglement programs sample in support-sized memory.
-fn run_sparse_sampled(
+fn sparse_prep(
     program: &CompiledProgram,
     n: usize,
     config: &TrajectoryConfig,
-) -> Result<TrajectoryResult, QclabError> {
+) -> Result<Result<SampledPrep, StopCause>, QclabError> {
     config.noise.validate()?;
     config.limits.check_sparse_register(n)?;
     let plan = program.shot_plan();
     let ops = program.ops();
-    let path = ShotPath::SparseSampled {
-        prefix_ops: plan.prefix_ops,
-    };
     let sopts = sparse::SparseOptions {
         limits: config.limits,
         ..sparse::SparseOptions::default()
@@ -1389,8 +1369,8 @@ fn run_sparse_sampled(
             }
         }
         if let Err(e) = ticker.tick() {
-            // stopped before any shot existed: empty partial result
-            return Ok(partial_empty(n, config, stop_or_err(e)?, path));
+            // stopped before any shot existed
+            return Ok(Err(stop_or_err(e)?));
         }
     }
     // rotate non-Z measured qubits into their bases, as in the dense path
@@ -1421,7 +1401,32 @@ fn run_sparse_sampled(
     let weights: Vec<f64> = marginal.values().copied().collect();
     let sampler = DiscreteSampler::new(&weights)
         .expect("marginal of a normalized state is a valid distribution");
+    Ok(Ok(SampledPrep {
+        outcomes: Some(outcomes),
+        sampler,
+        m,
+        norm: NormStats::default(),
+        path: ShotPath::SparseSampled {
+            prefix_ops: plan.prefix_ops,
+        },
+    }))
+}
+
+/// Draws `config.shots` shots from a prepared sampler, each from the
+/// shot's own `(config.seed, shot)` RNG stream — one draw per shot, so
+/// the sample is deterministic and independent of execution order *and*
+/// of which request group the prep was built for. Polls
+/// `config.control` between draws; a stop keeps the tally of the shots
+/// already drawn.
+fn draw_sampled(
+    prep: &SampledPrep,
+    n: usize,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    // tally by outcome index — O(log distinct) per draw, never 2^m
+    // storage for sparse outcomes
     let mut tally: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut ticker = config.control.ticker();
     let mut done = 0u64;
     let mut stopped = None;
     for shot in 0..config.shots {
@@ -1430,11 +1435,17 @@ fn run_sparse_sampled(
             break;
         }
         let mut rng = shot_rng(config.seed, shot);
-        *tally.entry(outcomes[sampler.sample(&mut rng)]).or_insert(0) += 1;
+        let slot = prep.sampler.sample(&mut rng);
+        let outcome = match &prep.outcomes {
+            Some(outcomes) => outcomes[slot],
+            None => slot,
+        };
+        *tally.entry(outcome).or_insert(0) += 1;
         done += 1;
     }
-    // outcome index → record string, same layout as the dense path:
-    // measurement j (execution order) is bit m−1−j
+    // outcome index → record string: measurement j (execution order) is
+    // bit m−1−j, matching the per-shot engine's record layout
+    let m = prep.m;
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     for (k, c) in tally {
         let mut record = String::with_capacity(m);
@@ -1450,11 +1461,55 @@ fn run_sparse_sampled(
         counts,
         injected_errors: 0,
         expectations: Vec::new(),
-        norm: NormStats::default(),
-        path,
+        norm: prep.norm,
+        path: prep.path,
         stopped,
         batch: 1,
     })
+}
+
+/// Terminal-measurement fast path: prep once, draw `config.shots` shots
+/// — `O(2^n · gates + shots)` total instead of `O(shots · 2^n · gates)`.
+fn run_alias_sampled(
+    program: &CompiledProgram,
+    initial: &CVec,
+    n: usize,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    match alias_prep(program, initial, n, config)? {
+        Ok(prep) => draw_sampled(&prep, n, config),
+        // stopped before any shot existed: empty partial result
+        Err(cause) => Ok(partial_empty(
+            n,
+            config,
+            cause,
+            ShotPath::AliasSampled {
+                prefix_ops: program.shot_plan().prefix_ops,
+            },
+        )),
+    }
+}
+
+/// Sparse variant of the terminal-measurement fast path (see
+/// [`sparse_prep`]); the shots draw from the same per-shot
+/// `(seed, shot)` RNG streams as [`run_alias_sampled`].
+fn run_sparse_sampled(
+    program: &CompiledProgram,
+    n: usize,
+    config: &TrajectoryConfig,
+) -> Result<TrajectoryResult, QclabError> {
+    match sparse_prep(program, n, config)? {
+        Ok(prep) => draw_sampled(&prep, n, config),
+        // stopped before any shot existed: empty partial result
+        Err(cause) => Ok(partial_empty(
+            n,
+            config,
+            cause,
+            ShotPath::SparseSampled {
+                prefix_ops: program.shot_plan().prefix_ops,
+            },
+        )),
+    }
 }
 
 /// Runs a single trajectory (shot index `shot`) and returns its final
@@ -1625,6 +1680,20 @@ pub fn run_trajectories_from(
             None
         },
     };
+    run_ensemble(&program, &prog, path)
+}
+
+/// Executes one shot ensemble over a prepared [`ShotProgram`]: the
+/// parallel/batched fan-out, stop-latch bookkeeping and result
+/// aggregation shared by [`run_trajectories_from`] and the coalesced
+/// [`run_trajectories_grouped`] fork path. The run configuration
+/// (shots, seed, control, …) is `prog.config`'s.
+fn run_ensemble(
+    program: &CompiledProgram,
+    prog: &ShotProgram<'_>,
+    path: ShotPath,
+) -> Result<TrajectoryResult, QclabError> {
+    let (n, config, kernel) = (prog.n, prog.config, prog.kernel);
     /// Per-shot summary kept after the state is dropped.
     struct ShotSummary {
         record: String,
@@ -1650,7 +1719,7 @@ pub fn run_trajectories_from(
             return None;
         }
         with_shot_buffers(config.reuse_buffers, |state, scratch| {
-            match run_shot_in(&prog, shot, state, scratch) {
+            match run_shot_in(prog, shot, state, scratch) {
                 Ok((record, injected, norm)) => Some(ShotSummary {
                     // expectations read the final state straight out of
                     // the arena — no per-shot copy
@@ -1695,7 +1764,7 @@ pub fn run_trajectories_from(
                 latch.trip(cause.into_error(crate::error::ExecProgress::default()));
                 return;
             }
-            match run_shot_batch(&prog, &bc.flat, first as u64, chunk.len()) {
+            match run_shot_batch(prog, &bc.flat, first as u64, chunk.len()) {
                 Ok(lanes) => {
                     for (slot, lane) in chunk.iter_mut().zip(lanes) {
                         *slot = Some(ShotSummary {
@@ -1773,6 +1842,207 @@ pub fn run_trajectories_from(
         stopped,
         batch: batch as u64,
     })
+}
+
+/// One tenant's slice of a coalesced ensemble
+/// ([`run_trajectories_grouped`]): its own `(seed, shots)` determinism
+/// and its own cooperative control, sharing everything else with the
+/// group's base configuration.
+#[derive(Clone, Debug)]
+pub struct ShotRequest {
+    /// Master seed of this request's per-shot RNG streams.
+    pub seed: u64,
+    /// Trajectories to sample for this request.
+    pub shots: u64,
+    /// Per-request deadline/cancellation, polled between this request's
+    /// shots; other requests in the group are unaffected (the shared
+    /// one-time preparation runs under the base configuration's
+    /// control).
+    pub control: ExecutionControl,
+}
+
+impl ShotRequest {
+    /// A request with no deadline/cancel control.
+    pub fn new(seed: u64, shots: u64) -> Self {
+        ShotRequest {
+            seed,
+            shots,
+            control: ExecutionControl::none(),
+        }
+    }
+}
+
+/// Runs several same-circuit shot requests as **one coalesced
+/// ensemble**: the deterministic, seed-independent preparation (plan
+/// lookup, prefix evolution, marginal + alias-table build, fork
+/// snapshot) is paid once for the whole group, and each request's shots
+/// are then drawn from that request's own `(seed, shot)` RNG streams.
+/// Every returned result is **bit-identical** to [`run_trajectories`]
+/// with the same `(seed, shots)` alone, because a standalone run
+/// derives all of its randomness from `(seed, shot)` pairs and the
+/// shared preparation never touches those streams.
+///
+/// `base` supplies everything but seed/shots/control (noise, kernels,
+/// limits, backend, …); results come back in request order. Paths whose
+/// preparation is not shareable (per-shot gate noise, the Pauli-frame
+/// engine) fall back to one standalone run per request — still sharing
+/// the cached plan (and, for frames, the cached frame stream) through
+/// the plan cache, which is the dedup half of the win.
+pub fn run_trajectories_grouped(
+    circuit: &QCircuit,
+    base: &TrajectoryConfig,
+    requests: &[ShotRequest],
+) -> Result<Vec<TrajectoryResult>, QclabError> {
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    let per_request = |r: &ShotRequest| TrajectoryConfig {
+        seed: r.seed,
+        shots: r.shots,
+        control: r.control.clone(),
+        ..base.clone()
+    };
+    // a singleton group is exactly a standalone run
+    if requests.len() == 1 {
+        return Ok(vec![run_trajectories(circuit, &per_request(&requests[0]))?]);
+    }
+    let n = circuit.nb_qubits();
+
+    // backend routing mirrors run_trajectories op for op, so the grouped
+    // path picks the same engine a standalone run would
+    if base.backend != BackendRequest::Dense {
+        let program = circuit.compile_with(&PlanOptions::sparse());
+        let choice = program::resolve_backend(base.backend, program.stats(), n, &base.limits)?;
+        if let BackendChoice::Sparse { .. } = choice {
+            let prefix_sampleable = base.fast_path
+                && base.noise.is_noiseless()
+                && program.shot_plan().terminal_measurements
+                && base.observables.is_empty();
+            if prefix_sampleable {
+                return match sparse_prep(&program, n, base)? {
+                    Ok(prep) => requests
+                        .iter()
+                        .map(|r| draw_sampled(&prep, n, &per_request(r)))
+                        .collect(),
+                    Err(cause) => {
+                        let path = ShotPath::SparseSampled {
+                            prefix_ops: program.shot_plan().prefix_ops,
+                        };
+                        Ok(requests
+                            .iter()
+                            .map(|r| partial_empty(n, &per_request(r), cause, path))
+                            .collect())
+                    }
+                };
+            }
+            if base.backend == BackendRequest::Sparse {
+                return Err(QclabError::Unavailable(
+                    "sparse trajectory execution covers noiseless terminal-measurement \
+                     programs (prefix sampling) only — run with the dense or auto backend"
+                        .into(),
+                ));
+            }
+            // Auto preferred sparse but the shape is not
+            // prefix-sampleable: fall through to the dense engine
+        }
+    }
+    // frame path: the frame stream is cached on the plan (shared), but
+    // the per-request reference pass is O(poly n) — no shared prep to
+    // amortize, so run each request standalone
+    if base.frames && !base.noise.is_noiseless() && base.observables.is_empty() {
+        let program = circuit.compile_with(&plan_options(base));
+        if program.frame_program().is_some() {
+            return requests
+                .iter()
+                .map(|r| run_trajectories(circuit, &per_request(r)))
+                .collect();
+        }
+    }
+    let dim = base.limits.check_register(n)?;
+    let initial = CVec::basis_state(dim, 0);
+    validate(circuit, &initial, base)?;
+    let program = circuit.compile_with(&plan_options(base));
+    let plan = program.shot_plan();
+
+    // terminal-measurement fast path: one prep, per-request draws
+    if base.fast_path
+        && base.noise.is_noiseless()
+        && plan.terminal_measurements
+        && base.observables.is_empty()
+    {
+        return match alias_prep(&program, &initial, n, base)? {
+            Ok(prep) => requests
+                .iter()
+                .map(|r| draw_sampled(&prep, n, &per_request(r)))
+                .collect(),
+            Err(cause) => {
+                let path = ShotPath::AliasSampled {
+                    prefix_ops: plan.prefix_ops,
+                };
+                Ok(requests
+                    .iter()
+                    .map(|r| partial_empty(n, &per_request(r), cause, path))
+                    .collect())
+            }
+        };
+    }
+
+    // fork path: one shared prefix snapshot, one ensemble per request —
+    // the snapshot is seed-independent, so every request's shots match
+    // the standalone fork path bit for bit
+    let gate_noise = base.noise.after_gate.is_some() || base.noise.idle.is_some();
+    let prefix_ops = if base.fast_path && !gate_noise {
+        plan.prefix_ops
+    } else {
+        0
+    };
+    let kernel = shot_kernel_config(base);
+    let path = if prefix_ops > 0 {
+        ShotPath::Forked { prefix_ops }
+    } else {
+        ShotPath::PerShot
+    };
+    let snapshot;
+    let (start_state, init_norm, init_gates) = if prefix_ops > 0 {
+        let (state, stats, gates) =
+            match evolve_prefix(program.ops(), prefix_ops, &initial, n, base, kernel, false) {
+                Ok(v) => v,
+                // stopped during the shared prefix: nobody's shots ran
+                Err(e) => {
+                    let cause = stop_or_err(e)?;
+                    return Ok(requests
+                        .iter()
+                        .map(|r| partial_empty(n, &per_request(r), cause, path))
+                        .collect());
+                }
+            };
+        snapshot = state;
+        (&snapshot, stats, gates)
+    } else {
+        (&initial, NormStats::default(), 0)
+    };
+    requests
+        .iter()
+        .map(|r| {
+            let config = per_request(r);
+            let prog = ShotProgram {
+                ops: program.ops(),
+                initial: start_state,
+                n,
+                config: &config,
+                kernel,
+                start: prefix_ops,
+                init_norm,
+                init_gates,
+                start_map: if prefix_ops > 0 {
+                    program.prefix_map()
+                } else {
+                    None
+                },
+            };
+            run_ensemble(&program, &prog, path)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -2163,5 +2433,209 @@ mod tests {
         let r = run_trajectories(&c, &none).unwrap();
         assert_eq!(r.total_counts(), 0);
         assert!(r.counts().is_empty());
+    }
+
+    /// Grouped execution shares the seed-independent preparation, so
+    /// every request's result must be bit-identical to running it
+    /// standalone at the same `(seed, shots)`.
+    fn assert_grouped_matches_standalone(circuit: &QCircuit, base: &TrajectoryConfig) {
+        let requests: Vec<ShotRequest> = [(11, 400), (12, 400), (13, 150), (11, 250)]
+            .iter()
+            .map(|&(seed, shots)| ShotRequest::new(seed, shots))
+            .collect();
+        let grouped = run_trajectories_grouped(circuit, base, &requests).unwrap();
+        assert_eq!(grouped.len(), requests.len());
+        for (req, got) in requests.iter().zip(&grouped) {
+            let config = TrajectoryConfig {
+                seed: req.seed,
+                shots: req.shots,
+                ..base.clone()
+            };
+            let alone = run_trajectories(circuit, &config).unwrap();
+            assert_eq!(
+                got.counts(),
+                alone.counts(),
+                "grouped run diverged from standalone at seed {} (path {})",
+                req.seed,
+                alone.path()
+            );
+            assert_eq!(got.shots(), alone.shots());
+            assert_eq!(got.injected_errors(), alone.injected_errors());
+            assert_eq!(got.path(), alone.path());
+        }
+    }
+
+    #[test]
+    fn grouped_alias_path_is_bit_identical_per_request() {
+        let mut c = QCircuit::new(3);
+        c.push_back(Hadamard::new(0));
+        c.push_back(RotationY::new(1, 0.8));
+        c.push_back(CNOT::new(0, 2));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(2));
+        let base = TrajectoryConfig::default();
+        assert_grouped_matches_standalone(&c, &base);
+        // sanity: this circuit really takes the alias path
+        let probe = run_trajectories(
+            &c,
+            &TrajectoryConfig {
+                shots: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert!(matches!(probe.path(), ShotPath::AliasSampled { .. }));
+    }
+
+    #[test]
+    fn grouped_fork_path_is_bit_identical_per_request() {
+        // mid-circuit measurement followed by a gate: terminal sampling
+        // is ineligible, the deterministic prefix is forked instead
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(Measurement::z(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(1));
+        let base = TrajectoryConfig::default();
+        let probe = run_trajectories(
+            &c,
+            &TrajectoryConfig {
+                shots: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert!(matches!(probe.path(), ShotPath::Forked { .. }));
+        assert_grouped_matches_standalone(&c, &base);
+    }
+
+    #[test]
+    fn grouped_noisy_fallback_is_bit_identical_per_request() {
+        // non-Clifford + gate noise: no frames, no alias — the grouped
+        // runner falls back to per-request ensembles and must still
+        // reproduce the standalone bits
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(RotationY::new(1, 0.3));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        let base = TrajectoryConfig {
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::BitFlip(0.05)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let probe = run_trajectories(
+            &c,
+            &TrajectoryConfig {
+                shots: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(probe.path(), ShotPath::PerShot);
+        assert_grouped_matches_standalone(&c, &base);
+    }
+
+    #[test]
+    fn grouped_frame_path_is_bit_identical_per_request() {
+        // noisy Clifford circuit: the Pauli-frame sampler handles each
+        // request (shared plan, per-request frame runs)
+        let mut c = QCircuit::new(2);
+        c.push_back(Hadamard::new(0));
+        c.push_back(CNOT::new(0, 1));
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(1));
+        let base = TrajectoryConfig {
+            noise: NoiseSpec {
+                after_gate: Some(PauliChannel::Depolarizing(0.02)),
+                ..NoiseSpec::default()
+            },
+            ..TrajectoryConfig::default()
+        };
+        let probe = run_trajectories(
+            &c,
+            &TrajectoryConfig {
+                shots: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(probe.path(), ShotPath::PauliFrame);
+        assert_grouped_matches_standalone(&c, &base);
+    }
+
+    #[test]
+    fn grouped_sparse_path_is_bit_identical_per_request() {
+        // sparse-friendly circuit pinned to the sparse backend
+        let mut c = QCircuit::new(22);
+        c.push_back(Hadamard::new(0));
+        for q in 1..6 {
+            c.push_back(CNOT::new(0, q));
+        }
+        c.push_back(Measurement::z(0));
+        c.push_back(Measurement::z(5));
+        let base = TrajectoryConfig {
+            backend: BackendRequest::Sparse,
+            ..TrajectoryConfig::default()
+        };
+        let probe = run_trajectories(
+            &c,
+            &TrajectoryConfig {
+                shots: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert!(matches!(probe.path(), ShotPath::SparseSampled { .. }));
+        assert_grouped_matches_standalone(&c, &base);
+    }
+
+    #[test]
+    fn grouped_edge_cases() {
+        // empty request list and single-request groups are well-defined
+        let c = bell_measured();
+        let base = TrajectoryConfig::default();
+        assert!(run_trajectories_grouped(&c, &base, &[]).unwrap().is_empty());
+        let one = run_trajectories_grouped(&c, &base, &[ShotRequest::new(5, 300)]).unwrap();
+        let mut config = base.clone();
+        config.seed = 5;
+        config.shots = 300;
+        let alone = run_trajectories(&c, &config).unwrap();
+        assert_eq!(one[0].counts(), alone.counts());
+        // a zero-shot request rides along without disturbing peers
+        let reqs = [ShotRequest::new(5, 300), ShotRequest::new(6, 0)];
+        let mixed = run_trajectories_grouped(&c, &base, &reqs).unwrap();
+        assert_eq!(mixed[0].counts(), alone.counts());
+        assert_eq!(mixed[1].total_counts(), 0);
+    }
+
+    #[test]
+    fn grouped_per_request_cancellation_stops_only_that_request() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // request 0 carries a pre-tripped cancel token; request 1 must
+        // complete untouched and bit-identical to standalone
+        let c = bell_measured();
+        let base = TrajectoryConfig {
+            // per-shot engine so the control ticker is consulted
+            fast_path: false,
+            ..TrajectoryConfig::default()
+        };
+        let token = Arc::new(AtomicBool::new(true));
+        let mut cancelled = ShotRequest::new(3, 500);
+        cancelled.control = ExecutionControl::with_cancel_token(token);
+        let fine = ShotRequest::new(4, 500);
+        let results = run_trajectories_grouped(&c, &base, &[cancelled, fine]).unwrap();
+        assert_eq!(results[0].stop_cause(), Some(StopCause::Cancelled));
+        assert!(results[0].shots() < 500);
+        assert_eq!(results[1].stop_cause(), None);
+        let mut config = base.clone();
+        config.seed = 4;
+        config.shots = 500;
+        let alone = run_trajectories(&c, &config).unwrap();
+        assert_eq!(results[1].counts(), alone.counts());
     }
 }

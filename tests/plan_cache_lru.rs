@@ -131,4 +131,57 @@ fn plan_cache_is_lru_and_relowering_matches() {
         sparse_plan.stats().sparse_entries,
         "the sparse-entry bound must not depend on the plan variant"
     );
+
+    // ---- configurable capacity + eviction accounting ----------------
+    // shrink the cache to a non-default size; LRU order and the
+    // eviction counter must track it exactly
+    program::clear_plan_cache();
+    program::set_plan_cache_capacity(4);
+    assert_eq!(program::plan_cache_capacity(), 4);
+    let evicted_before = program::plan_cache_stats().evictions;
+    for i in 0..4 {
+        program::compile(&distinct_circuit(i), &opts);
+    }
+    assert_eq!(program::plan_cache_stats().entries, 4);
+    assert_eq!(
+        program::plan_cache_stats().evictions,
+        evicted_before,
+        "filling to the new capacity must not evict"
+    );
+    // touch 0, insert a 5th: 1 (the LRU) is evicted and counted
+    program::compile(&distinct_circuit(0), &opts);
+    program::compile(&distinct_circuit(4), &opts);
+    let st = program::plan_cache_stats();
+    assert_eq!(st.entries, 4, "non-default capacity must be enforced");
+    assert_eq!(st.evictions, evicted_before + 1, "one eviction expected");
+    let before = program::plan_cache_stats();
+    program::compile(&distinct_circuit(0), &opts);
+    assert_eq!(
+        program::plan_cache_stats().hits,
+        before.hits + 1,
+        "touched plan must survive at capacity 4"
+    );
+    let before = program::plan_cache_stats();
+    program::compile(&distinct_circuit(1), &opts);
+    assert_eq!(
+        program::plan_cache_stats().misses,
+        before.misses + 1,
+        "LRU plan must be gone at capacity 4"
+    );
+
+    // shrinking below the resident count evicts down immediately
+    let evicted_before = program::plan_cache_stats().evictions;
+    program::set_plan_cache_capacity(2);
+    let st = program::plan_cache_stats();
+    assert_eq!(st.entries, 2, "shrink must evict down to the new cap");
+    assert_eq!(st.evictions, evicted_before + 2);
+    // clamp: capacity 0 is meaningless, it becomes 1
+    program::set_plan_cache_capacity(0);
+    assert_eq!(program::plan_cache_capacity(), 1);
+    assert_eq!(program::plan_cache_stats().entries, 1);
+
+    // restore the default so later suites see the documented behaviour
+    program::set_plan_cache_capacity(PLAN_CACHE_CAPACITY);
+    assert_eq!(program::plan_cache_capacity(), PLAN_CACHE_CAPACITY);
+    program::clear_plan_cache();
 }
